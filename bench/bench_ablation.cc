@@ -1,0 +1,61 @@
+// Ablations beyond the paper's figures (DESIGN.md A1-A3):
+//   A1  QoS-Independent vs QoS-Dependent QC combination (Section 2.2 choice)
+//   A2  low-level query policy inside QUTS (Section 3.1 discussion)
+//   A3  staleness metric / combiner (Section 2.1 metrics)
+//   +   aging factor α sweep ("the exact α does not matter much")
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "exp/figures.h"
+#include "util/table.h"
+
+namespace {
+
+void PrintAblation(const char* title,
+                   const std::vector<webdb::AblationRow>& rows) {
+  std::printf("--- %s ---\n", title);
+  webdb::AsciiTable table({"variant", "QOS%", "QOD%", "total%"});
+  for (const auto& row : rows) {
+    table.AddRow({row.variant, webdb::AsciiTable::Num(row.qos_pct, 3),
+                  webdb::AsciiTable::Num(row.qod_pct, 3),
+                  webdb::AsciiTable::Num(row.total_pct, 3)});
+  }
+  std::printf("%s", table.Render().c_str());
+}
+
+}  // namespace
+
+int main() {
+  using namespace webdb;
+  const Trace& trace = bench::FullTrace();
+  const Trace adapt = bench::AdaptabilityTrace();
+
+  bench::PrintHeader("Ablation studies",
+                     "design choices called out in DESIGN.md (A1-A3)");
+
+  PrintAblation("A1: QC combination mode (balanced QCs)",
+                RunCombinationAblation(trace));
+  PrintAblation("A2: QUTS low-level query policy (balanced QCs)",
+                RunQueryPolicyAblation(trace));
+  PrintAblation("A3: staleness metric / combiner (QUTS, balanced QCs)",
+                RunStalenessAblation(trace));
+  PrintAblation("A4: QUTS atom-side selection (QoD-heavy QCs, rho < 1)",
+                RunSlicingAblation(trace));
+  PrintAblation("A5: admission control (QUTS, balanced QCs)",
+                RunAdmissionAblation(trace));
+  PrintAblation("A6: concurrency control (QUTS, balanced QCs)",
+                RunConcurrencyAblation(trace));
+  PrintAblation("A7: QUTS low-level update policy (QoD-heavy QCs)",
+                RunUpdatePolicyAblation(trace));
+
+  std::printf("--- alpha sensitivity (Section 5.2 setup) ---\n");
+  AsciiTable alpha_table({"alpha", "total profit %"});
+  for (const auto& [alpha, pct] :
+       RunAlphaSensitivity(adapt, {0.05, 0.1, 0.2, 0.5, 0.8, 1.0})) {
+    alpha_table.AddRow(
+        {AsciiTable::Num(alpha, 2), AsciiTable::Num(pct, 3)});
+  }
+  std::printf("%s", alpha_table.Render().c_str());
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Shared setup for the figure benches: one full-scale synthetic trace,
+// generated once per process (or scaled down via WEBDB_TRACE_SCALE for quick
+// runs), plus small printing helpers.
+//
+// Environment knobs:
+//   WEBDB_TRACE_SCALE=<0..1>  scale trace duration (default 1.0, full 30 min)
+//   WEBDB_TRACE_SEED=<n>      trace seed (default 2007)
+
+#ifndef WEBDB_BENCH_BENCH_COMMON_H_
+#define WEBDB_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "trace/stock_trace_generator.h"
+#include "trace/trace.h"
+#include "util/time.h"
+
+namespace webdb {
+namespace bench {
+
+inline double TraceScale() {
+  const char* env = std::getenv("WEBDB_TRACE_SCALE");
+  if (env == nullptr) return 1.0;
+  const double scale = std::atof(env);
+  return (scale > 0.0 && scale <= 1.0) ? scale : 1.0;
+}
+
+inline StockTraceConfig BenchTraceConfig() {
+  StockTraceConfig config;
+  if (const char* env = std::getenv("WEBDB_TRACE_SEED")) {
+    config.seed = static_cast<uint64_t>(std::atoll(env));
+  }
+  const double scale = TraceScale();
+  config.duration =
+      static_cast<SimDuration>(static_cast<double>(config.duration) * scale);
+  return config;
+}
+
+inline const Trace& FullTrace() {
+  static const Trace* trace = [] {
+    const StockTraceConfig config = BenchTraceConfig();
+    std::fprintf(stderr,
+                 "[bench] generating trace (%.0f s, seed %llu)...\n",
+                 ToSeconds(config.duration),
+                 static_cast<unsigned long long>(config.seed));
+    auto* t = new Trace(GenerateStockTrace(config));
+    std::fprintf(stderr, "[bench] trace ready: %zu queries, %zu updates\n",
+                 t->queries.size(), t->updates.size());
+    return t;
+  }();
+  return *trace;
+}
+
+// The 300-second slice used by the Section 5.2 / 5.3 experiments (scaled
+// along with the trace).
+inline Trace AdaptabilityTrace() {
+  const SimDuration window = static_cast<SimDuration>(
+      static_cast<double>(Seconds(300)) * TraceScale());
+  return FullTrace().Prefix(window);
+}
+
+inline void PrintHeader(const std::string& title, const std::string& paper) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("paper reference: %s\n", paper.c_str());
+  std::printf("================================================================\n");
+}
+
+}  // namespace bench
+}  // namespace webdb
+
+#endif  // WEBDB_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,55 @@
+// Figure 10 — sensitivity of QUTS to its two parameters, on the Section 5.2
+// setup: (a) adaptation period ω swept 0.1 ... 100 s with τ = 10 ms;
+// (b) atom time τ swept 1 ... 1000 ms with ω = 1000 ms.
+//
+// Reproduced claims: the total profit percentage is nearly flat across a
+// wide range of ω; the best τ sits near the maximum query execution time
+// (~10 ms).
+
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench_common.h"
+#include "exp/figures.h"
+#include "exp/report.h"
+#include "util/table.h"
+
+int main() {
+  using namespace webdb;
+  const Trace trace = bench::AdaptabilityTrace();
+
+  bench::PrintHeader("Figure 10a: sensitivity to adaptation period (omega)",
+                     "overall performance varies very little for a wide "
+                     "range of adaptation periods");
+  const auto omega_points =
+      RunOmegaSensitivity(trace, {0.1, 0.2, 0.5, 1.0, 2.0, 5.0, 10.0, 50.0,
+                                  100.0});
+  AsciiTable omega_table({"omega (s)", "total profit %"});
+  for (const auto& [omega, pct] : omega_points) {
+    omega_table.AddRow(
+        {AsciiTable::Num(omega, 1), AsciiTable::Num(pct, 3)});
+  }
+  std::printf("%s", omega_table.Render().c_str());
+
+  bench::PrintHeader("Figure 10b: sensitivity to atom time (tau)",
+                     "best performance around 10 ms, close to the maximum "
+                     "query execution time (5-9 ms)");
+  const auto tau_points =
+      RunTauSensitivity(trace, {1.0, 5.0, 10.0, 50.0, 100.0, 500.0, 1000.0});
+  AsciiTable tau_table({"tau (ms)", "total profit %"});
+  for (const auto& [tau, pct] : tau_points) {
+    tau_table.AddRow({AsciiTable::Num(tau, 0), AsciiTable::Num(pct, 3)});
+  }
+  std::printf("%s", tau_table.Render().c_str());
+
+  if (const std::string dir = CsvDirFromEnv(); !dir.empty()) {
+    WritePairsCsv(dir + "/fig10a_omega.csv", "omega_s", "total_pct",
+                  omega_points);
+    WritePairsCsv(dir + "/fig10b_tau.csv", "tau_ms", "total_pct", tau_points);
+    std::printf("[csv] wrote fig10a_omega.csv and fig10b_tau.csv to %s\n",
+                dir.c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Figure 5 + Table 3 — trace characteristics of the synthetic Stock.com /
+// NYSE workload: per-second query/update rates (5a, 5b), query-vs-update
+// skew across stocks (5c), and the Table 3 workload summary.
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+#include "trace/trace_stats.h"
+#include "util/table.h"
+
+namespace {
+
+// Prints min/mean/max of per-second counts over consecutive windows —
+// a textual rendering of the Fig. 5a/5b rate plots.
+void PrintRateSeries(const char* title, const std::vector<int64_t>& per_s,
+                     size_t window_s) {
+  std::printf("%s (per-second rate, %zus windows)\n", title, window_s);
+  webdb::AsciiTable table({"t (s)", "min/s", "mean/s", "max/s"});
+  for (size_t start = 0; start < per_s.size(); start += window_s) {
+    const size_t end = std::min(per_s.size(), start + window_s);
+    int64_t lo = per_s[start], hi = per_s[start], sum = 0;
+    for (size_t i = start; i < end; ++i) {
+      lo = std::min(lo, per_s[i]);
+      hi = std::max(hi, per_s[i]);
+      sum += per_s[i];
+    }
+    table.AddRow({std::to_string(start), std::to_string(lo),
+                  webdb::AsciiTable::Num(
+                      static_cast<double>(sum) / static_cast<double>(end - start), 1),
+                  std::to_string(hi)});
+  }
+  std::printf("%s", table.Render().c_str());
+}
+
+}  // namespace
+
+int main() {
+  using namespace webdb;
+  const Trace& trace = bench::FullTrace();
+  const TraceStats stats = ComputeTraceStats(trace);
+
+  bench::PrintHeader("Table 3: workload information",
+                     "82,129 queries / 496,892 updates / 4,608 stocks / "
+                     "query exec 5-9ms / update exec 1-5ms");
+  std::printf("%s", stats.Summary().c_str());
+
+  bench::PrintHeader("Figure 5a: query distribution over time",
+                     "small changes over time");
+  PrintRateSeries("queries", stats.queries_per_second,
+                  std::max<size_t>(1, stats.queries_per_second.size() / 12));
+
+  bench::PrintHeader("Figure 5b: update distribution over time",
+                     "downward trend over time");
+  PrintRateSeries("updates", stats.updates_per_second,
+                  std::max<size_t>(1, stats.updates_per_second.size() / 12));
+
+  bench::PrintHeader("Figure 5c: query vs update frequency per stock",
+                     "most stocks have more updates than queries "
+                     "(points below the diagonal)");
+  std::printf("fraction of active stocks with more updates than queries: "
+              "%.3f\n",
+              stats.FractionUpdateDominated());
+
+  // Decile view of the scatter: stocks ranked by update count.
+  std::vector<PerItemCounts> sorted = stats.per_item;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const PerItemCounts& a, const PerItemCounts& b) {
+              return a.updates > b.updates;
+            });
+  AsciiTable table({"stock decile (by #updates)", "avg #updates", "avg #queries"});
+  const size_t decile = sorted.size() / 10;
+  for (int d = 0; d < 10; ++d) {
+    int64_t updates = 0, queries = 0;
+    for (size_t i = d * decile; i < (d + 1) * decile; ++i) {
+      updates += sorted[i].updates;
+      queries += sorted[i].queries;
+    }
+    table.AddRow({std::to_string(d),
+                  AsciiTable::Num(static_cast<double>(updates) /
+                                      static_cast<double>(decile), 1),
+                  AsciiTable::Num(static_cast<double>(queries) /
+                                      static_cast<double>(decile), 1)});
+  }
+  std::printf("%s", table.Render().c_str());
+  return 0;
+}

@@ -1,0 +1,35 @@
+// Figure 6 — profit percentage of FIFO / UH / QH / QUTS under step and
+// linear QCs with balanced preferences (qos_max, qod_max ~ U[$10, $50],
+// rt_max ~ U[50, 100] ms, uu_max = 1).
+//
+// Reproduced claim: QUTS takes the "best" profit dimension of the other
+// policies — high QoS from QH and high QoD from UH; FIFO has the lowest
+// total.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "exp/figures.h"
+#include "util/table.h"
+
+int main() {
+  using namespace webdb;
+  const Trace& trace = bench::FullTrace();
+
+  for (const QcShape shape : {QcShape::kStep, QcShape::kLinear}) {
+    bench::PrintHeader(
+        "Figure 6" + std::string(shape == QcShape::kStep ? "a" : "b") +
+            ": profit percentage, " + ToString(shape) + " QCs",
+        "QUTS highest total; QH low QoD; UH low QoS; FIFO lowest total "
+        "(max QOS% = QOD% = 0.5)");
+    const auto rows = RunFigure6(trace, shape);
+    AsciiTable table({"policy", "QOS%", "QOD%", "total%"});
+    for (const auto& row : rows) {
+      table.AddRow({row.policy, AsciiTable::Num(row.qos_pct, 3),
+                    AsciiTable::Num(row.qod_pct, 3),
+                    AsciiTable::Num(row.TotalPct(), 3)});
+    }
+    std::printf("%s", table.Render().c_str());
+  }
+  return 0;
+}

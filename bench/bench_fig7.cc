@@ -1,0 +1,28 @@
+// Figure 7 — FIFO profit percentage across the nine Table 4 QC sets
+// (QODmax% = 0.1 ... 0.9).
+//
+// Reproduced claim: FIFO ignores the time constraints, gains the worst QoS
+// profit percentage and the worst total despite a decent QoD share.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "exp/figures.h"
+#include "util/table.h"
+
+int main() {
+  using namespace webdb;
+  bench::PrintHeader("Figure 7: FIFO across QC sets (Table 4)",
+                     "worst QoS% of all policies; decent QoD%; worst total");
+
+  const auto points = RunQcSweep(bench::FullTrace(), SchedulerKind::kFifo);
+  AsciiTable table({"QODmax%", "QOS%", "QOD%", "total%", "QOSmax% (diag)"});
+  for (const auto& p : points) {
+    table.AddRow({AsciiTable::Num(p.qod_share_pct, 1),
+                  AsciiTable::Num(p.qos_pct, 3), AsciiTable::Num(p.qod_pct, 3),
+                  AsciiTable::Num(p.total_pct, 3),
+                  AsciiTable::Num(p.qos_max_pct, 3)});
+  }
+  std::printf("%s", table.Render().c_str());
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Figure 8 — UH / QH / QUTS profit percentages across the nine Table 4 QC
+// sets, plus the paper's headline improvement summary.
+//
+// Reproduced claims: UH earns nearly the maximal QoD but poor QoS; QH the
+// mirror image; QUTS nearly maximal on both, "up to 101.3% better than UH
+// and up to 40.1% better than QH, consistently performing better or as good
+// as the best of the two".
+
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench_common.h"
+#include "exp/figures.h"
+#include "exp/report.h"
+#include "util/table.h"
+
+namespace {
+
+void PrintSweep(const char* name, const std::vector<webdb::SweepPoint>& points) {
+  webdb::AsciiTable table(
+      {"QODmax%", "QOS%", "QOD%", "total%", "QOSmax% (diag)"});
+  for (const auto& p : points) {
+    table.AddRow({webdb::AsciiTable::Num(p.qod_share_pct, 1),
+                  webdb::AsciiTable::Num(p.qos_pct, 3),
+                  webdb::AsciiTable::Num(p.qod_pct, 3),
+                  webdb::AsciiTable::Num(p.total_pct, 3),
+                  webdb::AsciiTable::Num(p.qos_max_pct, 3)});
+  }
+  std::printf("--- %s ---\n%s", name, table.Render().c_str());
+}
+
+}  // namespace
+
+int main() {
+  using namespace webdb;
+  const Trace& trace = bench::FullTrace();
+
+  bench::PrintHeader("Figure 8: UH / QH / QUTS across QC sets (Table 4)",
+                     "QUTS up to 101.3% better than UH, up to 40.1% better "
+                     "than QH, never worse than the best of the two");
+
+  const auto uh = RunQcSweep(trace, SchedulerKind::kUpdateHigh);
+  const auto qh = RunQcSweep(trace, SchedulerKind::kQueryHigh);
+  const auto quts = RunQcSweep(trace, SchedulerKind::kQuts);
+  PrintSweep("Figure 8a: Update High (UH)", uh);
+  PrintSweep("Figure 8b: Query High (QH)", qh);
+  PrintSweep("Figure 8c: QUTS", quts);
+
+  const auto summary = SummarizeImprovement(uh, qh, quts);
+  std::printf("QUTS max improvement vs UH: %.1f%% (paper: up to 101.3%%)\n",
+              summary.max_vs_uh * 100.0);
+  std::printf("QUTS max improvement vs QH: %.1f%% (paper: up to 40.1%%)\n",
+              summary.max_vs_qh * 100.0);
+  std::printf("QUTS worst gap vs best(UH, QH): %+.3f total%% points "
+              "(>= 0 means never worse)\n",
+              summary.min_vs_best);
+
+  if (const std::string dir = CsvDirFromEnv(); !dir.empty()) {
+    auto totals = [](const std::vector<SweepPoint>& points) {
+      std::vector<double> out;
+      for (const auto& p : points) out.push_back(p.total_pct);
+      return out;
+    };
+    WriteSeriesCsv(dir + "/fig8_totals.csv", {"uh", "qh", "quts"},
+                   {totals(uh), totals(qh), totals(quts)});
+    std::printf("[csv] wrote fig8_totals.csv to %s\n", dir.c_str());
+  }
+  return 0;
+}

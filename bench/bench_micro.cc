@@ -1,0 +1,133 @@
+// Micro-benchmarks (google-benchmark): costs of the building blocks — event
+// queue, transaction queues, QC evaluation, Zipf sampling, lock manager,
+// trace generation, and a small end-to-end server run per scheduler.
+
+#include <benchmark/benchmark.h>
+
+#include "core/quts_scheduler.h"
+#include "exp/experiment.h"
+#include "exp/scheduler_factory.h"
+#include "qc/qc_generator.h"
+#include "sched/txn_queue.h"
+#include "sim/simulator.h"
+#include "trace/stock_trace_generator.h"
+#include "txn/lock_manager.h"
+#include "util/rng.h"
+
+namespace webdb {
+namespace {
+
+void BM_SimulatorScheduleAndRun(benchmark::State& state) {
+  for (auto _ : state) {
+    Simulator sim;
+    int sink = 0;
+    for (int i = 0; i < state.range(0); ++i) {
+      sim.ScheduleAt(i, [&sink] { ++sink; });
+    }
+    sim.Run();
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SimulatorScheduleAndRun)->Arg(1000)->Arg(100000);
+
+void BM_TxnQueuePushPop(benchmark::State& state) {
+  std::vector<Query> queries(static_cast<size_t>(state.range(0)));
+  for (size_t i = 0; i < queries.size(); ++i) {
+    queries[i].id = QueryTxnId(i);
+    queries[i].arrival = static_cast<SimTime>(i);
+  }
+  Rng rng(1);
+  for (auto _ : state) {
+    TxnQueue queue;
+    for (auto& query : queries) queue.Push(&query, rng.NextDouble());
+    while (queue.Pop() != nullptr) {
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_TxnQueuePushPop)->Arg(1000)->Arg(10000);
+
+void BM_QcEvaluate(benchmark::State& state) {
+  const auto qc =
+      QualityContract::Make(QcShape::kLinear, 10.0, Millis(50), 20.0, 2.0);
+  SimDuration rt = 0;
+  double staleness = 0.0;
+  double sink = 0.0;
+  for (auto _ : state) {
+    rt = (rt + Millis(1)) % Millis(100);
+    staleness = staleness >= 3.0 ? 0.0 : staleness + 0.1;
+    sink += qc.Evaluate(rt, staleness).Total();
+  }
+  benchmark::DoNotOptimize(sink);
+}
+BENCHMARK(BM_QcEvaluate);
+
+void BM_QcGeneratorNext(benchmark::State& state) {
+  QcGenerator generator(BalancedProfile(QcShape::kStep));
+  Rng rng(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(generator.Next(rng));
+  }
+}
+BENCHMARK(BM_QcGeneratorNext);
+
+void BM_ZipfSample(benchmark::State& state) {
+  ZipfDistribution zipf(4608, 1.0);
+  Rng rng(3);
+  int64_t sink = 0;
+  for (auto _ : state) sink += zipf.Sample(rng);
+  benchmark::DoNotOptimize(sink);
+}
+BENCHMARK(BM_ZipfSample);
+
+void BM_LockManagerAcquireRelease(benchmark::State& state) {
+  LockManager lm;
+  const std::vector<ItemId> items = {1, 2, 3, 4, 5};
+  for (auto _ : state) {
+    lm.Acquire(2, LockMode::kShared, items);
+    benchmark::DoNotOptimize(lm.Conflicts(5, LockMode::kExclusive, {3}));
+    lm.ReleaseAll(2);
+  }
+}
+BENCHMARK(BM_LockManagerAcquireRelease);
+
+void BM_TraceGeneration(benchmark::State& state) {
+  for (auto _ : state) {
+    StockTraceConfig config = StockTraceConfig::Small(42);
+    config.duration = Seconds(state.range(0));
+    benchmark::DoNotOptimize(GenerateStockTrace(config));
+  }
+}
+BENCHMARK(BM_TraceGeneration)->Arg(10)->Arg(60)->Unit(benchmark::kMillisecond);
+
+void BM_EndToEndServerRun(benchmark::State& state) {
+  const SchedulerKind kind = static_cast<SchedulerKind>(state.range(0));
+  StockTraceConfig config = StockTraceConfig::Small(7);
+  config.query_rate = 40.0;
+  config.update_rate_start = 280.0;
+  config.update_rate_end = 200.0;
+  const Trace trace = GenerateStockTrace(config);
+  for (auto _ : state) {
+    auto scheduler = MakeScheduler(kind);
+    ExperimentOptions options;
+    options.profile = BalancedProfile(QcShape::kStep);
+    benchmark::DoNotOptimize(
+        RunExperiment(trace, scheduler.get(), options));
+  }
+  state.SetLabel(ToString(kind));
+  state.SetItemsProcessed(
+      state.iterations() *
+      static_cast<int64_t>(trace.queries.size() + trace.updates.size()));
+}
+BENCHMARK(BM_EndToEndServerRun)
+    ->Arg(static_cast<int>(SchedulerKind::kFifo))
+    ->Arg(static_cast<int>(SchedulerKind::kUpdateHigh))
+    ->Arg(static_cast<int>(SchedulerKind::kQueryHigh))
+    ->Arg(static_cast<int>(SchedulerKind::kQuts))
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace webdb
+
+BENCHMARK_MAIN();

@@ -1,0 +1,48 @@
+// Eq. 3 model validation (Section 4.1): the paper derives QUTS's optimal ρ
+// from Q(ρ) ≈ QOSmax·ρ + QODmax·ρ(1-ρ) but never plots the curve. This
+// bench freezes ρ, sweeps it across [0.1, 1.0], and prints the measured
+// profit share against the model — the check that Eq. 4's optimum (always
+// in [0.5, 1]) is real on this workload.
+
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/rho.h"
+#include "exp/figures.h"
+#include "util/table.h"
+
+int main() {
+  using namespace webdb;
+  // Full trace: the QoD cost of high ρ only materializes under the flash
+  // crowds, which a short prefix can miss.
+  const Trace& trace = bench::FullTrace();
+
+  for (const double qod_share : {0.5, 0.8}) {
+    bench::PrintHeader(
+        "Eq. 3 validation: frozen-rho sweep, QODmax% = " +
+            AsciiTable::Num(qod_share, 1),
+        "measured profit should peak at Eq. 4's rho* and fall on both "
+        "sides; model is an approximation, shapes should agree");
+    const QcProfile profile = Table4Profile(qod_share, QcShape::kStep);
+    const auto points = RunRhoModelValidation(
+        trace, {0.2, 0.4, 0.5, 0.6, 0.7, 0.85, 1.0}, profile);
+
+    AsciiTable table({"rho", "measured total%", "modeled total%"});
+    double best_measured_rho = 0.0, best_measured = -1.0;
+    for (const auto& point : points) {
+      table.AddRow({AsciiTable::Num(point.rho, 2),
+                    AsciiTable::Num(point.measured_total_pct, 3),
+                    AsciiTable::Num(point.modeled_total_pct, 3)});
+      if (point.measured_total_pct > best_measured) {
+        best_measured = point.measured_total_pct;
+        best_measured_rho = point.rho;
+      }
+    }
+    std::printf("%s", table.Render().c_str());
+    const double qos_share = profile.ExpectedQosSharePct();
+    std::printf("Eq. 4 rho* = %.3f; best measured rho = %.1f\n",
+                OptimalRho(qos_share, 1.0 - qos_share), best_measured_rho);
+  }
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Workload-robustness study (DESIGN.md calibration, EXPERIMENTS.md D1/D3):
+// sweeps the two synthetic-trace features the reproduction leans on and
+// replays the Figure 6 comparison at each point, on a 600 s slice.
+//
+// Expected shape: the scheduler ranking (QUTS ~ best, FIFO worst) is stable
+// across the sweeps; higher popularity correlation and deeper flash crowds
+// both widen the QoD gap that separates the freshness-blind policies.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+#include "exp/robustness.h"
+#include "util/table.h"
+
+namespace {
+
+void PrintRows(const char* knob_name,
+               const std::vector<webdb::RobustnessRow>& rows) {
+  webdb::AsciiTable table({knob_name, "FIFO", "UH", "QH", "QUTS",
+                           "QUTS - best(UH,QH)"});
+  for (const auto& row : rows) {
+    table.AddRow({webdb::AsciiTable::Num(row.knob, 2),
+                  webdb::AsciiTable::Num(row.fifo, 3),
+                  webdb::AsciiTable::Num(row.uh, 3),
+                  webdb::AsciiTable::Num(row.qh, 3),
+                  webdb::AsciiTable::Num(row.quts, 3),
+                  webdb::AsciiTable::Num(row.QutsVsBestFixed(), 3)});
+  }
+  std::printf("%s", table.Render().c_str());
+}
+
+}  // namespace
+
+int main() {
+  using namespace webdb;
+  StockTraceConfig base = bench::BenchTraceConfig();
+  // A 600 s run per point keeps the 8-point sweep affordable.
+  base.duration = std::min<SimDuration>(base.duration, Seconds(600));
+
+  bench::PrintHeader(
+      "Robustness: query/update popularity correlation (Fig. 5c knob)",
+      "ranking stable; correlation feeds the staleness pressure");
+  PrintRows("correlation",
+            RunCorrelationRobustness(base, {0.0, 0.1, 0.5, 1.0}));
+
+  bench::PrintHeader(
+      "Robustness: flash-crowd gain (Fig. 5a knob)",
+      "ranking stable; deeper crowds punish fixed priorities");
+  PrintRows("spike gain", RunSpikeRobustness(base, {1.0, 3.0, 4.5, 6.0}));
+  return 0;
+}

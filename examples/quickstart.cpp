@@ -1,0 +1,75 @@
+// Quickstart: build a tiny web-database, attach Quality Contracts to a
+// handful of queries, run them under QUTS and inspect the outcome.
+//
+//   $ ./examples/quickstart
+
+#include <cstdio>
+
+#include "core/quts_scheduler.h"
+#include "db/database.h"
+#include "db/symbol_table.h"
+#include "server/web_database_server.h"
+
+using namespace webdb;
+
+int main() {
+  // A 4-stock database with human-readable tickers.
+  SymbolTable symbols;
+  const ItemId ibm = symbols.Intern("IBM");
+  const ItemId aapl = symbols.Intern("AAPL");
+  symbols.Intern("MSFT");
+  symbols.Intern("GOOG");
+  Database db(symbols.Size());
+
+  // QUTS with the paper's defaults: tau = 10 ms, omega = 1 s.
+  QutsScheduler scheduler{QutsScheduler::Options{}};
+  WebDatabaseServer server(&db, &scheduler);
+
+  // A user who cares about freshness: $2 for fresh data, $1 for a fast
+  // answer within 50 ms (Figure 2 of the paper).
+  const QualityContract freshness_lover =
+      QualityContract::Make(QcShape::kStep, /*qos_max=*/1.0,
+                            /*rt_max=*/Millis(50), /*qod_max=*/2.0,
+                            /*uu_max=*/1.0);
+  // A user who cares about latency: linear decay, $2 at instant response.
+  const QualityContract latency_lover =
+      QualityContract::Make(QcShape::kLinear, /*qos_max=*/2.0,
+                            /*rt_max=*/Millis(50), /*qod_max=*/1.0,
+                            /*uu_max=*/2.0);
+
+  // Updates stream in from the exchange while queries arrive.
+  server.SubmitUpdate(ibm, 105.25, Millis(2));
+  server.SubmitQuery(QueryType::kLookup, {ibm}, freshness_lover, Millis(6));
+  server.sim().ScheduleAt(Millis(3), [&] {
+    server.SubmitUpdate(aapl, 188.10, Millis(2));
+    server.SubmitQuery(QueryType::kComparison, {ibm, aapl}, latency_lover,
+                       Millis(8));
+  });
+  server.sim().ScheduleAt(Millis(5), [&] {
+    server.SubmitUpdate(ibm, 105.30, Millis(2));  // supersedes nothing: applied
+    server.SubmitQuery(QueryType::kMovingAverage, {ibm}, freshness_lover,
+                       Millis(7));
+  });
+
+  server.Run();
+
+  std::printf("=== per-query outcome ===\n");
+  for (const Query& query : server.queries()) {
+    std::printf(
+        "%-15s items=%zu  state=%-9s  rt=%5.1fms  staleness=%.0f  "
+        "profit=$%.2f (qos $%.2f + qod $%.2f)\n",
+        ToString(query.type).c_str(), query.items.size(),
+        ToString(query.state).c_str(), ToMillis(query.ResponseTime()),
+        query.staleness, query.profit.Total(), query.profit.qos,
+        query.profit.qod);
+  }
+
+  std::printf("\n=== server metrics ===\n%s",
+              server.metrics().Summary().c_str());
+  std::printf("earned $%.2f of a possible $%.2f (%.0f%%)\n",
+              server.ledger().total_gained(), server.ledger().total_max(),
+              server.ledger().TotalPct() * 100.0);
+  std::printf("final IBM price: %.2f (fresh: %s)\n", db.Item(ibm).value,
+              db.Item(ibm).IsFresh() ? "yes" : "no");
+  return 0;
+}

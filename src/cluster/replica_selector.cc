@@ -1,0 +1,93 @@
+#include "cluster/replica_selector.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace webdb {
+
+std::string ToString(RoutingPolicy policy) {
+  switch (policy) {
+    case RoutingPolicy::kRoundRobin:
+      return "round-robin";
+    case RoutingPolicy::kLeastLoaded:
+      return "least-loaded";
+    case RoutingPolicy::kFreshest:
+      return "freshest";
+    case RoutingPolicy::kQcAware:
+      return "qc-aware";
+  }
+  return "?";
+}
+
+RoutingPolicy RoutingPolicyFromName(const std::string& name) {
+  for (RoutingPolicy policy :
+       {RoutingPolicy::kRoundRobin, RoutingPolicy::kLeastLoaded,
+        RoutingPolicy::kFreshest, RoutingPolicy::kQcAware}) {
+    if (ToString(policy) == name) return policy;
+  }
+  WEBDB_CHECK_MSG(false, "unknown routing policy name");
+  return RoutingPolicy::kRoundRobin;
+}
+
+ReplicaSelector::ReplicaSelector(Options options) : options_(options) {
+  WEBDB_CHECK(options_.typical_query_exec > 0);
+  WEBDB_CHECK(options_.freshness_scale > 0.0);
+}
+
+double ReplicaSelector::ExpectedProfit(const QualityContract& qc,
+                                       SimDuration exec_time,
+                                       const ReplicaState& state) const {
+  const SimDuration predicted_wait =
+      state.queued_queries * options_.typical_query_exec +
+      (state.cpu_busy ? options_.typical_query_exec / 2 : 0);
+  const double expected_qos = qc.QosProfit(predicted_wait + exec_time);
+  // A replica with a deep update backlog is likely to serve stale data:
+  // discount the QoD potential exponentially in the backlog.
+  const double freshness = std::exp(-static_cast<double>(state.queued_updates) /
+                                    options_.freshness_scale);
+  return expected_qos + qc.qod_max() * freshness;
+}
+
+size_t ReplicaSelector::Select(const QualityContract& qc,
+                               SimDuration exec_time,
+                               const std::vector<ReplicaState>& states) {
+  WEBDB_CHECK(!states.empty());
+  switch (options_.policy) {
+    case RoutingPolicy::kRoundRobin: {
+      const size_t pick = next_round_robin_ % states.size();
+      ++next_round_robin_;
+      return pick;
+    }
+    case RoutingPolicy::kLeastLoaded: {
+      size_t best = 0;
+      for (size_t i = 1; i < states.size(); ++i) {
+        if (states[i].queued_queries < states[best].queued_queries) best = i;
+      }
+      return best;
+    }
+    case RoutingPolicy::kFreshest: {
+      size_t best = 0;
+      for (size_t i = 1; i < states.size(); ++i) {
+        if (states[i].queued_updates < states[best].queued_updates) best = i;
+      }
+      return best;
+    }
+    case RoutingPolicy::kQcAware: {
+      size_t best = 0;
+      double best_score = ExpectedProfit(qc, exec_time, states[0]);
+      for (size_t i = 1; i < states.size(); ++i) {
+        const double score = ExpectedProfit(qc, exec_time, states[i]);
+        if (score > best_score) {
+          best = i;
+          best_score = score;
+        }
+      }
+      return best;
+    }
+  }
+  WEBDB_CHECK_MSG(false, "unknown routing policy");
+  return 0;
+}
+
+}  // namespace webdb

@@ -1,0 +1,72 @@
+// Replica selection policies for the replicated web-database — the
+// application of Quality Contracts the paper points to through its citation
+// [17] (replication-aware query processing): given several replicas that
+// each apply the full update stream independently, route each query to the
+// replica expected to earn the most of its contract.
+
+#ifndef WEBDB_CLUSTER_REPLICA_SELECTOR_H_
+#define WEBDB_CLUSTER_REPLICA_SELECTOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "qc/quality_contract.h"
+#include "util/time.h"
+
+namespace webdb {
+
+enum class RoutingPolicy {
+  kRoundRobin,   // ignore state, rotate
+  kLeastLoaded,  // fewest queued queries (classic load balancing)
+  kFreshest,     // smallest update backlog (QoD-only routing)
+  kQcAware,      // maximize the query's expected QC profit (QoS and QoD)
+};
+
+std::string ToString(RoutingPolicy policy);
+
+// Parses "round-robin" | "least-loaded" | "freshest" | "qc-aware"; aborts on
+// unknown names.
+RoutingPolicy RoutingPolicyFromName(const std::string& name);
+
+// Per-replica state snapshot offered to the selector.
+struct ReplicaState {
+  int64_t queued_queries = 0;
+  int64_t queued_updates = 0;
+  bool cpu_busy = false;
+};
+
+class ReplicaSelector {
+ public:
+  struct Options {
+    RoutingPolicy policy = RoutingPolicy::kQcAware;
+    // Assumed per-query CPU demand for the queue-wait estimate.
+    SimDuration typical_query_exec = Millis(7);
+    // Update-backlog scale for the freshness estimate: a replica with
+    // `freshness_scale` queued updates retains ~37% of the QoD potential.
+    double freshness_scale = 32.0;
+  };
+
+  explicit ReplicaSelector(Options options);
+
+  // Picks the replica for a query with contract `qc` and CPU demand
+  // `exec_time`. `states` must be non-empty; ties break toward the lower
+  // index, so routing is deterministic.
+  size_t Select(const QualityContract& qc, SimDuration exec_time,
+                const std::vector<ReplicaState>& states);
+
+  // Expected profit of running the query on a replica in `state` (exposed
+  // for tests and for the cluster's metrics).
+  double ExpectedProfit(const QualityContract& qc, SimDuration exec_time,
+                        const ReplicaState& state) const;
+
+  const Options& options() const { return options_; }
+
+ private:
+  Options options_;
+  size_t next_round_robin_ = 0;
+};
+
+}  // namespace webdb
+
+#endif  // WEBDB_CLUSTER_REPLICA_SELECTOR_H_

@@ -1,0 +1,153 @@
+#include "core/quts_scheduler.h"
+
+#include "core/rho.h"
+#include "util/logging.h"
+
+namespace webdb {
+
+QutsScheduler::QutsScheduler(Options options)
+    : options_(options), rng_(options.seed), rho_(options.initial_rho) {
+  WEBDB_CHECK(options_.atom_time > 0);
+  WEBDB_CHECK(options_.adaptation_period > 0);
+  WEBDB_CHECK(options_.alpha > 0.0 && options_.alpha <= 1.0);
+  WEBDB_CHECK(options_.initial_rho >= 0.0 && options_.initial_rho <= 1.0);
+  if (options_.update_policy == UpdatePolicy::kDemandWeighted) {
+    WEBDB_CHECK(options_.item_weights != nullptr);
+  }
+  if (options_.record_rho_series) rho_series_.emplace_back(0, rho_);
+}
+
+void QutsScheduler::MaybeAdapt(SimTime now) {
+  if (options_.freeze_rho) {
+    // No adaptation; just keep the window anchor moving so the math stays
+    // bounded on long runs.
+    if (now >= window_start_ + options_.adaptation_period) {
+      window_start_ +=
+          ((now - window_start_) / options_.adaptation_period) *
+          options_.adaptation_period;
+      window_qos_max_ = 0.0;
+      window_qod_max_ = 0.0;
+    }
+    return;
+  }
+  while (now >= window_start_ + options_.adaptation_period) {
+    // Eq. 5: ρ_new from the QCs submitted during the window that just
+    // closed. A window with no QoD demand pushes toward ρ = 1; a window
+    // with no submissions at all leaves ρ untouched (nothing to learn).
+    if (window_qod_max_ > 0.0) {
+      const double rho_new = OptimalRho(window_qos_max_, window_qod_max_);
+      rho_ = SmoothRho(rho_, rho_new, options_.alpha);  // Eq. 6
+    } else if (window_qos_max_ > 0.0) {
+      rho_ = SmoothRho(rho_, 1.0, options_.alpha);
+    }
+    window_qos_max_ = 0.0;
+    window_qod_max_ = 0.0;
+    window_start_ += options_.adaptation_period;
+    if (options_.record_rho_series) {
+      rho_series_.emplace_back(window_start_, rho_);
+    }
+  }
+}
+
+void QutsScheduler::Redraw(SimTime now) {
+  if (options_.slicing == QutsSlicing::kRandom) {
+    const double xi = rng_.NextDouble();
+    side_ = xi < rho_ ? TxnKind::kQuery : TxnKind::kUpdate;
+  } else {
+    slice_credit_ += rho_;
+    if (slice_credit_ >= 1.0) {
+      slice_credit_ -= 1.0;
+      side_ = TxnKind::kQuery;
+    } else {
+      side_ = TxnKind::kUpdate;
+    }
+  }
+  // If the picked queue is empty the state changes immediately (Table 2:
+  // "or the current running queue is empty"): fall over to the other side.
+  if (QueueFor(side_).Empty() && !QueueFor(side_ == TxnKind::kQuery
+                                               ? TxnKind::kUpdate
+                                               : TxnKind::kQuery)
+                                      .Empty()) {
+    side_ = side_ == TxnKind::kQuery ? TxnKind::kUpdate : TxnKind::kQuery;
+  }
+  atom_expiry_ = now + options_.atom_time;
+}
+
+void QutsScheduler::EnsureSide(SimTime now) {
+  MaybeAdapt(now);
+  if (now >= atom_expiry_) Redraw(now);
+}
+
+TxnQueue& QutsScheduler::QueueFor(TxnKind side) {
+  return side == TxnKind::kQuery ? queries_ : updates_;
+}
+
+const TxnQueue& QutsScheduler::QueueFor(TxnKind side) const {
+  return side == TxnKind::kQuery ? queries_ : updates_;
+}
+
+void QutsScheduler::OnQueryArrival(Query* query, SimTime now) {
+  MaybeAdapt(now);
+  window_qos_max_ += query->qc.qos_max();
+  window_qod_max_ += query->qc.qod_max();
+  queries_.Push(query, QueryPriority(*query, options_.query_policy));
+}
+
+void QutsScheduler::OnUpdateArrival(Update* update, SimTime now) {
+  MaybeAdapt(now);
+  updates_.Push(update, UpdatePriority(*update, options_.update_policy,
+                                       options_.item_weights));
+}
+
+void QutsScheduler::Requeue(Transaction* txn, SimTime now) {
+  MaybeAdapt(now);
+  if (txn->kind == TxnKind::kQuery) {
+    auto* query = static_cast<Query*>(txn);
+    queries_.Push(query, QueryPriority(*query, options_.query_policy));
+  } else {
+    auto* update = static_cast<Update*>(txn);
+    updates_.Push(update, UpdatePriority(*update, options_.update_policy,
+                                         options_.item_weights));
+  }
+}
+
+Transaction* QutsScheduler::PopNext(SimTime now) {
+  EnsureSide(now);
+  Transaction* txn = QueueFor(side_).Pop();
+  if (txn != nullptr) return txn;
+  // The picked queue is empty: immediate state change to the other side.
+  const TxnKind other =
+      side_ == TxnKind::kQuery ? TxnKind::kUpdate : TxnKind::kQuery;
+  txn = QueueFor(other).Pop();
+  if (txn != nullptr) {
+    side_ = other;
+    atom_expiry_ = now + options_.atom_time;
+  }
+  return txn;
+}
+
+bool QutsScheduler::ShouldPreempt(const Transaction& running, SimTime now) {
+  // Mid-atom the queue priority is fixed: no preemption before the atom
+  // expires (that bound on switching frequency is the whole point of τ).
+  MaybeAdapt(now);
+  if (now < atom_expiry_) return false;
+  Redraw(now);
+  return side_ != running.kind && !QueueFor(side_).Empty();
+}
+
+SimTime QutsScheduler::NextDecisionTime(SimTime now) {
+  // A wake-up is only useful if some transaction is waiting to take over at
+  // the atom boundary.
+  if (!HasWork()) return kSimTimeMax;
+  return atom_expiry_ > now ? atom_expiry_ : now;
+}
+
+bool QutsScheduler::HasWork() const {
+  return !queries_.Empty() || !updates_.Empty();
+}
+
+void QutsScheduler::RemoveQueued(Transaction* txn, SimTime) {
+  QueueFor(txn->kind).Remove(txn);
+}
+
+}  // namespace webdb

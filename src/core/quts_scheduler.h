@@ -1,0 +1,120 @@
+// QUTS — Query-Update Time-Sharing, the paper's two-level scheduler
+// (Section 4, pseudo-code in Table 2).
+//
+// High level: the query CPU share ρ is re-derived every adaptation period ω
+// from the QCs submitted during the previous period (Eq. 5) and smoothed
+// with aging factor α (Eq. 6). Time is sliced into atoms of length τ; at
+// each atom boundary (or whenever the picked queue empties) the query queue
+// is chosen with probability ρ, the update queue otherwise.
+//
+// Low level: each queue orders its transactions independently — VRD for
+// queries and FIFO for updates by default, any policy from
+// sched/query_policy.h / sched/update_policy.h otherwise.
+//
+// Adaptation is processed lazily: every entry point first folds in the
+// adaptation-period boundaries that elapsed since the last call, so the
+// scheduler needs no direct handle on the simulator; the server wakes it at
+// atom boundaries via NextDecisionTime().
+
+#ifndef WEBDB_CORE_QUTS_SCHEDULER_H_
+#define WEBDB_CORE_QUTS_SCHEDULER_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sched/query_policy.h"
+#include "sched/scheduler.h"
+#include "sched/txn_queue.h"
+#include "sched/update_policy.h"
+#include "util/rng.h"
+#include "util/time.h"
+
+namespace webdb {
+
+// How the side of each atom is chosen from ρ.
+enum class QutsSlicing {
+  kRandom,         // Table 2: ξ ~ U[0,1), query side iff ξ < ρ (paper)
+  kDeterministic,  // error-accumulator (Bresenham) slicing: same long-run
+                   // share, no variance — an ablation of the paper's
+                   // randomized choice
+};
+
+class QutsScheduler final : public Scheduler {
+ public:
+  struct Options {
+    SimDuration atom_time = Millis(10);         // τ (paper default)
+    SimDuration adaptation_period = Millis(1000);  // ω (paper default)
+    double alpha = 0.2;     // aging factor (paper: "a small value")
+    double initial_rho = 0.75;
+    QutsSlicing slicing = QutsSlicing::kRandom;
+    // When true, ρ stays at initial_rho forever (Eq. 5-6 adaptation off).
+    // Used to validate the Eq. 3 profit model: sweep a forced ρ and compare
+    // the measured profit curve against QOSmax·ρ + QODmax·ρ(1-ρ).
+    bool freeze_rho = false;
+    QueryPolicy query_policy = QueryPolicy::kVrd;
+    UpdatePolicy update_policy = UpdatePolicy::kFifo;
+    const std::vector<double>* item_weights = nullptr;
+    uint64_t seed = 42;     // for the ξ draws
+    // Record (time, ρ) at every adaptation (Figure 9d). Cheap; on by
+    // default.
+    bool record_rho_series = true;
+  };
+
+  explicit QutsScheduler(Options options);
+
+  std::string Name() const override { return "QUTS"; }
+
+  void OnQueryArrival(Query* query, SimTime now) override;
+  void OnUpdateArrival(Update* update, SimTime now) override;
+  void Requeue(Transaction* txn, SimTime now) override;
+  Transaction* PopNext(SimTime now) override;
+  bool ShouldPreempt(const Transaction& running, SimTime now) override;
+  SimTime NextDecisionTime(SimTime now) override;
+  bool HasWork() const override;
+  int64_t NumQueuedQueries() const override {
+    return static_cast<int64_t>(queries_.Size());
+  }
+  int64_t NumQueuedUpdates() const override {
+    return static_cast<int64_t>(updates_.Size());
+  }
+  void RemoveQueued(Transaction* txn, SimTime now) override;
+
+  double rho() const { return rho_; }
+  TxnKind current_side() const { return side_; }
+  const std::vector<std::pair<SimTime, double>>& rho_series() const {
+    return rho_series_;
+  }
+  const Options& options() const { return options_; }
+
+ private:
+  // Folds in every adaptation boundary elapsed up to `now` (Eq. 5-6).
+  void MaybeAdapt(SimTime now);
+  // Redraws the side if the current atom expired.
+  void EnsureSide(SimTime now);
+  // Unconditional redraw at `now`; starts a fresh atom.
+  void Redraw(SimTime now);
+  TxnQueue& QueueFor(TxnKind side);
+  const TxnQueue& QueueFor(TxnKind side) const;
+
+  Options options_;
+  Rng rng_;
+
+  // High-level state.
+  double rho_;
+  double slice_credit_ = 0.0;  // deterministic slicing accumulator
+  TxnKind side_ = TxnKind::kQuery;
+  SimTime atom_expiry_ = 0;  // <= now means "no atom in progress"
+  SimTime window_start_ = 0;
+  double window_qos_max_ = 0.0;
+  double window_qod_max_ = 0.0;
+  std::vector<std::pair<SimTime, double>> rho_series_;
+
+  // Low-level queues.
+  TxnQueue queries_;
+  TxnQueue updates_;
+};
+
+}  // namespace webdb
+
+#endif  // WEBDB_CORE_QUTS_SCHEDULER_H_

@@ -1,0 +1,28 @@
+#include "core/rho.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace webdb {
+
+double ModeledTotalProfit(double qos_max, double qod_max, double rho) {
+  WEBDB_CHECK(qos_max >= 0.0 && qod_max >= 0.0);
+  WEBDB_CHECK(rho >= 0.0 && rho <= 1.0);
+  return qos_max * rho + qod_max * rho * (1.0 - rho);
+}
+
+double OptimalRho(double qos_max, double qod_max) {
+  WEBDB_CHECK(qos_max >= 0.0);
+  WEBDB_CHECK(qod_max > 0.0);
+  return std::min(qos_max / (2.0 * qod_max) + 0.5, 1.0);
+}
+
+double SmoothRho(double prev_rho, double new_rho, double alpha) {
+  WEBDB_CHECK(alpha > 0.0 && alpha <= 1.0);
+  WEBDB_CHECK(prev_rho >= 0.0 && prev_rho <= 1.0);
+  WEBDB_CHECK(new_rho >= 0.0 && new_rho <= 1.0);
+  return (1.0 - alpha) * prev_rho + alpha * new_rho;
+}
+
+}  // namespace webdb

@@ -1,0 +1,30 @@
+// The CPU-allocation model of QUTS (Section 4.1 of the paper).
+//
+// With query CPU share ρ, the paper models the total profit as
+//   Q(ρ) ≈ QOSmax·ρ + QODmax·ρ·(1-ρ)                      (Eq. 3)
+// whose maximizer under 0 ≤ ρ ≤ 1 is
+//   ρ* = min(QOSmax / (2·QODmax) + 0.5, 1)                 (Eq. 4)
+// smoothed across adaptation periods with an aging factor α:
+//   ρ_k = (1-α)·ρ_{k-1} + α·ρ_new                          (Eq. 6)
+//
+// These are pure functions so the math is unit-testable in isolation.
+
+#ifndef WEBDB_CORE_RHO_H_
+#define WEBDB_CORE_RHO_H_
+
+namespace webdb {
+
+// Eq. 3: modeled total profit for a given allocation. Requires 0 <= rho <= 1
+// and non-negative maxima.
+double ModeledTotalProfit(double qos_max, double qod_max, double rho);
+
+// Eq. 4: profit-maximizing query CPU share. Requires non-negative maxima
+// with qod_max > 0; note the result always lies in [0.5, 1].
+double OptimalRho(double qos_max, double qod_max);
+
+// Eq. 6: exponential aging. Requires 0 < alpha <= 1 and inputs in [0, 1].
+double SmoothRho(double prev_rho, double new_rho, double alpha);
+
+}  // namespace webdb
+
+#endif  // WEBDB_CORE_RHO_H_

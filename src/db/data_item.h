@@ -1,0 +1,52 @@
+// A single hash-accessed data item of the main-memory database.
+//
+// Each item tracks, besides its current value, enough bookkeeping to compute
+// the three staleness metrics of Section 2.1 of the paper:
+//   #uu  — number of unapplied updates (arrival sequence minus applied
+//          sequence),
+//   td   — time differential since the oldest unapplied update arrived,
+//   vd   — value distance between current and most up-to-date value.
+
+#ifndef WEBDB_DB_DATA_ITEM_H_
+#define WEBDB_DB_DATA_ITEM_H_
+
+#include <cstdint>
+
+#include "util/time.h"
+
+namespace webdb {
+
+// Dense item identifier (index into the database's item table).
+using ItemId = int32_t;
+
+constexpr ItemId kInvalidItem = -1;
+
+struct DataItem {
+  // Current committed value.
+  double value = 0.0;
+
+  // Monotonic per-item count of update arrivals.
+  uint64_t arrival_seq = 0;
+  // `arrival_seq` captured by the most recently applied update at its own
+  // arrival. arrival_seq - applied_seq == number of unapplied updates.
+  uint64_t applied_seq = 0;
+
+  // Arrival time of the oldest update not yet reflected in `value`; only
+  // meaningful when arrival_seq > applied_seq.
+  SimTime oldest_unapplied_arrival = 0;
+
+  // Most recently arrived (not necessarily applied) value, for the value
+  // distance metric.
+  double newest_value = 0.0;
+
+  // Lifetime counters (exposed through Database statistics).
+  uint64_t applied_count = 0;
+  uint64_t invalidated_count = 0;
+
+  uint64_t UnappliedCount() const { return arrival_seq - applied_seq; }
+  bool IsFresh() const { return arrival_seq == applied_seq; }
+};
+
+}  // namespace webdb
+
+#endif  // WEBDB_DB_DATA_ITEM_H_

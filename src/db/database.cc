@@ -1,0 +1,87 @@
+#include "db/database.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace webdb {
+
+Database::Database(int32_t num_items) {
+  WEBDB_CHECK(num_items > 0);
+  items_.resize(static_cast<size_t>(num_items));
+}
+
+const DataItem& Database::Item(ItemId id) const {
+  WEBDB_CHECK(id >= 0 && id < NumItems());
+  return items_[static_cast<size_t>(id)];
+}
+
+DataItem& Database::MutableItem(ItemId id) {
+  WEBDB_CHECK(id >= 0 && id < NumItems());
+  return items_[static_cast<size_t>(id)];
+}
+
+uint64_t Database::RecordUpdateArrival(ItemId id, double value, SimTime now) {
+  DataItem& item = MutableItem(id);
+  if (item.IsFresh()) item.oldest_unapplied_arrival = now;
+  ++item.arrival_seq;
+  item.newest_value = value;
+  ++total_arrivals_;
+  return item.arrival_seq;
+}
+
+void Database::ApplyUpdate(ItemId id, uint64_t arrival_seq, double value,
+                           SimTime now) {
+  DataItem& item = MutableItem(id);
+  WEBDB_CHECK_MSG(arrival_seq <= item.arrival_seq,
+                  "applying an update the item never saw arrive");
+  WEBDB_CHECK_MSG(arrival_seq > item.applied_seq,
+                  "applying an update older than the committed one");
+  item.value = value;
+  item.applied_seq = arrival_seq;
+  ++item.applied_count;
+  ++total_applied_;
+  // If arrivals newer than this update exist, the oldest unapplied one is the
+  // one right after `arrival_seq`; we do not track individual arrival times,
+  // so approximate with `now` (the newer arrival is by definition no older
+  // than the one just applied, and the register holds only the newest).
+  item.oldest_unapplied_arrival = item.IsFresh() ? 0 : now;
+}
+
+void Database::RecordInvalidation(ItemId id) {
+  DataItem& item = MutableItem(id);
+  ++item.invalidated_count;
+  ++total_invalidated_;
+}
+
+uint64_t Database::UnappliedCount(ItemId id) const {
+  return Item(id).UnappliedCount();
+}
+
+SimDuration Database::TimeDifferential(ItemId id, SimTime now) const {
+  const DataItem& item = Item(id);
+  if (item.IsFresh()) return 0;
+  return now - item.oldest_unapplied_arrival;
+}
+
+double Database::ValueDistance(ItemId id) const {
+  const DataItem& item = Item(id);
+  if (item.IsFresh()) return 0.0;
+  return std::fabs(item.newest_value - item.value);
+}
+
+int64_t Database::StaleItemCount() const {
+  int64_t n = 0;
+  for (const auto& item : items_) {
+    if (!item.IsFresh()) ++n;
+  }
+  return n;
+}
+
+uint64_t Database::TotalUnapplied() const {
+  uint64_t n = 0;
+  for (const auto& item : items_) n += item.UnappliedCount();
+  return n;
+}
+
+}  // namespace webdb

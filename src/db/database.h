@@ -1,0 +1,70 @@
+// Main-memory database of independently refreshed data items.
+//
+// The database models the information-portal replica of Section 2 of the
+// paper: external sources own the master copies; this replica only ever
+// needs the most recent value per item. Access is by dense ItemId; the
+// string-keyed view (stock tickers) lives in SymbolTable.
+
+#ifndef WEBDB_DB_DATABASE_H_
+#define WEBDB_DB_DATABASE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "db/data_item.h"
+#include "util/time.h"
+
+namespace webdb {
+
+class Database {
+ public:
+  // Creates `num_items` items, all fresh with value 0.
+  explicit Database(int32_t num_items);
+
+  int32_t NumItems() const { return static_cast<int32_t>(items_.size()); }
+
+  const DataItem& Item(ItemId id) const;
+
+  // Records the arrival of an update carrying `value`. Returns the item's new
+  // arrival sequence number, which the update transaction must remember and
+  // present to ApplyUpdate on commit.
+  uint64_t RecordUpdateArrival(ItemId id, double value, SimTime now);
+
+  // Commits an update: installs `value` and marks every update that arrived
+  // up to and including `arrival_seq` as reflected. Newer arrivals (if any)
+  // remain unapplied. `arrival_seq` must not exceed the item's arrival_seq
+  // and must be newer than the currently applied one.
+  void ApplyUpdate(ItemId id, uint64_t arrival_seq, double value, SimTime now);
+
+  // Records an update that was invalidated/dropped without being applied
+  // (bookkeeping only; freshness math is driven by the sequences above).
+  void RecordInvalidation(ItemId id);
+
+  // --- staleness primitives (per item) -----------------------------------
+  uint64_t UnappliedCount(ItemId id) const;
+  // Time since the oldest unapplied update arrived; 0 when fresh.
+  SimDuration TimeDifferential(ItemId id, SimTime now) const;
+  // |current value - most recently arrived value|; 0 when fresh.
+  double ValueDistance(ItemId id) const;
+
+  // --- aggregate statistics -----------------------------------------------
+  uint64_t TotalArrivals() const { return total_arrivals_; }
+  uint64_t TotalApplied() const { return total_applied_; }
+  uint64_t TotalInvalidated() const { return total_invalidated_; }
+  // Number of items with at least one unapplied update.
+  int64_t StaleItemCount() const;
+  // Sum of unapplied counts over all items.
+  uint64_t TotalUnapplied() const;
+
+ private:
+  DataItem& MutableItem(ItemId id);
+
+  std::vector<DataItem> items_;
+  uint64_t total_arrivals_ = 0;
+  uint64_t total_applied_ = 0;
+  uint64_t total_invalidated_ = 0;
+};
+
+}  // namespace webdb
+
+#endif  // WEBDB_DB_DATABASE_H_

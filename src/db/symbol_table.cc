@@ -1,0 +1,41 @@
+#include "db/symbol_table.h"
+
+#include "util/logging.h"
+
+namespace webdb {
+
+ItemId SymbolTable::Intern(const std::string& symbol) {
+  auto it = ids_.find(symbol);
+  if (it != ids_.end()) return it->second;
+  const ItemId id = static_cast<ItemId>(symbols_.size());
+  symbols_.push_back(symbol);
+  ids_.emplace(symbol, id);
+  return id;
+}
+
+ItemId SymbolTable::Lookup(const std::string& symbol) const {
+  auto it = ids_.find(symbol);
+  return it == ids_.end() ? kInvalidItem : it->second;
+}
+
+const std::string& SymbolTable::Symbol(ItemId id) const {
+  WEBDB_CHECK(id >= 0 && id < Size());
+  return symbols_[static_cast<size_t>(id)];
+}
+
+SymbolTable SymbolTable::Synthetic(int32_t n) {
+  WEBDB_CHECK(n >= 0);
+  SymbolTable table;
+  for (int32_t i = 0; i < n; ++i) {
+    std::string sym;
+    int32_t v = i;
+    do {
+      sym.insert(sym.begin(), static_cast<char>('A' + v % 26));
+      v = v / 26 - 1;
+    } while (v >= 0);
+    table.Intern(sym);
+  }
+  return table;
+}
+
+}  // namespace webdb

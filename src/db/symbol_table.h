@@ -1,0 +1,42 @@
+// Bidirectional mapping between stock ticker symbols and dense item ids,
+// modelling the hash-based access path the paper assumes ("data items are
+// hash-based accessed", indexed by stock ticker symbol).
+
+#ifndef WEBDB_DB_SYMBOL_TABLE_H_
+#define WEBDB_DB_SYMBOL_TABLE_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "db/data_item.h"
+
+namespace webdb {
+
+class SymbolTable {
+ public:
+  SymbolTable() = default;
+
+  // Interns `symbol`, returning its id (existing or newly assigned).
+  ItemId Intern(const std::string& symbol);
+
+  // Returns the id of `symbol`, or kInvalidItem if unknown.
+  ItemId Lookup(const std::string& symbol) const;
+
+  // Returns the symbol for `id`. Requires a valid id.
+  const std::string& Symbol(ItemId id) const;
+
+  int32_t Size() const { return static_cast<int32_t>(symbols_.size()); }
+
+  // Generates `n` distinct synthetic ticker symbols (base-26 letters, "A",
+  // "B", ..., "AA", ...) and interns them in order, so ids are 0..n-1.
+  static SymbolTable Synthetic(int32_t n);
+
+ private:
+  std::unordered_map<std::string, ItemId> ids_;
+  std::vector<std::string> symbols_;
+};
+
+}  // namespace webdb
+
+#endif  // WEBDB_DB_SYMBOL_TABLE_H_

@@ -1,0 +1,29 @@
+#include "db/update_register.h"
+
+#include "util/logging.h"
+
+namespace webdb {
+
+uint64_t UpdateRegister::Register(ItemId item, uint64_t txn_id) {
+  WEBDB_CHECK(txn_id != 0);
+  auto [it, inserted] = pending_.try_emplace(item, txn_id);
+  if (inserted) return 0;
+  const uint64_t invalidated = it->second;
+  it->second = txn_id;
+  ++total_invalidated_;
+  return invalidated;
+}
+
+bool UpdateRegister::Remove(ItemId item, uint64_t txn_id) {
+  auto it = pending_.find(item);
+  if (it == pending_.end() || it->second != txn_id) return false;
+  pending_.erase(it);
+  return true;
+}
+
+uint64_t UpdateRegister::PendingFor(ItemId item) const {
+  auto it = pending_.find(item);
+  return it == pending_.end() ? 0 : it->second;
+}
+
+}  // namespace webdb

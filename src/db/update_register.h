@@ -1,0 +1,46 @@
+// Update register table (Section 2.1 of the paper).
+//
+// One pending-update slot per data item: the arrival of a new update
+// automatically invalidates any pending update on the same item, which is
+// simply dropped from the system. Entries are keyed by item id and hold the
+// transaction id of the pending (newest, not yet executing/committed) update.
+
+#ifndef WEBDB_DB_UPDATE_REGISTER_H_
+#define WEBDB_DB_UPDATE_REGISTER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+
+#include "db/data_item.h"
+
+namespace webdb {
+
+class UpdateRegister {
+ public:
+  UpdateRegister() = default;
+
+  // Registers `txn_id` as the pending update for `item`. Returns the
+  // transaction id of the previously pending update that this arrival
+  // invalidates, or 0 if there was none.
+  uint64_t Register(ItemId item, uint64_t txn_id);
+
+  // Removes the pending entry for `item` if it is `txn_id` (called when the
+  // update is dispatched to the CPU). Returns false when `txn_id` is not the
+  // registered pending update (it was superseded in the meantime).
+  bool Remove(ItemId item, uint64_t txn_id);
+
+  // Transaction id pending for `item`, or 0 if none.
+  uint64_t PendingFor(ItemId item) const;
+
+  size_t Size() const { return pending_.size(); }
+  uint64_t TotalInvalidated() const { return total_invalidated_; }
+
+ private:
+  std::unordered_map<ItemId, uint64_t> pending_;
+  uint64_t total_invalidated_ = 0;
+};
+
+}  // namespace webdb
+
+#endif  // WEBDB_DB_UPDATE_REGISTER_H_

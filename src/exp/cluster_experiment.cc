@@ -1,0 +1,107 @@
+#include "exp/cluster_experiment.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace webdb {
+
+namespace {
+
+// Chained-event pump, the cluster-side analogue of TraceFeeder.
+class ClusterFeeder {
+ public:
+  ClusterFeeder(WebDatabaseCluster* cluster, const Trace* trace,
+                const QcProfile& profile, uint64_t qc_seed)
+      : cluster_(cluster),
+        trace_(trace),
+        rng_(qc_seed),
+        generator_(profile) {}
+
+  void Start() {
+    const SimTime first = NextArrival();
+    if (first == kSimTimeMax) return;
+    cluster_->sim().ScheduleAt(first, [this] { Pump(); });
+  }
+
+ private:
+  SimTime NextArrival() const {
+    SimTime t = kSimTimeMax;
+    if (next_query_ < trace_->queries.size()) {
+      t = std::min(t, trace_->queries[next_query_].arrival);
+    }
+    if (next_update_ < trace_->updates.size()) {
+      t = std::min(t, trace_->updates[next_update_].arrival);
+    }
+    return t;
+  }
+
+  void Pump() {
+    const SimTime now = cluster_->sim().Now();
+    while (next_update_ < trace_->updates.size() &&
+           trace_->updates[next_update_].arrival <= now) {
+      const UpdateRecord& u = trace_->updates[next_update_++];
+      cluster_->SubmitUpdate(u.item, u.value, u.exec_time);
+    }
+    while (next_query_ < trace_->queries.size() &&
+           trace_->queries[next_query_].arrival <= now) {
+      const QueryRecord& q = trace_->queries[next_query_++];
+      cluster_->SubmitQuery(q.type, q.items, generator_.Next(rng_),
+                            q.exec_time);
+    }
+    const SimTime next = NextArrival();
+    if (next != kSimTimeMax) {
+      cluster_->sim().ScheduleAt(next, [this] { Pump(); });
+    }
+  }
+
+  WebDatabaseCluster* cluster_;
+  const Trace* trace_;
+  Rng rng_;
+  QcGenerator generator_;
+  size_t next_query_ = 0;
+  size_t next_update_ = 0;
+};
+
+}  // namespace
+
+ClusterExperimentResult RunClusterExperiment(
+    const Trace& trace, const WebDatabaseCluster::SchedulerFactory& factory,
+    const ClusterConfig& config, const QcProfile& profile,
+    uint64_t qc_seed) {
+  trace.CheckValid();
+  WebDatabaseCluster cluster(trace.num_items, factory, config);
+  ClusterFeeder feeder(&cluster, &trace, profile, qc_seed);
+  feeder.Start();
+  cluster.Run();
+  WEBDB_CHECK(cluster.IsQuiescent());
+
+  ClusterExperimentResult result;
+  result.routing = ToString(config.routing.policy);
+  result.num_replicas = config.num_replicas;
+  result.total_pct = cluster.TotalPct();
+  result.gained = cluster.TotalGained();
+  result.max = cluster.TotalMax();
+  result.queries_committed = cluster.TotalQueriesCommitted();
+  result.updates_applied = cluster.TotalUpdatesApplied();
+  // Committed-count-weighted means across replicas, via the per-replica
+  // sums.
+  double response_sum = 0.0, staleness_sum = 0.0;
+  int64_t committed = 0;
+  for (size_t i = 0; i < cluster.NumReplicas(); ++i) {
+    result.routed.push_back(cluster.RoutedCount(i));
+    const ServerMetrics& metrics = cluster.replica(i).metrics();
+    response_sum += metrics.response_time_ms.sum();
+    staleness_sum += metrics.staleness.sum();
+    committed += metrics.queries_committed;
+  }
+  if (committed > 0) {
+    result.avg_response_ms = response_sum / static_cast<double>(committed);
+    result.avg_staleness = staleness_sum / static_cast<double>(committed);
+  }
+  return result;
+}
+
+}  // namespace webdb

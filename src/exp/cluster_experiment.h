@@ -1,0 +1,42 @@
+// Experiment runner for the replicated-cluster extension: feeds a trace
+// through a WebDatabaseCluster (queries routed by the configured policy,
+// updates fanned out to every replica) and aggregates the outcome.
+
+#ifndef WEBDB_EXP_CLUSTER_EXPERIMENT_H_
+#define WEBDB_EXP_CLUSTER_EXPERIMENT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cluster/web_database_cluster.h"
+#include "qc/qc_generator.h"
+#include "trace/trace.h"
+
+namespace webdb {
+
+struct ClusterExperimentResult {
+  std::string routing;
+  int num_replicas = 0;
+  double total_pct = 0.0;
+  double gained = 0.0;
+  double max = 0.0;
+  int64_t queries_committed = 0;
+  int64_t updates_applied = 0;
+  // Queries routed to each replica.
+  std::vector<int64_t> routed;
+  // Mean response time over all replicas' committed queries (ms).
+  double avg_response_ms = 0.0;
+  double avg_staleness = 0.0;
+};
+
+// Runs `trace` through a cluster built from `factory`. Queries draw their
+// contracts from `profile` with `qc_seed`.
+ClusterExperimentResult RunClusterExperiment(
+    const Trace& trace, const WebDatabaseCluster::SchedulerFactory& factory,
+    const ClusterConfig& config, const QcProfile& profile,
+    uint64_t qc_seed = 7);
+
+}  // namespace webdb
+
+#endif  // WEBDB_EXP_CLUSTER_EXPERIMENT_H_

@@ -1,0 +1,96 @@
+#include "exp/experiment.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "core/quts_scheduler.h"
+#include "db/database.h"
+#include "exp/trace_feeder.h"
+#include "qc/profit_ledger.h"
+#include "server/web_database_server.h"
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace webdb {
+
+namespace {
+
+std::vector<double> BucketSums(const TimeSeries& series) {
+  std::vector<double> out(series.NumBuckets());
+  for (size_t i = 0; i < out.size(); ++i) out[i] = series.BucketSum(i);
+  return out;
+}
+
+}  // namespace
+
+ExperimentResult RunExperiment(const Trace& trace, Scheduler* scheduler,
+                               const ExperimentOptions& options) {
+  WEBDB_CHECK(scheduler != nullptr);
+  WEBDB_CHECK(options.zero_contracts || options.schedule != nullptr ||
+              options.profile.has_value());
+  trace.CheckValid();
+
+  Database db(trace.num_items);
+  WebDatabaseServer server(&db, scheduler, options.server);
+
+  Rng qc_rng(options.qc_seed);
+  std::optional<QcGenerator> generator;
+  if (options.profile.has_value()) generator.emplace(*options.profile);
+
+  TraceFeeder feeder(&server, &trace,
+                     [&](const QueryRecord& record) -> QualityContract {
+                       if (options.zero_contracts) return QualityContract();
+                       if (options.schedule != nullptr) {
+                         return options.schedule->Next(record.arrival, qc_rng);
+                       }
+                       return generator->Next(qc_rng);
+                     });
+  feeder.Start();
+  server.Run();
+  WEBDB_CHECK(feeder.Done());
+
+  ExperimentResult result;
+  result.scheduler = scheduler->Name();
+
+  const ProfitLedger& ledger = server.ledger();
+  result.qos_pct = ledger.QosPct();
+  result.qod_pct = ledger.QodPct();
+  result.total_pct = ledger.TotalPct();
+  result.qos_max_pct = ledger.QosMaxPct();
+  result.qod_max_pct = ledger.QodMaxPct();
+  result.qos_gained = ledger.qos_gained();
+  result.qod_gained = ledger.qod_gained();
+  result.qos_max = ledger.qos_max();
+  result.qod_max = ledger.qod_max();
+
+  const ServerMetrics& metrics = server.metrics();
+  result.avg_response_ms = metrics.response_time_ms.mean();
+  result.avg_staleness = metrics.staleness.mean();
+  result.cpu_utilization = server.CpuUtilization();
+  result.queries_committed = metrics.queries_committed;
+  result.queries_dropped = metrics.queries_dropped;
+  result.queries_expired = metrics.queries_expired;
+  result.query_restarts = metrics.query_restarts;
+  result.updates_applied = metrics.updates_applied;
+  result.updates_invalidated = metrics.updates_invalidated;
+  result.update_restarts = metrics.update_restarts;
+  result.preemptions = metrics.preemptions;
+  for (const ServerMetrics::QueueSample& sample : metrics.queue_samples) {
+    result.peak_queued_queries =
+        std::max(result.peak_queued_queries, sample.queries);
+    result.peak_queued_updates =
+        std::max(result.peak_queued_updates, sample.updates);
+  }
+
+  result.qos_gained_per_s = BucketSums(ledger.qos_gained_series());
+  result.qod_gained_per_s = BucketSums(ledger.qod_gained_series());
+  result.qos_max_per_s = BucketSums(ledger.qos_max_series());
+  result.qod_max_per_s = BucketSums(ledger.qod_max_series());
+
+  if (auto* quts = dynamic_cast<QutsScheduler*>(scheduler)) {
+    result.rho_series = quts->rho_series();
+  }
+  return result;
+}
+
+}  // namespace webdb

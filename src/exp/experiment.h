@@ -1,0 +1,84 @@
+// One-shot experiment runner: (trace, scheduler, QC assignment, server
+// config) -> metrics, profit percentages and time series. Every figure
+// bench is a thin loop over RunExperiment.
+
+#ifndef WEBDB_EXP_EXPERIMENT_H_
+#define WEBDB_EXP_EXPERIMENT_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "qc/qc_generator.h"
+#include "sched/scheduler.h"
+#include "server/server_config.h"
+#include "trace/trace.h"
+
+namespace webdb {
+
+struct ExperimentOptions {
+  ServerConfig server;
+  uint64_t qc_seed = 7;
+
+  // Exactly one QC source applies, in this precedence order:
+  //  1. zero_contracts — Figure 1 mode: naive policies, no QCs, lifetime
+  //     drops disabled by the caller via server.lifetime_factor = 0.
+  //  2. schedule       — time-varying profiles (Figure 9). Not owned.
+  //  3. profile        — a fixed QcProfile (Figures 6-8).
+  bool zero_contracts = false;
+  const TimeVaryingQcGenerator* schedule = nullptr;
+  std::optional<QcProfile> profile;
+};
+
+struct ExperimentResult {
+  std::string scheduler;
+
+  // Profit accounting (fractions of the submitted maximum).
+  double qos_pct = 0.0;
+  double qod_pct = 0.0;
+  double total_pct = 0.0;
+  double qos_max_pct = 0.0;
+  double qod_max_pct = 0.0;
+  double qos_gained = 0.0;
+  double qod_gained = 0.0;
+  double qos_max = 0.0;
+  double qod_max = 0.0;
+
+  // Classic metrics.
+  double avg_response_ms = 0.0;
+  double avg_staleness = 0.0;
+  double cpu_utilization = 0.0;
+
+  // Lifecycle counters.
+  int64_t queries_committed = 0;
+  int64_t queries_dropped = 0;
+  int64_t queries_expired = 0;
+  int64_t query_restarts = 0;
+  int64_t updates_applied = 0;
+  int64_t updates_invalidated = 0;
+  int64_t update_restarts = 0;
+  int64_t preemptions = 0;
+  // Peak sampled queue depths (0 unless queue_sample_period was set).
+  int64_t peak_queued_queries = 0;
+  int64_t peak_queued_updates = 0;
+
+  // Per-second profit series (bucket sums), for Figure 9a-c.
+  std::vector<double> qos_gained_per_s;
+  std::vector<double> qod_gained_per_s;
+  std::vector<double> qos_max_per_s;
+  std::vector<double> qod_max_per_s;
+  // (time, ρ) per adaptation period — only populated when the scheduler is
+  // QUTS (Figure 9d).
+  std::vector<std::pair<SimTime, double>> rho_series;
+};
+
+// Runs `trace` through `scheduler` (not owned; used for a single run — make
+// a fresh one per experiment). The simulation runs until it fully drains.
+ExperimentResult RunExperiment(const Trace& trace, Scheduler* scheduler,
+                               const ExperimentOptions& options);
+
+}  // namespace webdb
+
+#endif  // WEBDB_EXP_EXPERIMENT_H_

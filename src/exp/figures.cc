@@ -1,0 +1,426 @@
+#include "exp/figures.h"
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/rho.h"
+#include "sched/admission.h"
+
+#include "util/logging.h"
+#include "util/stats.h"
+
+namespace webdb {
+
+namespace {
+
+// Default server configuration for QC experiments (paper setup). The small
+// dispatch overhead is what makes sub-millisecond atom times pay a real
+// switching price (Figure 10b).
+ServerConfig QcServerConfig() {
+  ServerConfig config;
+  config.dispatch_overhead = Micros(20);
+  return config;
+}
+
+ExperimentResult RunWithProfile(const Trace& trace, SchedulerKind kind,
+                                const QcProfile& profile, uint64_t qc_seed,
+                                QutsScheduler::Options quts_options =
+                                    QutsScheduler::Options()) {
+  std::unique_ptr<Scheduler> scheduler = MakeScheduler(kind, quts_options);
+  ExperimentOptions options;
+  options.server = QcServerConfig();
+  options.qc_seed = qc_seed;
+  options.profile = profile;
+  return RunExperiment(trace, scheduler.get(), options);
+}
+
+std::vector<double> Smooth(const std::vector<double>& v, size_t w) {
+  TimeSeries series(1);
+  for (size_t i = 0; i < v.size(); ++i) {
+    series.Add(static_cast<int64_t>(i), v[i]);
+  }
+  return series.SmoothedSums(w);
+}
+
+std::vector<double> Sum(const std::vector<double>& a,
+                        const std::vector<double>& b) {
+  std::vector<double> out(std::max(a.size(), b.size()), 0.0);
+  for (size_t i = 0; i < a.size(); ++i) out[i] += a[i];
+  for (size_t i = 0; i < b.size(); ++i) out[i] += b[i];
+  return out;
+}
+
+}  // namespace
+
+std::vector<TradeoffRow> RunFigure1(const Trace& trace) {
+  std::vector<TradeoffRow> rows;
+  for (SchedulerKind kind :
+       {SchedulerKind::kFifo, SchedulerKind::kFifoUpdateHigh,
+        SchedulerKind::kFifoQueryHigh}) {
+    std::unique_ptr<Scheduler> scheduler = MakeScheduler(kind);
+    ExperimentOptions options;
+    options.zero_contracts = true;
+    // The naive Figure 1 policies predate QCs: no lifetime drops, #uu
+    // staleness, every query runs to completion.
+    options.server.lifetime_factor = 0.0;
+    options.server.queue_sample_period = Seconds(1);
+    const ExperimentResult result =
+        RunExperiment(trace, scheduler.get(), options);
+    TradeoffRow row;
+    row.policy = ToString(kind);
+    row.avg_response_ms = result.avg_response_ms;
+    row.avg_staleness_uu = result.avg_staleness;
+    row.peak_queued_queries = result.peak_queued_queries;
+    row.peak_queued_updates = result.peak_queued_updates;
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+std::vector<ProfitBarRow> RunFigure6(const Trace& trace, QcShape shape,
+                                     uint64_t qc_seed) {
+  std::vector<ProfitBarRow> rows;
+  for (SchedulerKind kind : PaperSchedulers()) {
+    const ExperimentResult result =
+        RunWithProfile(trace, kind, BalancedProfile(shape), qc_seed);
+    rows.push_back(
+        ProfitBarRow{ToString(kind), result.qos_pct, result.qod_pct});
+  }
+  return rows;
+}
+
+std::vector<SweepPoint> RunQcSweep(const Trace& trace, SchedulerKind kind,
+                                   uint64_t qc_seed) {
+  std::vector<SweepPoint> points;
+  for (int i = 1; i <= 9; ++i) {
+    const double qod_share = static_cast<double>(i) / 10.0;
+    const ExperimentResult result = RunWithProfile(
+        trace, kind, Table4Profile(qod_share, QcShape::kStep), qc_seed);
+    points.push_back(SweepPoint{qod_share, result.qos_pct, result.qod_pct,
+                                result.total_pct, result.qos_max_pct});
+  }
+  return points;
+}
+
+ImprovementSummary SummarizeImprovement(const std::vector<SweepPoint>& uh,
+                                        const std::vector<SweepPoint>& qh,
+                                        const std::vector<SweepPoint>& quts) {
+  WEBDB_CHECK(uh.size() == quts.size() && qh.size() == quts.size());
+  ImprovementSummary summary;
+  summary.min_vs_best = 1e9;
+  for (size_t i = 0; i < quts.size(); ++i) {
+    const double vs_uh =
+        uh[i].total_pct <= 0 ? 0.0
+                             : (quts[i].total_pct - uh[i].total_pct) /
+                                   uh[i].total_pct;
+    const double vs_qh =
+        qh[i].total_pct <= 0 ? 0.0
+                             : (quts[i].total_pct - qh[i].total_pct) /
+                                   qh[i].total_pct;
+    summary.max_vs_uh = std::max(summary.max_vs_uh, vs_uh);
+    summary.max_vs_qh = std::max(summary.max_vs_qh, vs_qh);
+    const double best = std::max(uh[i].total_pct, qh[i].total_pct);
+    summary.min_vs_best =
+        std::min(summary.min_vs_best, quts[i].total_pct - best);
+  }
+  return summary;
+}
+
+AdaptabilityResult RunFigure9(const Trace& trace, int intervals, double ratio,
+                              QcShape shape, uint64_t qc_seed) {
+  const SimDuration duration = trace.EndTime() + 1;
+  const TimeVaryingQcGenerator schedule =
+      TimeVaryingQcGenerator::AlternatingPreference(duration, intervals,
+                                                    ratio, shape);
+  std::unique_ptr<Scheduler> scheduler = MakeScheduler(SchedulerKind::kQuts);
+  ExperimentOptions options;
+  options.server = QcServerConfig();
+  options.qc_seed = qc_seed;
+  options.schedule = &schedule;
+  AdaptabilityResult out;
+  out.raw = RunExperiment(trace, scheduler.get(), options);
+
+  // Late commits can extend the gained series past the max series; pad all
+  // four to a common length so the plots line up second by second.
+  const size_t len = std::max(
+      {out.raw.qos_gained_per_s.size(), out.raw.qod_gained_per_s.size(),
+       out.raw.qos_max_per_s.size(), out.raw.qod_max_per_s.size()});
+  for (auto* series : {&out.raw.qos_gained_per_s, &out.raw.qod_gained_per_s,
+                       &out.raw.qos_max_per_s, &out.raw.qod_max_per_s}) {
+    series->resize(len, 0.0);
+  }
+
+  constexpr size_t kWindow = 5;  // the paper's 5-second moving window
+  out.qos_gained = Smooth(out.raw.qos_gained_per_s, kWindow);
+  out.qod_gained = Smooth(out.raw.qod_gained_per_s, kWindow);
+  out.qos_max = Smooth(out.raw.qos_max_per_s, kWindow);
+  out.qod_max = Smooth(out.raw.qod_max_per_s, kWindow);
+  out.total_gained = Sum(out.qos_gained, out.qod_gained);
+  out.total_max = Sum(out.qos_max, out.qod_max);
+  out.rho = out.raw.rho_series;
+  return out;
+}
+
+namespace {
+
+double RunQutsOnSchedule(const Trace& trace,
+                         const QutsScheduler::Options& quts_options,
+                         uint64_t qc_seed) {
+  const SimDuration duration = trace.EndTime() + 1;
+  const TimeVaryingQcGenerator schedule =
+      TimeVaryingQcGenerator::AlternatingPreference(duration, 4, 5.0,
+                                                    QcShape::kStep);
+  std::unique_ptr<Scheduler> scheduler =
+      MakeScheduler(SchedulerKind::kQuts, quts_options);
+  ExperimentOptions options;
+  options.server = QcServerConfig();
+  options.qc_seed = qc_seed;
+  options.schedule = &schedule;
+  return RunExperiment(trace, scheduler.get(), options).total_pct;
+}
+
+}  // namespace
+
+std::vector<std::pair<double, double>> RunOmegaSensitivity(
+    const Trace& trace, const std::vector<double>& omegas_s,
+    uint64_t qc_seed) {
+  std::vector<std::pair<double, double>> out;
+  for (double omega_s : omegas_s) {
+    QutsScheduler::Options quts_options;
+    quts_options.adaptation_period = SecondsF(omega_s);
+    out.emplace_back(omega_s, RunQutsOnSchedule(trace, quts_options, qc_seed));
+  }
+  return out;
+}
+
+std::vector<std::pair<double, double>> RunTauSensitivity(
+    const Trace& trace, const std::vector<double>& taus_ms,
+    uint64_t qc_seed) {
+  std::vector<std::pair<double, double>> out;
+  for (double tau_ms : taus_ms) {
+    QutsScheduler::Options quts_options;
+    quts_options.atom_time = static_cast<SimDuration>(tau_ms * 1000.0);
+    out.emplace_back(tau_ms, RunQutsOnSchedule(trace, quts_options, qc_seed));
+  }
+  return out;
+}
+
+std::vector<AblationRow> RunCombinationAblation(const Trace& trace,
+                                                uint64_t qc_seed) {
+  std::vector<AblationRow> rows;
+  for (SchedulerKind kind : {SchedulerKind::kQuts, SchedulerKind::kQueryHigh}) {
+    for (QcCombination combination :
+         {QcCombination::kQosIndependent, QcCombination::kQosDependent}) {
+      QcProfile profile = BalancedProfile(QcShape::kStep);
+      profile.combination = combination;
+      const ExperimentResult result =
+          RunWithProfile(trace, kind, profile, qc_seed);
+      rows.push_back(AblationRow{
+          ToString(kind) + "/" + ToString(combination), result.qos_pct,
+          result.qod_pct, result.total_pct});
+    }
+  }
+  return rows;
+}
+
+std::vector<AblationRow> RunQueryPolicyAblation(const Trace& trace,
+                                                uint64_t qc_seed) {
+  std::vector<AblationRow> rows;
+  for (QueryPolicy policy :
+       {QueryPolicy::kVrd, QueryPolicy::kFifo, QueryPolicy::kEdf,
+        QueryPolicy::kProfitDensity}) {
+    QutsScheduler::Options quts_options;
+    quts_options.query_policy = policy;
+    const ExperimentResult result =
+        RunWithProfile(trace, SchedulerKind::kQuts,
+                       BalancedProfile(QcShape::kStep), qc_seed, quts_options);
+    rows.push_back(AblationRow{"quts/" + ToString(policy), result.qos_pct,
+                               result.qod_pct, result.total_pct});
+  }
+  return rows;
+}
+
+std::vector<AblationRow> RunStalenessAblation(const Trace& trace,
+                                              uint64_t qc_seed) {
+  struct Variant {
+    StalenessMetric metric;
+    StalenessCombiner combiner;
+    double uu_max;  // cutoff in the metric's unit
+  };
+  // uu-raw counts superseded arrivals too (cutoff 3: up to two missed
+  // changes tolerated); td cutoff 500 ms: an item is "too stale" when its
+  // oldest unapplied update has waited longer than half a second.
+  const std::vector<Variant> variants = {
+      {StalenessMetric::kUnappliedUpdates, StalenessCombiner::kMax, 1.0},
+      {StalenessMetric::kUnappliedUpdates, StalenessCombiner::kSum, 1.0},
+      {StalenessMetric::kUnappliedArrivals, StalenessCombiner::kMax, 3.0},
+      {StalenessMetric::kTimeDifferential, StalenessCombiner::kMax, 500.0},
+  };
+  std::vector<AblationRow> rows;
+  for (const Variant& variant : variants) {
+    std::unique_ptr<Scheduler> scheduler =
+        MakeScheduler(SchedulerKind::kQuts);
+    ExperimentOptions options;
+    options.server = QcServerConfig();
+    options.server.staleness_metric = variant.metric;
+    options.server.staleness_combiner = variant.combiner;
+    options.qc_seed = qc_seed;
+    QcProfile profile = BalancedProfile(QcShape::kStep);
+    profile.uu_max = variant.uu_max;
+    options.profile = profile;
+    const ExperimentResult result =
+        RunExperiment(trace, scheduler.get(), options);
+    rows.push_back(AblationRow{
+        ToString(variant.metric) + "/" + ToString(variant.combiner),
+        result.qos_pct, result.qod_pct, result.total_pct});
+  }
+  return rows;
+}
+
+std::vector<std::pair<double, double>> RunAlphaSensitivity(
+    const Trace& trace, const std::vector<double>& alphas, uint64_t qc_seed) {
+  std::vector<std::pair<double, double>> out;
+  for (double alpha : alphas) {
+    QutsScheduler::Options quts_options;
+    quts_options.alpha = alpha;
+    out.emplace_back(alpha, RunQutsOnSchedule(trace, quts_options, qc_seed));
+  }
+  return out;
+}
+
+std::vector<AblationRow> RunSlicingAblation(const Trace& trace,
+                                            uint64_t qc_seed) {
+  std::vector<AblationRow> rows;
+  for (QutsSlicing slicing :
+       {QutsSlicing::kRandom, QutsSlicing::kDeterministic}) {
+    QutsScheduler::Options quts_options;
+    quts_options.slicing = slicing;
+    // The QoD-heavy Table 4 point keeps rho well below 1, so the slicing
+    // scheme actually matters.
+    const ExperimentResult result =
+        RunWithProfile(trace, SchedulerKind::kQuts, Table4Profile(0.8),
+                       qc_seed, quts_options);
+    rows.push_back(AblationRow{
+        slicing == QutsSlicing::kRandom ? "quts/random" : "quts/deterministic",
+        result.qos_pct, result.qod_pct, result.total_pct});
+  }
+  return rows;
+}
+
+std::vector<AblationRow> RunAdmissionAblation(const Trace& trace,
+                                              uint64_t qc_seed) {
+  std::vector<AblationRow> rows;
+  struct Variant {
+    std::string name;
+    std::unique_ptr<AdmissionController> controller;  // null = admit all
+  };
+  std::vector<Variant> variants;
+  variants.push_back(Variant{"admit-all", nullptr});
+  variants.push_back(Variant{"queue-cap(64)",
+                             std::make_unique<QueueCapAdmission>(64)});
+  variants.push_back(
+      Variant{"expected-profit",
+              std::make_unique<ExpectedProfitAdmission>(Millis(7), 1.0)});
+  for (Variant& variant : variants) {
+    std::unique_ptr<Scheduler> scheduler = MakeScheduler(SchedulerKind::kQuts);
+    ExperimentOptions options;
+    options.server = QcServerConfig();
+    options.server.admission = variant.controller.get();
+    options.qc_seed = qc_seed;
+    options.profile = BalancedProfile(QcShape::kStep);
+    const ExperimentResult result =
+        RunExperiment(trace, scheduler.get(), options);
+    rows.push_back(AblationRow{variant.name, result.qos_pct, result.qod_pct,
+                               result.total_pct});
+  }
+  return rows;
+}
+
+std::vector<AblationRow> RunUpdatePolicyAblation(const Trace& trace,
+                                                 uint64_t qc_seed) {
+  // Demand weights: how often each item is queried in this trace.
+  std::vector<double> weights(static_cast<size_t>(trace.num_items), 0.0);
+  for (const QueryRecord& q : trace.queries) {
+    for (ItemId item : q.items) weights[static_cast<size_t>(item)] += 1.0;
+  }
+  std::vector<AblationRow> rows;
+  for (UpdatePolicy policy :
+       {UpdatePolicy::kFifo, UpdatePolicy::kDemandWeighted}) {
+    QutsScheduler::Options quts_options;
+    quts_options.update_policy = policy;
+    if (policy == UpdatePolicy::kDemandWeighted) {
+      quts_options.item_weights = &weights;
+    }
+    const ExperimentResult result =
+        RunWithProfile(trace, SchedulerKind::kQuts,
+                       Table4Profile(0.8), qc_seed, quts_options);
+    rows.push_back(AblationRow{"quts/" + ToString(policy), result.qos_pct,
+                               result.qod_pct, result.total_pct});
+  }
+  return rows;
+}
+
+std::vector<AblationRow> RunAdaptabilityComparison(const Trace& trace,
+                                                   uint64_t qc_seed) {
+  const SimDuration duration = trace.EndTime() + 1;
+  const TimeVaryingQcGenerator schedule =
+      TimeVaryingQcGenerator::AlternatingPreference(duration, 4, 5.0,
+                                                    QcShape::kStep);
+  std::vector<AblationRow> rows;
+  for (SchedulerKind kind : PaperSchedulers()) {
+    std::unique_ptr<Scheduler> scheduler = MakeScheduler(kind);
+    ExperimentOptions options;
+    options.server = QcServerConfig();
+    options.qc_seed = qc_seed;
+    options.schedule = &schedule;
+    const ExperimentResult result =
+        RunExperiment(trace, scheduler.get(), options);
+    rows.push_back(AblationRow{ToString(kind), result.qos_pct,
+                               result.qod_pct, result.total_pct});
+  }
+  return rows;
+}
+
+std::vector<RhoModelPoint> RunRhoModelValidation(
+    const Trace& trace, const std::vector<double>& rhos,
+    const QcProfile& profile, uint64_t qc_seed) {
+  const double qos_share = profile.ExpectedQosSharePct();
+  std::vector<RhoModelPoint> points;
+  for (double rho : rhos) {
+    QutsScheduler::Options quts_options;
+    quts_options.freeze_rho = true;
+    quts_options.initial_rho = rho;
+    const ExperimentResult result = RunWithProfile(
+        trace, SchedulerKind::kQuts, profile, qc_seed, quts_options);
+    RhoModelPoint point;
+    point.rho = rho;
+    point.measured_total_pct = result.total_pct;
+    point.modeled_total_pct =
+        ModeledTotalProfit(qos_share, 1.0 - qos_share, rho);
+    points.push_back(point);
+  }
+  return points;
+}
+
+std::vector<AblationRow> RunConcurrencyAblation(const Trace& trace,
+                                                uint64_t qc_seed) {
+  std::vector<AblationRow> rows;
+  for (bool enable : {true, false}) {
+    std::unique_ptr<Scheduler> scheduler = MakeScheduler(SchedulerKind::kQuts);
+    ExperimentOptions options;
+    options.server = QcServerConfig();
+    options.server.enable_2plhp = enable;
+    options.qc_seed = qc_seed;
+    options.profile = BalancedProfile(QcShape::kStep);
+    const ExperimentResult result =
+        RunExperiment(trace, scheduler.get(), options);
+    rows.push_back(AblationRow{enable ? "2pl-hp" : "no-cc", result.qos_pct,
+                               result.qod_pct, result.total_pct});
+  }
+  return rows;
+}
+
+}  // namespace webdb

@@ -1,0 +1,85 @@
+#include "exp/report.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/csv.h"
+#include "util/logging.h"
+
+namespace webdb {
+
+namespace {
+
+std::string Num(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+}  // namespace
+
+bool WriteExperimentCsv(const std::string& path,
+                        const std::vector<ExperimentResult>& results) {
+  CsvWriter writer(path);
+  if (!writer.ok()) return false;
+  writer.WriteRow({"scheduler", "qos_pct", "qod_pct", "total_pct",
+                   "qos_max_pct", "avg_response_ms", "avg_staleness",
+                   "cpu_utilization", "queries_committed", "queries_dropped",
+                   "queries_expired", "query_restarts", "updates_applied",
+                   "updates_invalidated", "preemptions"});
+  for (const ExperimentResult& r : results) {
+    writer.WriteRow({r.scheduler, Num(r.qos_pct), Num(r.qod_pct),
+                     Num(r.total_pct), Num(r.qos_max_pct),
+                     Num(r.avg_response_ms), Num(r.avg_staleness),
+                     Num(r.cpu_utilization),
+                     std::to_string(r.queries_committed),
+                     std::to_string(r.queries_dropped),
+                     std::to_string(r.queries_expired),
+                     std::to_string(r.query_restarts),
+                     std::to_string(r.updates_applied),
+                     std::to_string(r.updates_invalidated),
+                     std::to_string(r.preemptions)});
+  }
+  return writer.Close();
+}
+
+bool WriteSeriesCsv(const std::string& path,
+                    const std::vector<std::string>& names,
+                    const std::vector<std::vector<double>>& series) {
+  WEBDB_CHECK(names.size() == series.size());
+  CsvWriter writer(path);
+  if (!writer.ok()) return false;
+  std::vector<std::string> header = {"t"};
+  header.insert(header.end(), names.begin(), names.end());
+  writer.WriteRow(header);
+  size_t length = 0;
+  for (const auto& s : series) length = std::max(length, s.size());
+  for (size_t t = 0; t < length; ++t) {
+    std::vector<std::string> row = {std::to_string(t)};
+    for (const auto& s : series) {
+      row.push_back(Num(t < s.size() ? s[t] : 0.0));
+    }
+    writer.WriteRow(row);
+  }
+  return writer.Close();
+}
+
+bool WritePairsCsv(const std::string& path, const std::string& x_name,
+                   const std::string& y_name,
+                   const std::vector<std::pair<double, double>>& pairs) {
+  CsvWriter writer(path);
+  if (!writer.ok()) return false;
+  writer.WriteRow({x_name, y_name});
+  for (const auto& [x, y] : pairs) {
+    writer.WriteRow({Num(x), Num(y)});
+  }
+  return writer.Close();
+}
+
+std::string CsvDirFromEnv() {
+  const char* dir = std::getenv("WEBDB_CSV_DIR");
+  return dir == nullptr ? std::string() : std::string(dir);
+}
+
+}  // namespace webdb

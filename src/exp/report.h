@@ -1,0 +1,38 @@
+// CSV export of experiment results and time series, so bench output can be
+// post-processed (plotted) outside the repo. Benches write tables to stdout
+// for humans; set WEBDB_CSV_DIR to also get machine-readable files.
+
+#ifndef WEBDB_EXP_REPORT_H_
+#define WEBDB_EXP_REPORT_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "exp/experiment.h"
+
+namespace webdb {
+
+// Writes one row per result with the headline columns (scheduler, profit
+// percentages, response time, staleness, lifecycle counters). Returns false
+// on IO failure.
+bool WriteExperimentCsv(const std::string& path,
+                        const std::vector<ExperimentResult>& results);
+
+// Writes per-second series as columns: t, <name0>, <name1>, ... All series
+// are padded with zeros to the longest length.
+bool WriteSeriesCsv(const std::string& path,
+                    const std::vector<std::string>& names,
+                    const std::vector<std::vector<double>>& series);
+
+// Writes (x, y) pairs with a header.
+bool WritePairsCsv(const std::string& path, const std::string& x_name,
+                   const std::string& y_name,
+                   const std::vector<std::pair<double, double>>& pairs);
+
+// Directory requested via WEBDB_CSV_DIR, or empty when unset.
+std::string CsvDirFromEnv();
+
+}  // namespace webdb
+
+#endif  // WEBDB_EXP_REPORT_H_

@@ -1,0 +1,76 @@
+#include "exp/robustness.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "exp/experiment.h"
+#include "exp/scheduler_factory.h"
+#include "qc/qc_generator.h"
+
+namespace webdb {
+
+namespace {
+
+RobustnessRow CompareSchedulers(const Trace& trace, double knob,
+                                uint64_t qc_seed) {
+  RobustnessRow row;
+  row.knob = knob;
+  for (SchedulerKind kind : PaperSchedulers()) {
+    std::unique_ptr<Scheduler> scheduler = MakeScheduler(kind);
+    ExperimentOptions options;
+    options.server.dispatch_overhead = Micros(20);
+    options.qc_seed = qc_seed;
+    options.profile = BalancedProfile(QcShape::kStep);
+    const double total =
+        RunExperiment(trace, scheduler.get(), options).total_pct;
+    switch (kind) {
+      case SchedulerKind::kFifo:
+        row.fifo = total;
+        break;
+      case SchedulerKind::kUpdateHigh:
+        row.uh = total;
+        break;
+      case SchedulerKind::kQueryHigh:
+        row.qh = total;
+        break;
+      default:
+        row.quts = total;
+        break;
+    }
+  }
+  return row;
+}
+
+}  // namespace
+
+double RobustnessRow::QutsVsBestFixed() const {
+  return quts - std::max(uh, qh);
+}
+
+std::vector<RobustnessRow> RunCorrelationRobustness(
+    StockTraceConfig base, const std::vector<double>& correlations,
+    uint64_t qc_seed) {
+  std::vector<RobustnessRow> rows;
+  for (double correlation : correlations) {
+    StockTraceConfig config = base;
+    config.popularity_correlation = correlation;
+    const Trace trace = GenerateStockTrace(config);
+    rows.push_back(CompareSchedulers(trace, correlation, qc_seed));
+  }
+  return rows;
+}
+
+std::vector<RobustnessRow> RunSpikeRobustness(
+    StockTraceConfig base, const std::vector<double>& gains,
+    uint64_t qc_seed) {
+  std::vector<RobustnessRow> rows;
+  for (double gain : gains) {
+    StockTraceConfig config = base;
+    config.query_spike_gain = std::max(1.0, gain);
+    const Trace trace = GenerateStockTrace(config);
+    rows.push_back(CompareSchedulers(trace, gain, qc_seed));
+  }
+  return rows;
+}
+
+}  // namespace webdb

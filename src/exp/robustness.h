@@ -1,0 +1,46 @@
+// Workload-robustness study (beyond the paper): how the scheduler ranking
+// responds to the two trace features the calibration in EXPERIMENTS.md
+// leans on — the query/update popularity correlation (Figure 5c) and the
+// flash-crowd intensity (Figure 5a). Each knob regenerates the synthetic
+// trace and replays the Figure 6 comparison.
+
+#ifndef WEBDB_EXP_ROBUSTNESS_H_
+#define WEBDB_EXP_ROBUSTNESS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/stock_trace_generator.h"
+
+namespace webdb {
+
+struct RobustnessRow {
+  double knob = 0.0;  // the swept parameter's value
+  // Total profit percentage per scheduler.
+  double fifo = 0.0;
+  double uh = 0.0;
+  double qh = 0.0;
+  double quts = 0.0;
+
+  // QUTS's margin over the best fixed dual-queue policy.
+  double QutsVsBestFixed() const;
+};
+
+// Sweeps the query/update popularity correlation (0 = independent orders,
+// 1 = the hottest-queried stocks are also the hottest-updated).
+// `base` controls everything else about the trace; its duration is used
+// as-is, so pass a shortened config for quick runs.
+std::vector<RobustnessRow> RunCorrelationRobustness(
+    StockTraceConfig base, const std::vector<double>& correlations,
+    uint64_t qc_seed = 7);
+
+// Sweeps the flash-crowd gain (1 = no spikes ... higher = deeper query
+// overload during episodes).
+std::vector<RobustnessRow> RunSpikeRobustness(
+    StockTraceConfig base, const std::vector<double>& gains,
+    uint64_t qc_seed = 7);
+
+}  // namespace webdb
+
+#endif  // WEBDB_EXP_ROBUSTNESS_H_

@@ -1,0 +1,63 @@
+#include "exp/scheduler_factory.h"
+
+#include "sched/dual_queue_scheduler.h"
+#include "sched/fifo_scheduler.h"
+#include "util/logging.h"
+
+namespace webdb {
+
+std::string ToString(SchedulerKind kind) {
+  switch (kind) {
+    case SchedulerKind::kFifo:
+      return "fifo";
+    case SchedulerKind::kUpdateHigh:
+      return "uh";
+    case SchedulerKind::kQueryHigh:
+      return "qh";
+    case SchedulerKind::kFifoUpdateHigh:
+      return "fifo-uh";
+    case SchedulerKind::kFifoQueryHigh:
+      return "fifo-qh";
+    case SchedulerKind::kQuts:
+      return "quts";
+  }
+  return "?";
+}
+
+SchedulerKind SchedulerKindFromName(const std::string& name) {
+  for (SchedulerKind kind :
+       {SchedulerKind::kFifo, SchedulerKind::kUpdateHigh,
+        SchedulerKind::kQueryHigh, SchedulerKind::kFifoUpdateHigh,
+        SchedulerKind::kFifoQueryHigh, SchedulerKind::kQuts}) {
+    if (ToString(kind) == name) return kind;
+  }
+  WEBDB_CHECK_MSG(false, "unknown scheduler name");
+  return SchedulerKind::kFifo;
+}
+
+std::unique_ptr<Scheduler> MakeScheduler(
+    SchedulerKind kind, const QutsScheduler::Options& quts_options) {
+  switch (kind) {
+    case SchedulerKind::kFifo:
+      return std::make_unique<FifoScheduler>();
+    case SchedulerKind::kUpdateHigh:
+      return MakeUpdateHigh();
+    case SchedulerKind::kQueryHigh:
+      return MakeQueryHigh();
+    case SchedulerKind::kFifoUpdateHigh:
+      return MakeFifoUpdateHigh();
+    case SchedulerKind::kFifoQueryHigh:
+      return MakeFifoQueryHigh();
+    case SchedulerKind::kQuts:
+      return std::make_unique<QutsScheduler>(quts_options);
+  }
+  WEBDB_CHECK_MSG(false, "unknown scheduler kind");
+  return nullptr;
+}
+
+std::vector<SchedulerKind> PaperSchedulers() {
+  return {SchedulerKind::kFifo, SchedulerKind::kUpdateHigh,
+          SchedulerKind::kQueryHigh, SchedulerKind::kQuts};
+}
+
+}  // namespace webdb

@@ -1,0 +1,41 @@
+// Name-keyed construction of every scheduler in the library, so benches,
+// examples and tests can sweep policies uniformly.
+
+#ifndef WEBDB_EXP_SCHEDULER_FACTORY_H_
+#define WEBDB_EXP_SCHEDULER_FACTORY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/quts_scheduler.h"
+#include "sched/scheduler.h"
+
+namespace webdb {
+
+enum class SchedulerKind {
+  kFifo,        // single combined FIFO queue (Sec. 3.1)
+  kUpdateHigh,  // UH: dual queue, updates preempt, VRD queries (Sec. 3.2)
+  kQueryHigh,   // QH: dual queue, queries preempt, VRD queries (Sec. 3.2)
+  kFifoUpdateHigh,  // FIFO-UH (Fig. 1)
+  kFifoQueryHigh,   // FIFO-QH (Fig. 1)
+  kQuts,        // QUTS (Sec. 4)
+};
+
+std::string ToString(SchedulerKind kind);
+
+// Parses "fifo", "uh", "qh", "fifo-uh", "fifo-qh", "quts" (case-sensitive).
+// Aborts on unknown names.
+SchedulerKind SchedulerKindFromName(const std::string& name);
+
+// Constructs a scheduler. `quts_options` only applies to kQuts.
+std::unique_ptr<Scheduler> MakeScheduler(
+    SchedulerKind kind,
+    const QutsScheduler::Options& quts_options = QutsScheduler::Options());
+
+// The four policies compared throughout Section 5.1.
+std::vector<SchedulerKind> PaperSchedulers();
+
+}  // namespace webdb
+
+#endif  // WEBDB_EXP_SCHEDULER_FACTORY_H_

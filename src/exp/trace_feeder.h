@@ -1,0 +1,47 @@
+// Feeds a trace into a WebDatabaseServer as simulation events. Arrivals are
+// pumped one at a time through a chained event (constant event-queue
+// footprint regardless of trace size). Each query is assigned a Quality
+// Contract by the caller-supplied assigner at its arrival instant.
+
+#ifndef WEBDB_EXP_TRACE_FEEDER_H_
+#define WEBDB_EXP_TRACE_FEEDER_H_
+
+#include <cstddef>
+#include <functional>
+
+#include "qc/quality_contract.h"
+#include "server/web_database_server.h"
+#include "trace/trace.h"
+
+namespace webdb {
+
+class TraceFeeder {
+ public:
+  using QcAssigner =
+      std::function<QualityContract(const QueryRecord& record)>;
+
+  // `server` and `trace` must outlive the feeder; the feeder must outlive
+  // the simulation run it drives.
+  TraceFeeder(WebDatabaseServer* server, const Trace* trace,
+              QcAssigner assigner);
+
+  // Schedules the first arrival. Call once, before running the simulator.
+  void Start();
+
+  bool Done() const;
+
+ private:
+  void Pump();
+  // Arrival time of the next unsubmitted record, or kSimTimeMax.
+  SimTime NextArrival() const;
+
+  WebDatabaseServer* server_;
+  const Trace* trace_;
+  QcAssigner assigner_;
+  size_t next_query_ = 0;
+  size_t next_update_ = 0;
+};
+
+}  // namespace webdb
+
+#endif  // WEBDB_EXP_TRACE_FEEDER_H_

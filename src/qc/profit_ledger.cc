@@ -1,0 +1,44 @@
+#include "qc/profit_ledger.h"
+
+namespace webdb {
+
+ProfitLedger::ProfitLedger()
+    : qos_max_series_(Seconds(1)),
+      qod_max_series_(Seconds(1)),
+      qos_gained_series_(Seconds(1)),
+      qod_gained_series_(Seconds(1)) {}
+
+void ProfitLedger::OnQuerySubmitted(const QualityContract& qc, SimTime now) {
+  qos_max_ += qc.qos_max();
+  qod_max_ += qc.qod_max();
+  qos_max_series_.Add(now, qc.qos_max());
+  qod_max_series_.Add(now, qc.qod_max());
+}
+
+void ProfitLedger::OnQueryCommitted(const QualityContract::Evaluation& eval,
+                                    SimTime now) {
+  qos_gained_ += eval.qos;
+  qod_gained_ += eval.qod;
+  qos_gained_series_.Add(now, eval.qos);
+  qod_gained_series_.Add(now, eval.qod);
+}
+
+double ProfitLedger::QosPct() const {
+  return total_max() <= 0.0 ? 0.0 : qos_gained_ / total_max();
+}
+
+double ProfitLedger::QodPct() const {
+  return total_max() <= 0.0 ? 0.0 : qod_gained_ / total_max();
+}
+
+double ProfitLedger::TotalPct() const { return QosPct() + QodPct(); }
+
+double ProfitLedger::QosMaxPct() const {
+  return total_max() <= 0.0 ? 0.0 : qos_max_ / total_max();
+}
+
+double ProfitLedger::QodMaxPct() const {
+  return total_max() <= 0.0 ? 0.0 : qod_max_ / total_max();
+}
+
+}  // namespace webdb

@@ -1,0 +1,67 @@
+// Profit accounting (Table 1 of the paper).
+//
+// The ledger tracks, globally and as 1-second time series:
+//   QOSmax / QODmax  — the maximal submitted profit (attributed at query
+//                      arrival time),
+//   QOS / QOD        — the gained profit (attributed at query commit time).
+// The time series drive the Figure 9 plots; the global totals drive the
+// profit-percentage bars of Figures 6-8.
+
+#ifndef WEBDB_QC_PROFIT_LEDGER_H_
+#define WEBDB_QC_PROFIT_LEDGER_H_
+
+#include "qc/quality_contract.h"
+#include "util/stats.h"
+#include "util/time.h"
+
+namespace webdb {
+
+class ProfitLedger {
+ public:
+  ProfitLedger();
+
+  // Called once per query when it is submitted.
+  void OnQuerySubmitted(const QualityContract& qc, SimTime now);
+
+  // Called once per query when it commits (dropped queries never earn, so
+  // they simply never reach this).
+  void OnQueryCommitted(const QualityContract::Evaluation& eval, SimTime now);
+
+  // --- global totals (symbols of Table 1) ---------------------------------
+  double qos_gained() const { return qos_gained_; }
+  double qod_gained() const { return qod_gained_; }
+  double total_gained() const { return qos_gained_ + qod_gained_; }
+  double qos_max() const { return qos_max_; }
+  double qod_max() const { return qod_max_; }
+  double total_max() const { return qos_max_ + qod_max_; }
+
+  // Gained profit as a fraction of the total submitted maximum (the bar
+  // heights of Figures 6-8). All return 0 when nothing was submitted.
+  double QosPct() const;
+  double QodPct() const;
+  double TotalPct() const;
+  // Share of the submitted maximum that is QoS (the diagonal QOSmax% line of
+  // Figures 7-8).
+  double QosMaxPct() const;
+  double QodMaxPct() const;
+
+  // --- 1-second time series (Figure 9) ------------------------------------
+  const TimeSeries& qos_max_series() const { return qos_max_series_; }
+  const TimeSeries& qod_max_series() const { return qod_max_series_; }
+  const TimeSeries& qos_gained_series() const { return qos_gained_series_; }
+  const TimeSeries& qod_gained_series() const { return qod_gained_series_; }
+
+ private:
+  double qos_gained_ = 0.0;
+  double qod_gained_ = 0.0;
+  double qos_max_ = 0.0;
+  double qod_max_ = 0.0;
+  TimeSeries qos_max_series_;
+  TimeSeries qod_max_series_;
+  TimeSeries qos_gained_series_;
+  TimeSeries qod_gained_series_;
+};
+
+}  // namespace webdb
+
+#endif  // WEBDB_QC_PROFIT_LEDGER_H_

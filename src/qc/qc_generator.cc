@@ -1,0 +1,109 @@
+#include "qc/qc_generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace webdb {
+
+double QcProfile::ExpectedQosSharePct() const {
+  const double eqos = (qos_max_lo + qos_max_hi) / 2.0;
+  const double eqod = (qod_max_lo + qod_max_hi) / 2.0;
+  const double total = eqos + eqod;
+  return total <= 0.0 ? 0.0 : eqos / total;
+}
+
+QcProfile BalancedProfile(QcShape shape) {
+  QcProfile p;
+  p.shape = shape;
+  return p;
+}
+
+QcProfile Table4Profile(double qod_share_pct, QcShape shape) {
+  WEBDB_CHECK(qod_share_pct >= 0.05 && qod_share_pct <= 0.95);
+  QcProfile p;
+  p.shape = shape;
+  const double qod_base = std::round(qod_share_pct * 100.0);
+  const double qos_base = std::round((1.0 - qod_share_pct) * 100.0);
+  p.qod_max_lo = qod_base;
+  p.qod_max_hi = qod_base + 9.0;
+  p.qos_max_lo = qos_base;
+  p.qos_max_hi = qos_base + 9.0;
+  return p;
+}
+
+QcGenerator::QcGenerator(QcProfile profile) : profile_(profile) {
+  WEBDB_CHECK(profile_.qos_max_lo >= 0 &&
+              profile_.qos_max_hi >= profile_.qos_max_lo);
+  WEBDB_CHECK(profile_.qod_max_lo >= 0 &&
+              profile_.qod_max_hi >= profile_.qod_max_lo);
+  WEBDB_CHECK(profile_.rt_max_lo > 0 &&
+              profile_.rt_max_hi >= profile_.rt_max_lo);
+  WEBDB_CHECK(profile_.uu_max > 0);
+}
+
+QualityContract QcGenerator::Next(Rng& rng) const {
+  const double qos_max =
+      rng.Uniform(profile_.qos_max_lo, profile_.qos_max_hi);
+  const double qod_max =
+      rng.Uniform(profile_.qod_max_lo, profile_.qod_max_hi);
+  const SimDuration rt_max =
+      rng.UniformInt(profile_.rt_max_lo, profile_.rt_max_hi);
+  return QualityContract::Make(profile_.shape, qos_max, rt_max, qod_max,
+                               profile_.uu_max, profile_.combination);
+}
+
+TimeVaryingQcGenerator::TimeVaryingQcGenerator(std::vector<Segment> segments)
+    : segments_(std::move(segments)) {
+  WEBDB_CHECK(!segments_.empty());
+  WEBDB_CHECK_MSG(segments_.front().start == 0,
+                  "first segment must start at time 0");
+  for (size_t i = 1; i < segments_.size(); ++i) {
+    WEBDB_CHECK(segments_[i].start > segments_[i - 1].start);
+  }
+}
+
+TimeVaryingQcGenerator TimeVaryingQcGenerator::AlternatingPreference(
+    SimDuration total, int intervals, double ratio, QcShape shape) {
+  WEBDB_CHECK(intervals >= 1 && ratio >= 1.0 && total > 0);
+  std::vector<Segment> segments;
+  segments.reserve(static_cast<size_t>(intervals));
+  for (int i = 0; i < intervals; ++i) {
+    QcProfile p;
+    p.shape = shape;
+    // Base side ~ U[$10, $19]; heavy side is `ratio` times that. Even
+    // intervals are QoD-heavy so the QoS-profit trend over time is
+    // low-high-low-high, as in Figure 9(b).
+    const bool qod_heavy = (i % 2 == 0);
+    const double lo = 10.0, hi = 19.0;
+    if (qod_heavy) {
+      p.qos_max_lo = lo;
+      p.qos_max_hi = hi;
+      p.qod_max_lo = lo * ratio;
+      p.qod_max_hi = hi * ratio;
+    } else {
+      p.qos_max_lo = lo * ratio;
+      p.qos_max_hi = hi * ratio;
+      p.qod_max_lo = lo;
+      p.qod_max_hi = hi;
+    }
+    segments.push_back(Segment{total * i / intervals, p});
+  }
+  return TimeVaryingQcGenerator(std::move(segments));
+}
+
+const QcProfile& TimeVaryingQcGenerator::ProfileAt(SimTime now) const {
+  // Segments are few (single digits); linear scan is fine and obvious.
+  const Segment* active = &segments_.front();
+  for (const Segment& seg : segments_) {
+    if (seg.start <= now) active = &seg;
+  }
+  return active->profile;
+}
+
+QualityContract TimeVaryingQcGenerator::Next(SimTime now, Rng& rng) const {
+  return QcGenerator(ProfileAt(now)).Next(rng);
+}
+
+}  // namespace webdb

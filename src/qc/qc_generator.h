@@ -1,0 +1,87 @@
+// Random Quality-Contract generators matching the experimental setups of
+// Section 5 of the paper: uniform parameter ranges (Figure 6), the nine
+// QODmax% sweep points of Table 4 (Figures 7-8), and piecewise-constant
+// time-varying preference schedules (Figure 9).
+
+#ifndef WEBDB_QC_QC_GENERATOR_H_
+#define WEBDB_QC_QC_GENERATOR_H_
+
+#include <vector>
+
+#include "qc/quality_contract.h"
+#include "util/rng.h"
+#include "util/time.h"
+
+namespace webdb {
+
+// Uniform ranges the four QC parameters are drawn from.
+struct QcProfile {
+  QcShape shape = QcShape::kStep;
+  QcCombination combination = QcCombination::kQosIndependent;
+  double qos_max_lo = 10.0;  // dollars
+  double qos_max_hi = 50.0;
+  double qod_max_lo = 10.0;
+  double qod_max_hi = 50.0;
+  SimDuration rt_max_lo = Millis(50);
+  SimDuration rt_max_hi = Millis(100);
+  double uu_max = 1.0;
+
+  // Expected QOSmax% = E[qos_max] / (E[qos_max] + E[qod_max]).
+  double ExpectedQosSharePct() const;
+};
+
+// The Figure 6 setup: qos_max, qod_max ~ U[$10, $50], rt_max ~ U[50, 100] ms,
+// uu_max = 1.
+QcProfile BalancedProfile(QcShape shape);
+
+// The Table 4 setup for a given QoD share. `qod_share_pct` must be one of
+// 0.1 ... 0.9 (a multiple of 0.1): qod_max ~ U[100p, 100p + 9],
+// qos_max ~ U[100(1-p), 100(1-p) + 9].
+QcProfile Table4Profile(double qod_share_pct, QcShape shape = QcShape::kStep);
+
+// Draws contracts from a profile.
+class QcGenerator {
+ public:
+  explicit QcGenerator(QcProfile profile);
+
+  QualityContract Next(Rng& rng) const;
+
+  const QcProfile& profile() const { return profile_; }
+
+ private:
+  QcProfile profile_;
+};
+
+// Piecewise-constant schedule of profiles over time, for the adaptability
+// experiment (Section 5.2): each segment starts at `start` and uses its
+// profile until the next segment.
+class TimeVaryingQcGenerator {
+ public:
+  struct Segment {
+    SimTime start;
+    QcProfile profile;
+  };
+
+  // Requires at least one segment, segments sorted by ascending start, and
+  // the first start at time 0.
+  explicit TimeVaryingQcGenerator(std::vector<Segment> segments);
+
+  // The Figure 9 schedule: `total` duration split into `intervals` equal
+  // segments alternating qos:qod = 1:ratio and ratio:1 (starting QoD-heavy,
+  // matching the low-high-low-high QoS trend in Fig. 9b).
+  static TimeVaryingQcGenerator AlternatingPreference(SimDuration total,
+                                                      int intervals,
+                                                      double ratio,
+                                                      QcShape shape);
+
+  QualityContract Next(SimTime now, Rng& rng) const;
+  const QcProfile& ProfileAt(SimTime now) const;
+  const std::vector<Segment>& segments() const { return segments_; }
+
+ private:
+  std::vector<Segment> segments_;
+};
+
+}  // namespace webdb
+
+#endif  // WEBDB_QC_QC_GENERATOR_H_

@@ -1,0 +1,87 @@
+// Quality Contracts (Section 2.2 of the paper).
+//
+// A QC attaches two non-increasing profit functions to a query: one over
+// response time (QoS) and one over staleness (QoD). Evaluating the contract
+// at commit time yields the profit the server earns from that query.
+//
+// Two combination modes are supported:
+//  - QoS-Independent (paper default): QoD profit is earned regardless of the
+//    QoS outcome, as long as the query commits before its lifetime deadline
+//    (the deadline itself is enforced by the server, not the contract).
+//  - QoS-Dependent: QoD profit is earned only when the QoS profit is > 0.
+
+#ifndef WEBDB_QC_QUALITY_CONTRACT_H_
+#define WEBDB_QC_QUALITY_CONTRACT_H_
+
+#include <memory>
+#include <string>
+
+#include "qc/profit_function.h"
+#include "util/time.h"
+
+namespace webdb {
+
+enum class QcShape { kStep, kLinear };
+enum class QcCombination { kQosIndependent, kQosDependent };
+
+std::string ToString(QcShape shape);
+std::string ToString(QcCombination combination);
+
+class QualityContract {
+ public:
+  struct Evaluation {
+    double qos = 0.0;
+    double qod = 0.0;
+    double Total() const { return qos + qod; }
+  };
+
+  // Zero contract: no profit on either dimension.
+  QualityContract();
+
+  // Contract from arbitrary (immutable) profit functions. The QoS function's
+  // domain is response time in milliseconds; the QoD function's domain is the
+  // configured staleness metric (#uu by default).
+  QualityContract(std::shared_ptr<const ProfitFunction> qos_fn,
+                  std::shared_ptr<const ProfitFunction> qod_fn,
+                  QcCombination combination);
+
+  // Four-parameter contracts of the paper (Figures 2 and 3).
+  static QualityContract Make(QcShape shape, double qos_max,
+                              SimDuration rt_max, double qod_max,
+                              double uu_max,
+                              QcCombination combination =
+                                  QcCombination::kQosIndependent);
+
+  // QoS profit for the given response time.
+  double QosProfit(SimDuration response_time) const;
+  // QoD profit for the given staleness (ignores the combination mode).
+  double QodProfit(double staleness) const;
+
+  // Combined evaluation honoring the combination mode.
+  Evaluation Evaluate(SimDuration response_time, double staleness) const;
+
+  double qos_max() const { return qos_fn_->MaxProfit(); }
+  double qod_max() const { return qod_fn_->MaxProfit(); }
+  double total_max() const { return qos_max() + qod_max(); }
+
+  // Relative QC deadline: response time at/after which QoS profit is zero.
+  SimDuration rt_max() const;
+  // Staleness at/after which QoD profit is zero.
+  double uu_max() const { return qod_fn_->Cutoff(); }
+
+  QcCombination combination() const { return combination_; }
+
+  const ProfitFunction& qos_fn() const { return *qos_fn_; }
+  const ProfitFunction& qod_fn() const { return *qod_fn_; }
+
+  std::string DebugString() const;
+
+ private:
+  std::shared_ptr<const ProfitFunction> qos_fn_;
+  std::shared_ptr<const ProfitFunction> qod_fn_;
+  QcCombination combination_;
+};
+
+}  // namespace webdb
+
+#endif  // WEBDB_QC_QUALITY_CONTRACT_H_

@@ -1,0 +1,85 @@
+// Admission control for incoming queries — the extension the paper points
+// to through its UNIT citation [14] (user-centric transaction management):
+// under overload it can be more profitable to reject a query outright than
+// to let it rot in the queue past its deadline and lifetime.
+//
+// The server consults the controller (when configured) at submission time;
+// rejected queries are dropped immediately, earn nothing, and still count
+// against the submitted maximum (rejecting is not free).
+
+#ifndef WEBDB_SCHED_ADMISSION_H_
+#define WEBDB_SCHED_ADMISSION_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "txn/transaction.h"
+#include "util/time.h"
+
+namespace webdb {
+
+// Snapshot of the system state offered to the controller.
+struct AdmissionContext {
+  SimTime now = 0;
+  int64_t queued_queries = 0;
+  int64_t queued_updates = 0;
+  bool cpu_busy = false;
+};
+
+class AdmissionController {
+ public:
+  virtual ~AdmissionController() = default;
+
+  virtual std::string Name() const = 0;
+
+  // True to admit `query` given the current state.
+  virtual bool Admit(const Query& query, const AdmissionContext& context) = 0;
+};
+
+// Admits everything (the paper's implicit policy).
+class AdmitAll final : public AdmissionController {
+ public:
+  std::string Name() const override { return "admit-all"; }
+  bool Admit(const Query&, const AdmissionContext&) override { return true; }
+};
+
+// Rejects queries once the query queue exceeds a fixed depth.
+class QueueCapAdmission final : public AdmissionController {
+ public:
+  explicit QueueCapAdmission(int64_t max_queued_queries);
+
+  std::string Name() const override { return "queue-cap"; }
+  bool Admit(const Query& query, const AdmissionContext& context) override;
+
+  int64_t RejectedCount() const { return rejected_; }
+
+ private:
+  int64_t max_queued_;
+  int64_t rejected_ = 0;
+};
+
+// Rejects queries whose QoS profit is already unreachable at submission
+// time: the backlog-predicted response time exceeds rt_max and the
+// remaining (QoD-only) potential is below `min_worth`. Uses a conservative
+// wait estimate of queued_queries * typical_exec.
+class ExpectedProfitAdmission final : public AdmissionController {
+ public:
+  // `typical_exec` is the assumed per-query CPU demand used for the wait
+  // estimate; `min_worth` the smallest residual profit worth queueing for.
+  ExpectedProfitAdmission(SimDuration typical_exec, double min_worth);
+
+  std::string Name() const override { return "expected-profit"; }
+  bool Admit(const Query& query, const AdmissionContext& context) override;
+
+  int64_t RejectedCount() const { return rejected_; }
+
+ private:
+  SimDuration typical_exec_;
+  double min_worth_;
+  int64_t rejected_ = 0;
+};
+
+}  // namespace webdb
+
+#endif  // WEBDB_SCHED_ADMISSION_H_

@@ -1,0 +1,45 @@
+#include "sched/query_policy.h"
+
+#include "util/logging.h"
+
+namespace webdb {
+
+std::string ToString(QueryPolicy policy) {
+  switch (policy) {
+    case QueryPolicy::kFifo:
+      return "fifo";
+    case QueryPolicy::kVrd:
+      return "vrd";
+    case QueryPolicy::kEdf:
+      return "edf";
+    case QueryPolicy::kProfitDensity:
+      return "profit-density";
+    case QueryPolicy::kSjf:
+      return "sjf";
+  }
+  return "?";
+}
+
+double QueryPriority(const Query& q, QueryPolicy policy) {
+  switch (policy) {
+    case QueryPolicy::kFifo:
+      return -static_cast<double>(q.arrival);
+    case QueryPolicy::kVrd: {
+      const double rt_max_ms = ToMillis(q.qc.rt_max());
+      // A contract with no QoS cutoff yields priority 0 (lowest value).
+      return rt_max_ms <= 0.0 ? 0.0 : q.qc.total_max() / rt_max_ms;
+    }
+    case QueryPolicy::kEdf:
+      return -static_cast<double>(q.arrival + q.qc.rt_max());
+    case QueryPolicy::kProfitDensity: {
+      WEBDB_CHECK(q.service_time > 0);
+      return q.qc.total_max() / static_cast<double>(q.service_time);
+    }
+    case QueryPolicy::kSjf:
+      return -static_cast<double>(q.service_time);
+  }
+  WEBDB_CHECK_MSG(false, "unknown query policy");
+  return 0.0;
+}
+
+}  // namespace webdb

@@ -1,0 +1,33 @@
+// Query priority policies for the low-level query queue (Section 3.1 / 3.2).
+//
+// The paper uses VRD (Value over Relative Deadline, Haritsa et al.) for all
+// dual-queue schedulers and for QUTS; FIFO, EDF and profit-density are
+// provided for the ablation study — any of them plugs into the dual-queue
+// and QUTS schedulers, which is exactly the "orthogonal lower level" point
+// the paper makes.
+
+#ifndef WEBDB_SCHED_QUERY_POLICY_H_
+#define WEBDB_SCHED_QUERY_POLICY_H_
+
+#include <string>
+
+#include "txn/transaction.h"
+
+namespace webdb {
+
+enum class QueryPolicy {
+  kFifo,           // earlier arrival first
+  kVrd,            // (qos_max + qod_max) / rt_max, higher first (paper)
+  kEdf,            // earlier absolute deadline (arrival + rt_max) first
+  kProfitDensity,  // total_max / service_time, higher first
+  kSjf,            // shortest service time first (profit-blind baseline)
+};
+
+std::string ToString(QueryPolicy policy);
+
+// Priority value for `q` under `policy`; higher pops first.
+double QueryPriority(const Query& q, QueryPolicy policy);
+
+}  // namespace webdb
+
+#endif  // WEBDB_SCHED_QUERY_POLICY_H_

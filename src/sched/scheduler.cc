@@ -1,0 +1,4 @@
+#include "sched/scheduler.h"
+
+// Interface-only translation unit; keeps the header self-contained and gives
+// the vtable a home when compilers want one.

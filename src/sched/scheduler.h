@@ -1,0 +1,71 @@
+// Scheduler interface between the web-database server and the scheduling
+// policies (baselines in src/sched, QUTS in src/core).
+//
+// The server owns the CPU and the transaction lifecycle; the scheduler owns
+// the waiting queues and the dispatch/preemption policy. The protocol:
+//
+//   arrival            -> OnQueryArrival / OnUpdateArrival
+//   CPU idle           -> PopNext to pick the next transaction
+//   after any arrival  -> ShouldPreempt(running) to decide queue preemption
+//   preempt / restart  -> Requeue puts the transaction back in its queue
+//   commit/drop/inval  -> OnTxnFinished
+//   NextDecisionTime   -> lets time-sliced schedulers (QUTS) request a
+//                         wake-up even when no arrival happens
+
+#ifndef WEBDB_SCHED_SCHEDULER_H_
+#define WEBDB_SCHED_SCHEDULER_H_
+
+#include <string>
+
+#include "txn/transaction.h"
+#include "util/time.h"
+
+namespace webdb {
+
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  virtual std::string Name() const = 0;
+
+  // A freshly arrived query/update enters the scheduler's queues.
+  virtual void OnQueryArrival(Query* query, SimTime now) = 0;
+  virtual void OnUpdateArrival(Update* update, SimTime now) = 0;
+
+  // A preempted or restarted transaction re-enters its queue. (`txn` still
+  // carries its remaining service time; restarted transactions have had it
+  // reset by the server.)
+  virtual void Requeue(Transaction* txn, SimTime now) = 0;
+
+  // Pops the next transaction to dispatch, or nullptr when no work is
+  // queued.
+  virtual Transaction* PopNext(SimTime now) = 0;
+
+  // True when `running` should be preempted in favor of whatever PopNext
+  // would return now. Must not pop.
+  virtual bool ShouldPreempt(const Transaction& running, SimTime now) = 0;
+
+  // Next instant at which preemption must be re-evaluated even without an
+  // arrival (e.g. QUTS atom expiry). kSimTimeMax when event-driven only.
+  virtual SimTime NextDecisionTime(SimTime /*now*/) { return kSimTimeMax; }
+
+  // A dispatched transaction left the system (committed, dropped, or
+  // invalidated). Default: no-op.
+  virtual void OnTxnFinished(const Transaction& /*txn*/, SimTime /*now*/) {}
+
+  // True when at least one transaction is queued.
+  virtual bool HasWork() const = 0;
+
+  // Current queue depths (live entries), for metrics sampling. O(1).
+  virtual int64_t NumQueuedQueries() const = 0;
+  virtual int64_t NumQueuedUpdates() const = 0;
+
+  // Removes a queued transaction (query lifetime drop, update
+  // invalidation). Implementations with lazy queues only need the epoch
+  // bump; exposed virtually so stateful schedulers can adjust accounting.
+  virtual void RemoveQueued(Transaction* txn, SimTime now) = 0;
+};
+
+}  // namespace webdb
+
+#endif  // WEBDB_SCHED_SCHEDULER_H_

@@ -1,0 +1,54 @@
+#include "sched/txn_queue.h"
+
+#include "util/logging.h"
+
+namespace webdb {
+
+void TxnQueue::Push(Transaction* txn, double priority) {
+  WEBDB_CHECK(txn != nullptr);
+  ++txn->enqueue_epoch;
+  heap_.push(Entry{priority, txn->arrival, txn->id, txn->enqueue_epoch, txn});
+  ++live_;
+}
+
+void TxnQueue::DropStale() {
+  while (!heap_.empty() && !IsLive(heap_.top())) heap_.pop();
+}
+
+Transaction* TxnQueue::Peek() const {
+  const_cast<TxnQueue*>(this)->DropStale();
+  return heap_.empty() ? nullptr : heap_.top().txn;
+}
+
+Transaction* TxnQueue::Pop() {
+  DropStale();
+  if (heap_.empty()) return nullptr;
+  Transaction* txn = heap_.top().txn;
+  heap_.pop();
+  WEBDB_CHECK(live_ > 0);
+  --live_;
+  return txn;
+}
+
+bool TxnQueue::Remove(Transaction* txn) {
+  WEBDB_CHECK(txn != nullptr);
+  // The entry itself is invisible from here; the precondition (the caller
+  // only removes transactions it knows are queued here) keeps the depth
+  // math exact.
+  ++txn->enqueue_epoch;
+  WEBDB_CHECK_MSG(live_ > 0, "Remove on a transaction with no live entry");
+  --live_;
+  return true;
+}
+
+size_t TxnQueue::SlowSize() const {
+  auto copy = heap_;
+  size_t n = 0;
+  while (!copy.empty()) {
+    if (IsLive(copy.top())) ++n;
+    copy.pop();
+  }
+  return n;
+}
+
+}  // namespace webdb

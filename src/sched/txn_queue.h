@@ -1,0 +1,76 @@
+// Priority queue of transactions with lazy deletion.
+//
+// Entries carry the priority computed at enqueue time plus the transaction's
+// enqueue epoch; Pop/Peek skip entries whose epoch no longer matches (the
+// transaction was removed, restarted or re-enqueued since). Higher priority
+// pops first; ties break on earlier arrival, then lower id, so ordering is
+// fully deterministic.
+
+#ifndef WEBDB_SCHED_TXN_QUEUE_H_
+#define WEBDB_SCHED_TXN_QUEUE_H_
+
+#include <cstddef>
+#include <queue>
+#include <vector>
+
+#include "txn/transaction.h"
+
+namespace webdb {
+
+class TxnQueue {
+ public:
+  TxnQueue() = default;
+
+  // Enqueues `txn` with the given priority and bumps its enqueue epoch,
+  // invalidating any stale entries for it in any queue. Precondition: `txn`
+  // has no live entry in this queue (the caller pops or Removes first).
+  void Push(Transaction* txn, double priority);
+
+  // Highest-priority live entry, or nullptr when empty.
+  Transaction* Peek() const;
+
+  // Pops and returns the highest-priority live entry, or nullptr.
+  Transaction* Pop();
+
+  // Removes `txn`'s live entry from this queue (lazy: the heap entry turns
+  // stale). Precondition: the transaction HAS a live entry and it is in
+  // this queue.
+  bool Remove(Transaction* txn);
+
+  // Logically removes `txn` without depth bookkeeping — only for callers
+  // that do not know which queue holds the entry. Prefer Remove().
+  static void Invalidate(Transaction* txn) { ++txn->enqueue_epoch; }
+
+  bool Empty() const { return Peek() == nullptr; }
+  // Number of live entries, O(1). Accurate as long as removals go through
+  // Pop()/Remove() rather than the static Invalidate().
+  size_t Size() const { return live_; }
+  // Exact live-entry count by heap scan; for tests.
+  size_t SlowSize() const;
+
+ private:
+  struct Entry {
+    double priority;
+    SimTime arrival;
+    TxnId id;
+    uint64_t epoch;
+    Transaction* txn;
+    // std::priority_queue is a max-heap on operator<.
+    bool operator<(const Entry& o) const {
+      if (priority != o.priority) return priority < o.priority;
+      if (arrival != o.arrival) return arrival > o.arrival;
+      return id > o.id;
+    }
+  };
+
+  bool IsLive(const Entry& e) const { return e.epoch == e.txn->enqueue_epoch; }
+  void DropStale();
+
+  // Mutable so Peek() can shed stale heads.
+  mutable std::priority_queue<Entry> heap_;
+  size_t live_ = 0;
+};
+
+}  // namespace webdb
+
+#endif  // WEBDB_SCHED_TXN_QUEUE_H_

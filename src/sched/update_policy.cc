@@ -1,0 +1,35 @@
+#include "sched/update_policy.h"
+
+#include "util/logging.h"
+
+namespace webdb {
+
+std::string ToString(UpdatePolicy policy) {
+  switch (policy) {
+    case UpdatePolicy::kFifo:
+      return "fifo";
+    case UpdatePolicy::kDemandWeighted:
+      return "demand-weighted";
+  }
+  return "?";
+}
+
+double UpdatePriority(const Update& u, UpdatePolicy policy,
+                      const std::vector<double>* item_weights) {
+  switch (policy) {
+    case UpdatePolicy::kFifo:
+      // fifo_rank, not arrival: a superseding update keeps the register
+      // entry's (per-item) queue position.
+      return -static_cast<double>(u.fifo_rank);
+    case UpdatePolicy::kDemandWeighted: {
+      WEBDB_CHECK(item_weights != nullptr);
+      WEBDB_CHECK(u.item >= 0 &&
+                  static_cast<size_t>(u.item) < item_weights->size());
+      return (*item_weights)[static_cast<size_t>(u.item)];
+    }
+  }
+  WEBDB_CHECK_MSG(false, "unknown update policy");
+  return 0.0;
+}
+
+}  // namespace webdb

@@ -1,0 +1,32 @@
+// Update priority policies for the low-level update queue.
+//
+// The paper uses FIFO ("for its simplicity"). A demand-weighted policy —
+// updates on items that queries ask for more often run first — is provided
+// for the ablation study; it takes a per-item weight table that the caller
+// (server or experiment driver) maintains.
+
+#ifndef WEBDB_SCHED_UPDATE_POLICY_H_
+#define WEBDB_SCHED_UPDATE_POLICY_H_
+
+#include <string>
+#include <vector>
+
+#include "txn/transaction.h"
+
+namespace webdb {
+
+enum class UpdatePolicy {
+  kFifo,            // earlier arrival first (paper)
+  kDemandWeighted,  // higher item weight first, FIFO within equal weight
+};
+
+std::string ToString(UpdatePolicy policy);
+
+// Priority value for `u` under `policy`; higher pops first. `item_weights`
+// may be null for kFifo; for kDemandWeighted it must cover u.item.
+double UpdatePriority(const Update& u, UpdatePolicy policy,
+                      const std::vector<double>* item_weights);
+
+}  // namespace webdb
+
+#endif  // WEBDB_SCHED_UPDATE_POLICY_H_

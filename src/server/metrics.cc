@@ -1,0 +1,37 @@
+#include "server/metrics.h"
+
+#include <sstream>
+
+namespace webdb {
+
+ServerMetrics::ServerMetrics()
+    // 1 ms .. ~9.3 hours in 25 geometric buckets.
+    : response_time_hist(Histogram::Exponential(1.0, 2.0, 25)) {}
+
+void ServerMetrics::OnQueryCommitted(SimDuration response_time,
+                                     double staleness_value) {
+  const double rt_ms = ToMillis(response_time);
+  response_time_ms.Add(rt_ms);
+  response_time_hist.Add(rt_ms);
+  staleness.Add(staleness_value);
+}
+
+std::string ServerMetrics::Summary() const {
+  std::ostringstream out;
+  out << "queries: submitted=" << queries_submitted
+      << " committed=" << queries_committed << " expired=" << queries_expired
+      << " dropped=" << queries_dropped << " rejected=" << queries_rejected
+      << " restarts=" << query_restarts << '\n';
+  out << "updates: submitted=" << updates_submitted
+      << " applied=" << updates_applied
+      << " invalidated=" << updates_invalidated
+      << " restarts=" << update_restarts << '\n';
+  out << "preemptions=" << preemptions << '\n';
+  out << "avg response time = " << response_time_ms.mean() << " ms (p50 "
+      << response_time_hist.Quantile(0.5) << ", p99 "
+      << response_time_hist.Quantile(0.99) << ")\n";
+  out << "avg staleness = " << staleness.mean() << '\n';
+  return out.str();
+}
+
+}  // namespace webdb

@@ -1,0 +1,65 @@
+// Server-side performance counters and distributions: everything the
+// experiment harness reports that is not profit (profit lives in
+// qc/ProfitLedger).
+
+#ifndef WEBDB_SERVER_METRICS_H_
+#define WEBDB_SERVER_METRICS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/histogram.h"
+#include "util/stats.h"
+#include "util/time.h"
+
+namespace webdb {
+
+class ServerMetrics {
+ public:
+  ServerMetrics();
+
+  // --- transaction lifecycle counters -------------------------------------
+  int64_t queries_submitted = 0;
+  int64_t queries_committed = 0;
+  // Committed, but after the lifetime deadline: earns zero profit.
+  int64_t queries_expired = 0;
+  // Dropped from the queue at the lifetime deadline.
+  int64_t queries_dropped = 0;
+  // Refused by admission control at submission time.
+  int64_t queries_rejected = 0;
+  int64_t query_restarts = 0;
+
+  int64_t updates_submitted = 0;
+  int64_t updates_applied = 0;
+  int64_t updates_invalidated = 0;
+  int64_t update_restarts = 0;
+
+  int64_t preemptions = 0;
+
+  // --- distributions over committed queries --------------------------------
+  RunningStats response_time_ms;
+  RunningStats staleness;  // in the configured metric's unit
+  Histogram response_time_hist;
+  // Arrival -> applied lag of committed updates (the freshness pipeline).
+  RunningStats update_latency_ms;
+
+  // Periodic queue-depth samples (only when ServerConfig::
+  // queue_sample_period > 0).
+  struct QueueSample {
+    SimTime time;
+    int64_t queries;
+    int64_t updates;
+  };
+  std::vector<QueueSample> queue_samples;
+
+  // --- recorders ------------------------------------------------------------
+  void OnQueryCommitted(SimDuration response_time, double staleness_value);
+
+  // Multi-line summary for examples and debugging.
+  std::string Summary() const;
+};
+
+}  // namespace webdb
+
+#endif  // WEBDB_SERVER_METRICS_H_

@@ -1,0 +1,348 @@
+#include "server/web_database_server.h"
+
+#include <algorithm>
+#include <memory>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace webdb {
+
+WebDatabaseServer::WebDatabaseServer(Database* database, Scheduler* scheduler,
+                                     ServerConfig config)
+    : db_(database),
+      sched_(scheduler),
+      config_(config),
+      owned_sim_(std::make_unique<Simulator>()),
+      sim_(owned_sim_.get()),
+      cpu_(sim_) {
+  WEBDB_CHECK(database != nullptr && scheduler != nullptr);
+}
+
+WebDatabaseServer::WebDatabaseServer(Simulator* simulator, Database* database,
+                                     Scheduler* scheduler, ServerConfig config)
+    : db_(database),
+      sched_(scheduler),
+      config_(config),
+      sim_(simulator),
+      cpu_(sim_) {
+  WEBDB_CHECK(simulator != nullptr);
+  WEBDB_CHECK(database != nullptr && scheduler != nullptr);
+}
+
+Transaction* WebDatabaseServer::Lookup(TxnId id) {
+  WEBDB_CHECK(id != 0);
+  const uint64_t index = TxnIndex(id);
+  if (IsUpdateTxnId(id)) {
+    WEBDB_CHECK(index < updates_.size());
+    return &updates_[index];
+  }
+  WEBDB_CHECK(index < queries_.size());
+  return &queries_[index];
+}
+
+Query& WebDatabaseServer::QueryFor(TxnId id) {
+  WEBDB_CHECK(!IsUpdateTxnId(id));
+  return *static_cast<Query*>(Lookup(id));
+}
+
+Update& WebDatabaseServer::UpdateFor(TxnId id) {
+  WEBDB_CHECK(IsUpdateTxnId(id));
+  return *static_cast<Update*>(Lookup(id));
+}
+
+Query* WebDatabaseServer::SubmitQuery(QueryType type,
+                                      std::vector<ItemId> items,
+                                      QualityContract qc,
+                                      SimDuration exec_time) {
+  WEBDB_CHECK(exec_time > 0);
+  for (ItemId item : items) {
+    WEBDB_CHECK(item >= 0 && item < db_->NumItems());
+  }
+  queries_.emplace_back();
+  Query& query = queries_.back();
+  query.id = QueryTxnId(queries_.size() - 1);
+  query.kind = TxnKind::kQuery;
+  query.state = TxnState::kQueued;
+  query.arrival = sim_->Now();
+  query.service_time = exec_time;
+  query.remaining = exec_time;
+  query.type = type;
+  query.items = std::move(items);
+  query.qc = std::move(qc);
+
+  ++metrics_.queries_submitted;
+  // Rejected queries still count against the submitted maximum: turning a
+  // user away is not free profit-wise.
+  ledger_.OnQuerySubmitted(query.qc, sim_->Now());
+  if (config_.admission != nullptr) {
+    const AdmissionContext context{sim_->Now(), sched_->NumQueuedQueries(),
+                                   sched_->NumQueuedUpdates(), cpu_.busy()};
+    if (!config_.admission->Admit(query, context)) {
+      query.state = TxnState::kRejected;
+      ++metrics_.queries_rejected;
+      return &query;
+    }
+  }
+
+  if (config_.lifetime_factor > 0.0) {
+    const auto lifetime = std::max<SimDuration>(
+        config_.min_lifetime,
+        static_cast<SimDuration>(config_.lifetime_factor *
+                                 static_cast<double>(query.qc.rt_max())));
+    query.lifetime_deadline = query.arrival + lifetime;
+    const TxnId id = query.id;
+    sim_->ScheduleAt(query.lifetime_deadline,
+                    [this, id] { OnLifetimeDeadline(id); });
+  }
+
+  sched_->OnQueryArrival(&query, sim_->Now());
+  OnSchedulingEvent();
+  return &query;
+}
+
+Update* WebDatabaseServer::SubmitUpdate(ItemId item, double value,
+                                        SimDuration exec_time) {
+  WEBDB_CHECK(exec_time > 0);
+  WEBDB_CHECK(item >= 0 && item < db_->NumItems());
+  updates_.emplace_back();
+  Update& update = updates_.back();
+  update.id = UpdateTxnId(updates_.size() - 1);
+  update.kind = TxnKind::kUpdate;
+  update.state = TxnState::kQueued;
+  update.arrival = sim_->Now();
+  update.service_time = exec_time;
+  update.remaining = exec_time;
+  update.item = item;
+  update.value = value;
+  update.item_arrival_seq = db_->RecordUpdateArrival(item, value, sim_->Now());
+  update.fifo_rank = update.arrival;
+  ++metrics_.updates_submitted;
+
+  // Write-write handling (Section 2.1): the new arrival supersedes both a
+  // pending (queued) update and an already-dispatched one on the same item —
+  // the older update is simply dropped. The register table has one entry per
+  // item, so the new update inherits the dropped one's queue position
+  // (fifo_rank) instead of starting over at the tail.
+  const uint64_t superseded = register_.Register(item, update.id);
+  if (superseded != 0) {
+    Update& old = UpdateFor(superseded);
+    update.fifo_rank = old.fifo_rank;
+    InvalidateUpdate(old);
+  }
+  auto active_it = active_updates_.find(item);
+  if (active_it != active_updates_.end()) {
+    Update& old = *active_it->second;
+    update.fifo_rank = std::min(update.fifo_rank, old.fifo_rank);
+    InvalidateUpdate(old);
+  }
+
+  sched_->OnUpdateArrival(&update, sim_->Now());
+  OnSchedulingEvent();
+  return &update;
+}
+
+void WebDatabaseServer::InvalidateUpdate(Update& update) {
+  WEBDB_CHECK(update.state == TxnState::kQueued ||
+              update.state == TxnState::kRunning);
+  if (update.state == TxnState::kRunning) {
+    WEBDB_CHECK(cpu_.busy() && cpu_.current_task() == update.id);
+    cpu_.Abort();
+  } else {
+    sched_->RemoveQueued(&update, sim_->Now());
+  }
+  locks_.ReleaseAll(update.id);
+  active_updates_.erase(update.item);
+  register_.Remove(update.item, update.id);
+  update.state = TxnState::kInvalidated;
+  ++metrics_.updates_invalidated;
+  db_->RecordInvalidation(update.item);
+}
+
+void WebDatabaseServer::OnSchedulingEvent() {
+  // Completion/abort callbacks and arrivals both land here; the guard keeps
+  // accidental re-entry (e.g. through a future scheduler callback) harmless.
+  if (in_scheduling_event_) return;
+  in_scheduling_event_ = true;
+
+  if (cpu_.busy()) {
+    Transaction* running = Lookup(cpu_.current_task());
+    if (sched_->ShouldPreempt(*running, sim_->Now())) {
+      PreemptRunning();
+    }
+  }
+  while (!cpu_.busy()) {
+    Transaction* next = sched_->PopNext(sim_->Now());
+    if (next == nullptr) break;
+    Dispatch(next);
+  }
+
+  in_scheduling_event_ = false;
+  ScheduleWake();
+  MaybeStartSampling();
+}
+
+void WebDatabaseServer::MaybeStartSampling() {
+  if (config_.queue_sample_period <= 0 || sampling_active_) return;
+  if (!cpu_.busy() && !sched_->HasWork()) return;
+  sampling_active_ = true;
+  sim_->ScheduleAfter(config_.queue_sample_period, [this] { SampleQueues(); });
+}
+
+void WebDatabaseServer::SampleQueues() {
+  metrics_.queue_samples.push_back(ServerMetrics::QueueSample{
+      sim_->Now(), sched_->NumQueuedQueries(), sched_->NumQueuedUpdates()});
+  if (cpu_.busy() || sched_->HasWork()) {
+    sim_->ScheduleAfter(config_.queue_sample_period,
+                       [this] { SampleQueues(); });
+  } else {
+    sampling_active_ = false;
+  }
+}
+
+bool WebDatabaseServer::IsQuiescent() const {
+  return !cpu_.busy() && !sched_->HasWork() &&
+         locks_.NumLockedItems() == 0 && register_.Size() == 0 &&
+         active_updates_.empty();
+}
+
+void WebDatabaseServer::PreemptRunning() {
+  Transaction* running = Lookup(cpu_.current_task());
+  running->remaining = std::max<SimDuration>(1, cpu_.Preempt());
+  running->state = TxnState::kQueued;  // preempt-resume: locks are retained
+  ++metrics_.preemptions;
+  sched_->Requeue(running, sim_->Now());
+}
+
+void WebDatabaseServer::ResolveConflicts(Transaction* txn, LockMode mode,
+                                         const std::vector<ItemId>& items) {
+  // With a single CPU the only possible holders are transactions preempted
+  // mid-execution. The transaction being dispatched embodies the scheduler's
+  // current priority, so under 2PL-HP every conflicting holder is the loser
+  // and restarts (releasing its locks and its progress).
+  for (TxnId holder_id : locks_.Conflicts(txn->id, mode, items)) {
+    Transaction* holder = Lookup(holder_id);
+    WEBDB_CHECK_MSG(holder->state == TxnState::kQueued,
+                    "lock held by a transaction that is not preempted");
+    Restart(holder);
+  }
+}
+
+void WebDatabaseServer::Restart(Transaction* txn) {
+  locks_.ReleaseAll(txn->id);
+  txn->remaining = txn->service_time;
+  ++txn->restarts;
+  if (txn->kind == TxnKind::kQuery) {
+    ++metrics_.query_restarts;
+  } else {
+    // A restarted update is still the newest arrival for its item (a newer
+    // one would have invalidated it), so it goes back to pending state.
+    auto& update = *static_cast<Update*>(txn);
+    active_updates_.erase(update.item);
+    register_.Register(update.item, update.id);
+    ++metrics_.update_restarts;
+  }
+  txn->state = TxnState::kQueued;
+  sched_->Requeue(txn, sim_->Now());
+}
+
+void WebDatabaseServer::Dispatch(Transaction* txn) {
+  WEBDB_CHECK(txn->state == TxnState::kQueued);
+  if (txn->kind == TxnKind::kQuery) {
+    auto& query = *static_cast<Query*>(txn);
+    if (config_.enable_2plhp) {
+      ResolveConflicts(txn, LockMode::kShared, query.items);
+      locks_.Acquire(txn->id, LockMode::kShared, query.items);
+    }
+  } else {
+    auto& update = *static_cast<Update*>(txn);
+    const std::vector<ItemId> items = {update.item};
+    if (config_.enable_2plhp) {
+      ResolveConflicts(txn, LockMode::kExclusive, items);
+      locks_.Acquire(txn->id, LockMode::kExclusive, items);
+    }
+    register_.Remove(update.item, update.id);
+    active_updates_[update.item] = &update;
+  }
+  txn->state = TxnState::kRunning;
+  txn->remaining = std::max<SimDuration>(1, txn->remaining);
+  cpu_.Start(txn->id, txn->remaining + config_.dispatch_overhead,
+             [this](TxnId id) { OnTxnComplete(id); });
+}
+
+void WebDatabaseServer::OnTxnComplete(TxnId id) {
+  Transaction* txn = Lookup(id);
+  WEBDB_CHECK(txn->state == TxnState::kRunning);
+  txn->remaining = 0;
+  if (txn->kind == TxnKind::kQuery) {
+    CommitQuery(*static_cast<Query*>(txn));
+  } else {
+    ApplyUpdate(*static_cast<Update*>(txn));
+  }
+  locks_.ReleaseAll(id);
+  sched_->OnTxnFinished(*txn, sim_->Now());
+  OnSchedulingEvent();
+}
+
+void WebDatabaseServer::CommitQuery(Query& query) {
+  query.state = TxnState::kCommitted;
+  query.commit_time = sim_->Now();
+  query.staleness =
+      QueryStaleness(*db_, query.items, config_.staleness_metric,
+                     config_.staleness_combiner, sim_->Now());
+  if (sim_->Now() > query.lifetime_deadline) {
+    // Finished past the maximum lifetime: QoS-Independent QCs pay nothing.
+    query.profit = QualityContract::Evaluation{};
+    ++metrics_.queries_expired;
+  } else {
+    query.profit = query.qc.Evaluate(query.ResponseTime(), query.staleness);
+  }
+  ++metrics_.queries_committed;
+  metrics_.OnQueryCommitted(query.ResponseTime(), query.staleness);
+  ledger_.OnQueryCommitted(query.profit, sim_->Now());
+}
+
+void WebDatabaseServer::ApplyUpdate(Update& update) {
+  update.state = TxnState::kCommitted;
+  update.commit_time = sim_->Now();
+  db_->ApplyUpdate(update.item, update.item_arrival_seq, update.value,
+                   sim_->Now());
+  active_updates_.erase(update.item);
+  ++metrics_.updates_applied;
+  metrics_.update_latency_ms.Add(ToMillis(update.ApplyLatency()));
+}
+
+void WebDatabaseServer::OnLifetimeDeadline(TxnId id) {
+  Query& query = QueryFor(id);
+  if (query.state != TxnState::kQueued) return;  // committed or running
+  sched_->RemoveQueued(&query, sim_->Now());
+  locks_.ReleaseAll(id);  // it may have been preempted while holding locks
+  query.state = TxnState::kDropped;
+  ++metrics_.queries_dropped;
+  OnSchedulingEvent();
+}
+
+void WebDatabaseServer::ScheduleWake() {
+  const SimTime t = sched_->NextDecisionTime(sim_->Now());
+  if (t == wake_time_ && wake_event_ != 0 && sim_->IsPending(wake_event_)) {
+    return;
+  }
+  if (wake_event_ != 0) sim_->Cancel(wake_event_);
+  wake_event_ = 0;
+  wake_time_ = kSimTimeMax;
+  if (t == kSimTimeMax) return;
+  wake_time_ = std::max(t, sim_->Now());
+  wake_event_ = sim_->ScheduleAt(wake_time_, [this] {
+    wake_event_ = 0;
+    wake_time_ = kSimTimeMax;
+    OnSchedulingEvent();
+  });
+}
+
+double WebDatabaseServer::CpuUtilization() const {
+  const SimTime now = sim_->Now();
+  if (now <= 0) return 0.0;
+  return static_cast<double>(cpu_.TotalBusyTime()) / static_cast<double>(now);
+}
+
+}  // namespace webdb

@@ -1,0 +1,145 @@
+// WebDatabaseServer: the simulated main-memory web-database of Section 2.
+//
+// Owns the event loop glue between the discrete-event simulator, the single
+// preemptible CPU, the database (+ update register), the 2PL-HP lock
+// manager, a pluggable scheduler, and the profit ledger. Clients submit
+// read-only queries (with Quality Contracts) and blind updates; the server
+// plays out the schedule and accounts response time, staleness, and profit.
+//
+// Lifecycle of a query:
+//   Submit -> scheduler queue -> dispatch (read-lock item set) -> [preempt /
+//   2PL-HP restart]* -> commit (measure response time + staleness, evaluate
+//   QC) | drop at lifetime deadline.
+// Lifecycle of an update:
+//   Submit (register; invalidate older pending/active update on the item)
+//   -> dispatch (write-lock item) -> [preempt / restart]* -> apply | be
+//   invalidated by a newer arrival.
+
+#ifndef WEBDB_SERVER_WEB_DATABASE_SERVER_H_
+#define WEBDB_SERVER_WEB_DATABASE_SERVER_H_
+
+#include <deque>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "db/database.h"
+#include "db/staleness.h"
+#include "db/update_register.h"
+#include "qc/profit_ledger.h"
+#include "qc/quality_contract.h"
+#include "sched/scheduler.h"
+#include "server/metrics.h"
+#include "server/server_config.h"
+#include "sim/processor.h"
+#include "sim/simulator.h"
+#include "txn/lock_manager.h"
+#include "txn/transaction.h"
+
+namespace webdb {
+
+class WebDatabaseServer {
+ public:
+  // `database` and `scheduler` must outlive the server; not owned. The
+  // server owns its simulator.
+  WebDatabaseServer(Database* database, Scheduler* scheduler,
+                    ServerConfig config = ServerConfig());
+
+  // Shares an external simulator (several servers on one clock — the
+  // replicated-cluster substrate). `simulator` must outlive the server.
+  WebDatabaseServer(Simulator* simulator, Database* database,
+                    Scheduler* scheduler, ServerConfig config = ServerConfig());
+
+  WebDatabaseServer(const WebDatabaseServer&) = delete;
+  WebDatabaseServer& operator=(const WebDatabaseServer&) = delete;
+
+  // --- submission (at the simulator's current time) ------------------------
+  // Returns the created query; the pointer stays valid for the server's
+  // lifetime. `items` must be valid ids of the database.
+  Query* SubmitQuery(QueryType type, std::vector<ItemId> items,
+                     QualityContract qc, SimDuration exec_time);
+
+  Update* SubmitUpdate(ItemId item, double value, SimDuration exec_time);
+
+  // --- simulation control ---------------------------------------------------
+  Simulator& sim() { return *sim_; }
+  SimTime Now() const { return sim_->Now(); }
+  // Runs until every pending event (arrivals already submitted, executions,
+  // deadlines) has fired.
+  void Run() { sim_->Run(); }
+  void RunUntil(SimTime t) { sim_->RunUntil(t); }
+
+  // --- results ---------------------------------------------------------------
+  const ProfitLedger& ledger() const { return ledger_; }
+  const ServerMetrics& metrics() const { return metrics_; }
+  const Database& database() const { return *db_; }
+  const Scheduler& scheduler() const { return *sched_; }
+  const ServerConfig& config() const { return config_; }
+  const std::deque<Query>& queries() const { return queries_; }
+  const std::deque<Update>& updates() const { return updates_; }
+  double CpuUtilization() const;
+
+  // True when no transaction is in flight and no resource is held: CPU
+  // idle, scheduler queues empty, no locks, no pending register entries, no
+  // active updates. Holds after Run() drains; the stress tests assert it.
+  bool IsQuiescent() const;
+
+  // True while a transaction occupies the CPU.
+  bool IsCpuBusy() const { return cpu_.busy(); }
+
+ private:
+  Transaction* Lookup(TxnId id);
+  Query& QueryFor(TxnId id);
+  Update& UpdateFor(TxnId id);
+
+  // Re-evaluates preemption / dispatch after any state change.
+  void OnSchedulingEvent();
+  // Dispatches `txn` onto the CPU, resolving 2PL-HP conflicts first.
+  void Dispatch(Transaction* txn);
+  void ResolveConflicts(Transaction* txn, LockMode mode,
+                        const std::vector<ItemId>& items);
+  // 2PL-HP loser path: releases locks, resets progress, re-queues.
+  void Restart(Transaction* txn);
+  void PreemptRunning();
+  void OnTxnComplete(TxnId id);
+  void CommitQuery(Query& query);
+  void ApplyUpdate(Update& update);
+  // Drops a superseded update (pending or preempted-active).
+  void InvalidateUpdate(Update& update);
+  void OnLifetimeDeadline(TxnId id);
+  // Keeps a wake-up event armed for the scheduler's next decision time.
+  void ScheduleWake();
+
+  Database* db_;
+  Scheduler* sched_;
+  ServerConfig config_;
+
+  std::unique_ptr<Simulator> owned_sim_;  // null when sharing
+  Simulator* sim_;
+  Processor cpu_;
+  LockManager locks_;
+  UpdateRegister register_;
+  ProfitLedger ledger_;
+  ServerMetrics metrics_;
+
+  // Owned transaction storage; std::deque gives stable addresses.
+  std::deque<Query> queries_;
+  std::deque<Update> updates_;
+
+  // Updates that were dispatched at least once and are still alive (running
+  // or preempted); at most one per item. Needed for write-write drops of
+  // already-dispatched updates.
+  std::unordered_map<ItemId, Update*> active_updates_;
+
+  EventId wake_event_ = 0;
+  SimTime wake_time_ = kSimTimeMax;
+  bool in_scheduling_event_ = false;
+  bool sampling_active_ = false;
+
+  void MaybeStartSampling();
+  void SampleQueues();
+};
+
+}  // namespace webdb
+
+#endif  // WEBDB_SERVER_WEB_DATABASE_SERVER_H_

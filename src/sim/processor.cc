@@ -1,0 +1,68 @@
+#include "sim/processor.h"
+
+#include <utility>
+
+#include "util/logging.h"
+
+namespace webdb {
+
+Processor::Processor(Simulator* sim) : sim_(sim) { WEBDB_CHECK(sim != nullptr); }
+
+void Processor::Start(uint64_t task_id, SimDuration remaining,
+                      std::function<void(uint64_t)> on_complete) {
+  WEBDB_CHECK_MSG(!busy_, "Start on a busy processor");
+  WEBDB_CHECK(remaining > 0);
+  busy_ = true;
+  task_ = task_id;
+  start_time_ = sim_->Now();
+  budget_ = remaining;
+  on_complete_ = std::move(on_complete);
+  completion_event_ = sim_->ScheduleAfter(remaining, [this] {
+    const uint64_t done = task_;
+    total_busy_ += budget_;
+    busy_ = false;
+    completion_event_ = 0;
+    auto cb = std::move(on_complete_);
+    on_complete_ = nullptr;
+    cb(done);
+  });
+}
+
+SimDuration Processor::Preempt() {
+  WEBDB_CHECK_MSG(busy_, "Preempt on an idle processor");
+  const SimDuration remaining = Remaining();
+  Stop();
+  return remaining;
+}
+
+void Processor::Abort() {
+  WEBDB_CHECK_MSG(busy_, "Abort on an idle processor");
+  Stop();
+}
+
+void Processor::Stop() {
+  total_busy_ += Elapsed();
+  sim_->Cancel(completion_event_);
+  completion_event_ = 0;
+  busy_ = false;
+  on_complete_ = nullptr;
+}
+
+uint64_t Processor::current_task() const {
+  WEBDB_CHECK(busy_);
+  return task_;
+}
+
+SimDuration Processor::Elapsed() const {
+  WEBDB_CHECK(busy_);
+  return sim_->Now() - start_time_;
+}
+
+SimDuration Processor::Remaining() const {
+  WEBDB_CHECK(busy_);
+  return budget_ - Elapsed();
+}
+
+SimDuration Processor::TotalBusyTime() const { return total_busy_; }
+
+}  // namespace webdb

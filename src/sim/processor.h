@@ -1,0 +1,66 @@
+// Preemptible single-CPU processor model.
+//
+// The processor runs one task at a time. A task is identified by an opaque
+// id and has a remaining service time; preemption returns the remaining time
+// so a preempt-resume scheduler can re-dispatch the task later without losing
+// progress, while a 2PL-HP restart simply discards it.
+
+#ifndef WEBDB_SIM_PROCESSOR_H_
+#define WEBDB_SIM_PROCESSOR_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "sim/simulator.h"
+#include "util/time.h"
+
+namespace webdb {
+
+class Processor {
+ public:
+  explicit Processor(Simulator* sim);
+
+  Processor(const Processor&) = delete;
+  Processor& operator=(const Processor&) = delete;
+
+  // Begins executing `task_id` for `remaining` (> 0) microseconds. The
+  // processor must be idle. `on_complete` fires when the service time
+  // elapses uninterrupted; the processor is idle again by the time it runs.
+  void Start(uint64_t task_id, SimDuration remaining,
+             std::function<void(uint64_t)> on_complete);
+
+  // Stops the current task and returns its remaining service time (>= 0).
+  // The processor must be busy.
+  SimDuration Preempt();
+
+  // Stops and discards the current task (2PL-HP restart / abort path).
+  // The processor must be busy.
+  void Abort();
+
+  bool busy() const { return busy_; }
+  // Id of the task currently executing. Requires busy().
+  uint64_t current_task() const;
+  // Time already spent on the current task in this dispatch. Requires busy().
+  SimDuration Elapsed() const;
+  // Remaining service time of the current task. Requires busy().
+  SimDuration Remaining() const;
+
+  // Cumulative busy time, for utilization accounting.
+  SimDuration TotalBusyTime() const;
+
+ private:
+  void Stop();
+
+  Simulator* sim_;
+  bool busy_ = false;
+  uint64_t task_ = 0;
+  SimTime start_time_ = 0;
+  SimDuration budget_ = 0;
+  EventId completion_event_ = 0;
+  std::function<void(uint64_t)> on_complete_;
+  SimDuration total_busy_ = 0;
+};
+
+}  // namespace webdb
+
+#endif  // WEBDB_SIM_PROCESSOR_H_

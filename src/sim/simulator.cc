@@ -1,0 +1,63 @@
+#include "sim/simulator.h"
+
+#include <utility>
+
+#include "util/logging.h"
+
+namespace webdb {
+
+EventId Simulator::ScheduleAt(SimTime t, std::function<void()> fn) {
+  WEBDB_CHECK_MSG(t >= now_, "cannot schedule into the past");
+  const uint64_t seq = next_seq_++;
+  const EventId id = seq;  // seq doubles as the id; both are unique
+  heap_.push(HeapEntry{t, seq, id});
+  callbacks_.emplace(id, std::move(fn));
+  return id;
+}
+
+EventId Simulator::ScheduleAfter(SimDuration delay, std::function<void()> fn) {
+  WEBDB_CHECK(delay >= 0);
+  return ScheduleAt(now_ + delay, std::move(fn));
+}
+
+bool Simulator::Cancel(EventId id) { return callbacks_.erase(id) > 0; }
+
+bool Simulator::IsPending(EventId id) const {
+  return callbacks_.count(id) > 0;
+}
+
+bool Simulator::Step() {
+  while (!heap_.empty()) {
+    const HeapEntry top = heap_.top();
+    heap_.pop();
+    auto it = callbacks_.find(top.id);
+    if (it == callbacks_.end()) continue;  // cancelled
+    std::function<void()> fn = std::move(it->second);
+    callbacks_.erase(it);
+    now_ = top.time;
+    ++executed_;
+    fn();
+    return true;
+  }
+  return false;
+}
+
+void Simulator::Run() {
+  while (Step()) {
+  }
+}
+
+void Simulator::RunUntil(SimTime t) {
+  while (!heap_.empty()) {
+    // Skip cancelled heads without advancing time.
+    if (callbacks_.find(heap_.top().id) == callbacks_.end()) {
+      heap_.pop();
+      continue;
+    }
+    if (heap_.top().time > t) break;
+    Step();
+  }
+  if (now_ < t) now_ = t;
+}
+
+}  // namespace webdb

@@ -1,0 +1,83 @@
+// Discrete-event simulation core.
+//
+// The simulator owns a priority queue of timestamped callbacks. Events with
+// equal timestamps fire in scheduling order (stable (time, seq) ordering), so
+// runs are fully deterministic. Cancellation is lazy: a cancelled event stays
+// in the heap but its callback is dropped.
+
+#ifndef WEBDB_SIM_SIMULATOR_H_
+#define WEBDB_SIM_SIMULATOR_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "util/time.h"
+
+namespace webdb {
+
+// Handle for cancelling a scheduled event. 0 is never a valid id.
+using EventId = uint64_t;
+
+class Simulator {
+ public:
+  Simulator() = default;
+
+  // Non-copyable: event callbacks capture `this`-adjacent state.
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  SimTime Now() const { return now_; }
+
+  // Schedules `fn` to run at absolute time `t` (must be >= Now()).
+  EventId ScheduleAt(SimTime t, std::function<void()> fn);
+
+  // Schedules `fn` to run `delay` (>= 0) after Now().
+  EventId ScheduleAfter(SimDuration delay, std::function<void()> fn);
+
+  // Cancels a pending event. Returns false if it already fired or was
+  // cancelled before.
+  bool Cancel(EventId id);
+
+  // True if `id` is still pending.
+  bool IsPending(EventId id) const;
+
+  // Runs the next pending event, advancing the clock. Returns false when the
+  // queue is empty.
+  bool Step();
+
+  // Runs events until the queue drains.
+  void Run();
+
+  // Runs events with timestamp <= `t`, then advances the clock to `t` (if it
+  // is not already past).
+  void RunUntil(SimTime t);
+
+  size_t NumPending() const { return callbacks_.size(); }
+  uint64_t NumExecuted() const { return executed_; }
+
+ private:
+  struct HeapEntry {
+    SimTime time;
+    uint64_t seq;
+    EventId id;
+    bool operator>(const HeapEntry& o) const {
+      return time != o.time ? time > o.time : seq > o.seq;
+    }
+  };
+
+  SimTime now_ = 0;
+  uint64_t next_seq_ = 1;
+  uint64_t executed_ = 0;
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>,
+                      std::greater<HeapEntry>>
+      heap_;
+  std::unordered_map<EventId, std::function<void()>> callbacks_;
+};
+
+}  // namespace webdb
+
+#endif  // WEBDB_SIM_SIMULATOR_H_

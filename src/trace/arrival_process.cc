@@ -1,0 +1,101 @@
+#include "trace/arrival_process.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include "util/logging.h"
+
+namespace webdb {
+
+std::vector<SimTime> GenerateArrivals(Rng& rng, const RateProfile& profile,
+                                      double rate_max, SimDuration duration) {
+  WEBDB_CHECK(rate_max > 0.0 && duration > 0);
+  std::vector<SimTime> arrivals;
+  const double horizon = ToSeconds(duration);
+  double t = 0.0;
+  while (true) {
+    t += rng.Exponential(rate_max);
+    if (t >= horizon) break;
+    const double rate = std::clamp(profile(t), 0.0, rate_max);
+    if (rng.NextDouble() * rate_max < rate) {
+      arrivals.push_back(static_cast<SimTime>(t * 1e6));
+    }
+  }
+  return arrivals;
+}
+
+RateProfile WobblyRate(double base_rate, double wobble, int spike_count,
+                       double spike_gain, double spike_len_s,
+                       SimDuration duration, Rng& rng) {
+  WEBDB_CHECK(base_rate > 0.0 && wobble >= 0.0 && wobble < 1.0);
+  WEBDB_CHECK(spike_count >= 0 && spike_gain >= 1.0 && spike_len_s > 0.0);
+  const double horizon = ToSeconds(duration);
+  // Random phase so different seeds wobble differently.
+  const double phase = rng.Uniform(0.0, 2.0 * 3.14159265358979323846);
+  auto spikes = std::make_shared<std::vector<double>>();
+  for (int i = 0; i < spike_count; ++i) {
+    spikes->push_back(rng.Uniform(0.0, horizon));
+  }
+  return [=](double t) {
+    double rate =
+        base_rate *
+        (1.0 + wobble * std::sin(phase + 2.0 * 3.14159265358979323846 * t /
+                                             (horizon / 3.0)));
+    for (double s : *spikes) {
+      if (t >= s && t < s + spike_len_s) rate *= spike_gain;
+    }
+    return rate;
+  };
+}
+
+RateProfile DecayingRate(double start_rate, double end_rate, double noise,
+                         SimDuration duration, Rng& rng) {
+  WEBDB_CHECK(start_rate > 0.0 && end_rate > 0.0);
+  WEBDB_CHECK(noise >= 0.0 && noise < 1.0);
+  const double horizon = ToSeconds(duration);
+  // One multiplicative noise factor per second, fixed up front so the
+  // profile is a pure function of t.
+  auto factors = std::make_shared<std::vector<double>>();
+  const size_t steps = static_cast<size_t>(horizon) + 1;
+  factors->reserve(steps);
+  for (size_t i = 0; i < steps; ++i) {
+    factors->push_back(1.0 + rng.Uniform(-noise, noise));
+  }
+  return [=](double t) {
+    const double frac = std::clamp(t / horizon, 0.0, 1.0);
+    const double base = start_rate + (end_rate - start_rate) * frac;
+    const size_t i =
+        std::min(static_cast<size_t>(t), factors->size() - 1);
+    return base * (*factors)[i];
+  };
+}
+
+RateProfile OnOffRate(double on_rate, double off_rate, double on_mean_s,
+                      double off_mean_s, SimDuration duration, Rng& rng) {
+  WEBDB_CHECK(on_rate > 0.0 && off_rate >= 0.0);
+  WEBDB_CHECK(on_mean_s > 0.0 && off_mean_s > 0.0);
+  const double horizon = ToSeconds(duration);
+  // Precompute the state-change instants so the profile is a pure function.
+  auto switches = std::make_shared<std::vector<double>>();
+  bool on = false;  // start off; index parity encodes the state
+  double t = 0.0;
+  while (t < horizon) {
+    t += rng.Exponential(1.0 / (on ? on_mean_s : off_mean_s));
+    switches->push_back(t);
+    on = !on;
+  }
+  return [=](double time) {
+    // Number of switches before `time`: even -> off, odd -> on.
+    const auto it =
+        std::upper_bound(switches->begin(), switches->end(), time);
+    const bool is_on = ((it - switches->begin()) % 2) == 1;
+    return is_on ? on_rate : off_rate;
+  };
+}
+
+double ProfileRateBound(double base_rate, double wobble, double spike_gain) {
+  return base_rate * (1.0 + wobble) * std::max(1.0, spike_gain) * 1.05;
+}
+
+}  // namespace webdb

@@ -1,0 +1,164 @@
+#include "trace/stock_trace_generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "trace/arrival_process.h"
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace webdb {
+
+StockTraceConfig StockTraceConfig::Small(uint64_t seed) {
+  StockTraceConfig config;
+  config.seed = seed;
+  config.num_stocks = 64;
+  config.duration = Seconds(10);
+  config.query_rate = 20.0;
+  config.query_spike_count = 1;
+  config.update_rate_start = 60.0;
+  config.update_rate_end = 30.0;
+  return config;
+}
+
+namespace {
+
+QueryType DrawQueryType(const StockTraceConfig& config, Rng& rng) {
+  const double u = rng.NextDouble();
+  if (u < config.lookup_frac) return QueryType::kLookup;
+  if (u < config.lookup_frac + config.moving_average_frac) {
+    return QueryType::kMovingAverage;
+  }
+  if (u < config.lookup_frac + config.moving_average_frac +
+              config.comparison_frac) {
+    return QueryType::kComparison;
+  }
+  return QueryType::kAggregation;
+}
+
+std::vector<ItemId> DrawItems(QueryType type, const StockTraceConfig& config,
+                              const ZipfDistribution& popularity, Rng& rng) {
+  const bool multi =
+      type == QueryType::kComparison || type == QueryType::kAggregation;
+  const int count =
+      multi ? static_cast<int>(rng.UniformInt(2, config.max_items)) : 1;
+  std::vector<ItemId> items;
+  items.reserve(static_cast<size_t>(count));
+  while (static_cast<int>(items.size()) < count) {
+    const ItemId item = static_cast<ItemId>(popularity.Sample(rng));
+    if (std::find(items.begin(), items.end(), item) == items.end()) {
+      items.push_back(item);
+    }
+  }
+  return items;
+}
+
+}  // namespace
+
+Trace GenerateStockTrace(const StockTraceConfig& config) {
+  WEBDB_CHECK(config.num_stocks > 0 && config.duration > 0);
+  WEBDB_CHECK(std::fabs(config.lookup_frac + config.moving_average_frac +
+                        config.comparison_frac + config.aggregation_frac -
+                        1.0) < 1e-9);
+  Rng rng(config.seed);
+  Rng arrivals_rng = rng.Split();
+  Rng items_rng = rng.Split();
+  Rng exec_rng = rng.Split();
+  Rng price_rng = rng.Split();
+
+  Trace trace;
+  trace.num_items = config.num_stocks;
+
+  // --- query stream --------------------------------------------------------
+  const RateProfile query_profile = WobblyRate(
+      config.query_rate, config.query_rate_wobble, config.query_spike_count,
+      config.query_spike_gain, config.query_spike_len_s, config.duration,
+      arrivals_rng);
+  const double query_bound = ProfileRateBound(
+      config.query_rate, config.query_rate_wobble, config.query_spike_gain);
+  const std::vector<SimTime> query_arrivals = GenerateArrivals(
+      arrivals_rng, query_profile, query_bound, config.duration);
+
+  const ZipfDistribution query_popularity(config.num_stocks,
+                                          config.query_zipf);
+  trace.queries.reserve(query_arrivals.size());
+  for (SimTime arrival : query_arrivals) {
+    QueryRecord record;
+    record.arrival = arrival;
+    record.type = DrawQueryType(config, items_rng);
+    record.items = DrawItems(record.type, config, query_popularity, items_rng);
+    record.exec_time =
+        exec_rng.UniformInt(config.query_exec_lo, config.query_exec_hi);
+    trace.queries.push_back(std::move(record));
+  }
+
+  // --- update stream -------------------------------------------------------
+  const RateProfile update_profile =
+      DecayingRate(config.update_rate_start, config.update_rate_end,
+                   config.update_rate_noise, config.duration, arrivals_rng);
+  const double update_bound =
+      std::max(config.update_rate_start, config.update_rate_end) *
+      (1.0 + config.update_rate_noise) * 1.05;
+  const std::vector<SimTime> update_arrivals = GenerateArrivals(
+      arrivals_rng, update_profile, update_bound, config.duration);
+
+  const ZipfDistribution update_popularity(config.num_stocks,
+                                           config.update_zipf);
+  // Map update-popularity ranks to items. Ranks start aligned with the
+  // query-popularity order (rank r -> item r); a (1 - correlation) fraction
+  // of ranks is then shuffled so heavily-traded stocks are mostly not the
+  // heavily-queried ones (Figure 5c).
+  std::vector<ItemId> update_rank_to_item(
+      static_cast<size_t>(config.num_stocks));
+  {
+    WEBDB_CHECK(config.popularity_correlation >= 0.0 &&
+                config.popularity_correlation <= 1.0);
+    std::vector<size_t> free_ranks;
+    for (size_t r = 0; r < update_rank_to_item.size(); ++r) {
+      update_rank_to_item[r] = static_cast<ItemId>(r);
+      if (!items_rng.Bernoulli(config.popularity_correlation)) {
+        free_ranks.push_back(r);
+      }
+    }
+    // Fisher-Yates over the free positions only.
+    for (size_t i = free_ranks.size(); i > 1; --i) {
+      const size_t j =
+          static_cast<size_t>(items_rng.UniformInt(0, static_cast<int64_t>(i) - 1));
+      std::swap(update_rank_to_item[free_ranks[i - 1]],
+                update_rank_to_item[free_ranks[j]]);
+    }
+  }
+  std::vector<double> price(static_cast<size_t>(config.num_stocks));
+  for (double& p : price) {
+    p = price_rng.Uniform(config.price_lo, config.price_hi);
+  }
+  trace.updates.reserve(update_arrivals.size());
+  for (SimTime arrival : update_arrivals) {
+    UpdateRecord record;
+    record.arrival = arrival;
+    record.item = update_rank_to_item[static_cast<size_t>(
+        update_popularity.Sample(items_rng))];
+    double& p = price[static_cast<size_t>(record.item)];
+    p = std::max(0.01, p * (1.0 + price_rng.Normal(
+                                      0.0, config.price_step_stddev)));
+    record.value = p;
+    if (config.update_exec_skewed) {
+      const double span =
+          static_cast<double>(config.update_exec_hi - config.update_exec_lo);
+      const double extra = std::min(
+          span, exec_rng.Exponential(
+                    1.0 / (config.update_exec_skew_mean_frac * span)));
+      record.exec_time =
+          config.update_exec_lo + static_cast<SimDuration>(extra);
+    } else {
+      record.exec_time =
+          exec_rng.UniformInt(config.update_exec_lo, config.update_exec_hi);
+    }
+    trace.updates.push_back(record);
+  }
+
+  trace.CheckValid();
+  return trace;
+}
+
+}  // namespace webdb

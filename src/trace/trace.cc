@@ -1,0 +1,51 @@
+#include "trace/trace.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace webdb {
+
+SimTime Trace::EndTime() const {
+  SimTime end = 0;
+  if (!queries.empty()) end = std::max(end, queries.back().arrival);
+  if (!updates.empty()) end = std::max(end, updates.back().arrival);
+  return end;
+}
+
+void Trace::CheckValid() const {
+  WEBDB_CHECK(num_items > 0 || (queries.empty() && updates.empty()));
+  SimTime prev = 0;
+  for (const QueryRecord& q : queries) {
+    WEBDB_CHECK(q.arrival >= prev);
+    prev = q.arrival;
+    WEBDB_CHECK(q.exec_time > 0);
+    WEBDB_CHECK(!q.items.empty());
+    for (ItemId item : q.items) {
+      WEBDB_CHECK(item >= 0 && item < num_items);
+    }
+  }
+  prev = 0;
+  for (const UpdateRecord& u : updates) {
+    WEBDB_CHECK(u.arrival >= prev);
+    prev = u.arrival;
+    WEBDB_CHECK(u.exec_time > 0);
+    WEBDB_CHECK(u.item >= 0 && u.item < num_items);
+  }
+}
+
+Trace Trace::Prefix(SimTime cutoff) const {
+  Trace out;
+  out.num_items = num_items;
+  for (const QueryRecord& q : queries) {
+    if (q.arrival >= cutoff) break;
+    out.queries.push_back(q);
+  }
+  for (const UpdateRecord& u : updates) {
+    if (u.arrival >= cutoff) break;
+    out.updates.push_back(u);
+  }
+  return out;
+}
+
+}  // namespace webdb

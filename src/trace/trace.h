@@ -1,0 +1,52 @@
+// Trace representation: timestamped query and update records, the unit of
+// input for the experiment harness. Synthetic traces stand in for the
+// paper's proprietary Stock.com / NYSE traces (see DESIGN.md, section 2).
+
+#ifndef WEBDB_TRACE_TRACE_H_
+#define WEBDB_TRACE_TRACE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "db/data_item.h"
+#include "txn/transaction.h"
+#include "util/time.h"
+
+namespace webdb {
+
+struct QueryRecord {
+  SimTime arrival = 0;
+  QueryType type = QueryType::kLookup;
+  std::vector<ItemId> items;
+  SimDuration exec_time = 0;
+};
+
+struct UpdateRecord {
+  SimTime arrival = 0;
+  ItemId item = kInvalidItem;
+  double value = 0.0;
+  SimDuration exec_time = 0;
+};
+
+struct Trace {
+  // Item-id space the records draw from ([0, num_items)).
+  int32_t num_items = 0;
+  // Both sorted by ascending arrival time.
+  std::vector<QueryRecord> queries;
+  std::vector<UpdateRecord> updates;
+
+  // Latest arrival timestamp (0 for an empty trace).
+  SimTime EndTime() const;
+
+  // Validates ordering, id ranges and positive execution times; aborts on
+  // violation (traces are trusted inputs everywhere downstream).
+  void CheckValid() const;
+
+  // Restriction of the trace to arrivals in [0, cutoff); used to run the
+  // short adaptability experiment on a prefix of the full trace.
+  Trace Prefix(SimTime cutoff) const;
+};
+
+}  // namespace webdb
+
+#endif  // WEBDB_TRACE_TRACE_H_

@@ -1,0 +1,111 @@
+#include "trace/trace_io.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "util/csv.h"
+#include "util/logging.h"
+
+namespace webdb {
+
+namespace {
+
+std::string JoinItems(const std::vector<ItemId>& items) {
+  std::string out;
+  for (size_t i = 0; i < items.size(); ++i) {
+    if (i > 0) out += ';';
+    out += std::to_string(items[i]);
+  }
+  return out;
+}
+
+bool ParseItems(const std::string& field, std::vector<ItemId>* items) {
+  items->clear();
+  size_t start = 0;
+  while (start <= field.size()) {
+    const size_t pos = field.find(';', start);
+    const std::string part =
+        field.substr(start, pos == std::string::npos ? pos : pos - start);
+    if (part.empty()) return false;
+    items->push_back(static_cast<ItemId>(std::strtol(part.c_str(), nullptr, 10)));
+    if (pos == std::string::npos) break;
+    start = pos + 1;
+  }
+  return !items->empty();
+}
+
+}  // namespace
+
+bool SaveTrace(const Trace& trace, const std::string& base) {
+  {
+    CsvWriter meta(base + ".meta.csv");
+    if (!meta.ok()) return false;
+    meta.WriteRow({std::to_string(trace.num_items)});
+    if (!meta.Close()) return false;
+  }
+  {
+    CsvWriter queries(base + ".queries.csv");
+    if (!queries.ok()) return false;
+    for (const QueryRecord& q : trace.queries) {
+      queries.WriteRow({std::to_string(q.arrival),
+                        std::to_string(static_cast<int>(q.type)),
+                        std::to_string(q.exec_time), JoinItems(q.items)});
+    }
+    if (!queries.Close()) return false;
+  }
+  {
+    CsvWriter updates(base + ".updates.csv");
+    if (!updates.ok()) return false;
+    char value[32];
+    for (const UpdateRecord& u : trace.updates) {
+      std::snprintf(value, sizeof(value), "%.6f", u.value);
+      updates.WriteRow({std::to_string(u.arrival), std::to_string(u.item),
+                        value, std::to_string(u.exec_time)});
+    }
+    if (!updates.Close()) return false;
+  }
+  return true;
+}
+
+bool LoadTrace(const std::string& base, Trace* trace) {
+  WEBDB_CHECK(trace != nullptr);
+  *trace = Trace();
+  std::vector<std::string> row;
+  {
+    CsvReader meta(base + ".meta.csv");
+    if (!meta.ok() || !meta.ReadRow(row) || row.size() != 1) return false;
+    trace->num_items = static_cast<int32_t>(std::strtol(row[0].c_str(),
+                                                        nullptr, 10));
+  }
+  {
+    CsvReader queries(base + ".queries.csv");
+    if (!queries.ok()) return false;
+    while (queries.ReadRow(row)) {
+      if (row.size() != 4) return false;
+      QueryRecord q;
+      q.arrival = std::strtoll(row[0].c_str(), nullptr, 10);
+      q.type = static_cast<QueryType>(std::strtol(row[1].c_str(), nullptr, 10));
+      q.exec_time = std::strtoll(row[2].c_str(), nullptr, 10);
+      if (!ParseItems(row[3], &q.items)) return false;
+      trace->queries.push_back(std::move(q));
+    }
+  }
+  {
+    CsvReader updates(base + ".updates.csv");
+    if (!updates.ok()) return false;
+    while (updates.ReadRow(row)) {
+      if (row.size() != 4) return false;
+      UpdateRecord u;
+      u.arrival = std::strtoll(row[0].c_str(), nullptr, 10);
+      u.item = static_cast<ItemId>(std::strtol(row[1].c_str(), nullptr, 10));
+      u.value = std::strtod(row[2].c_str(), nullptr);
+      u.exec_time = std::strtoll(row[3].c_str(), nullptr, 10);
+      trace->updates.push_back(u);
+    }
+  }
+  trace->CheckValid();
+  return true;
+}
+
+}  // namespace webdb

@@ -1,0 +1,28 @@
+// Trace persistence: save and reload traces as a pair of CSV files so
+// expensive generated traces can be reused across benchmark runs and
+// inspected with standard tools.
+//
+// Format (no header rows):
+//   <base>.queries.csv : arrival_us,type,exec_us,item[;item]*
+//   <base>.updates.csv : arrival_us,item,value,exec_us
+// plus a one-line <base>.meta.csv holding num_items.
+
+#ifndef WEBDB_TRACE_TRACE_IO_H_
+#define WEBDB_TRACE_TRACE_IO_H_
+
+#include <string>
+
+#include "trace/trace.h"
+
+namespace webdb {
+
+// Writes the trace under the `base` path prefix. Returns false on IO error.
+bool SaveTrace(const Trace& trace, const std::string& base);
+
+// Loads a trace written by SaveTrace. Returns false on IO or parse error
+// (leaving `trace` unspecified).
+bool LoadTrace(const std::string& base, Trace* trace);
+
+}  // namespace webdb
+
+#endif  // WEBDB_TRACE_TRACE_IO_H_

@@ -1,0 +1,91 @@
+#include "trace/trace_stats.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace webdb {
+
+TraceStats ComputeTraceStats(const Trace& trace) {
+  TraceStats stats;
+  stats.num_queries = static_cast<int64_t>(trace.queries.size());
+  stats.num_updates = static_cast<int64_t>(trace.updates.size());
+  stats.num_items = trace.num_items;
+  stats.duration = trace.EndTime();
+  stats.per_item.resize(static_cast<size_t>(trace.num_items));
+
+  const size_t seconds =
+      static_cast<size_t>(stats.duration / Seconds(1)) + 1;
+  stats.queries_per_second.assign(seconds, 0);
+  stats.updates_per_second.assign(seconds, 0);
+
+  SimDuration total_demand = 0;
+  bool first = true;
+  for (const QueryRecord& q : trace.queries) {
+    stats.queries_per_second[static_cast<size_t>(q.arrival / Seconds(1))]++;
+    for (ItemId item : q.items) {
+      stats.per_item[static_cast<size_t>(item)].queries++;
+    }
+    total_demand += q.exec_time;
+    if (first) {
+      stats.query_exec_min = stats.query_exec_max = q.exec_time;
+      first = false;
+    } else {
+      stats.query_exec_min = std::min(stats.query_exec_min, q.exec_time);
+      stats.query_exec_max = std::max(stats.query_exec_max, q.exec_time);
+    }
+  }
+  first = true;
+  for (const UpdateRecord& u : trace.updates) {
+    stats.updates_per_second[static_cast<size_t>(u.arrival / Seconds(1))]++;
+    stats.per_item[static_cast<size_t>(u.item)].updates++;
+    total_demand += u.exec_time;
+    if (first) {
+      stats.update_exec_min = stats.update_exec_max = u.exec_time;
+      first = false;
+    } else {
+      stats.update_exec_min = std::min(stats.update_exec_min, u.exec_time);
+      stats.update_exec_max = std::max(stats.update_exec_max, u.exec_time);
+    }
+  }
+
+  for (const PerItemCounts& counts : stats.per_item) {
+    if (counts.queries > 0) ++stats.stocks_queried;
+    if (counts.updates > 0) ++stats.stocks_updated;
+  }
+  if (stats.duration > 0) {
+    stats.offered_utilization = static_cast<double>(total_demand) /
+                                static_cast<double>(stats.duration);
+  }
+  return stats;
+}
+
+double TraceStats::FractionUpdateDominated() const {
+  int64_t active = 0, dominated = 0;
+  for (const PerItemCounts& counts : per_item) {
+    if (counts.queries == 0 && counts.updates == 0) continue;
+    ++active;
+    if (counts.updates > counts.queries) ++dominated;
+  }
+  return active == 0 ? 0.0
+                     : static_cast<double>(dominated) /
+                           static_cast<double>(active);
+}
+
+std::string TraceStats::Summary() const {
+  std::ostringstream out;
+  out << "# queries           " << num_queries << '\n';
+  out << "# updates           " << num_updates << '\n';
+  out << "# stocks            " << num_items << " (queried: " << stocks_queried
+      << ", updated: " << stocks_updated << ")\n";
+  out << "duration            " << ToSeconds(duration) << " s\n";
+  out << "query exec time     " << ToMillis(query_exec_min) << " ~ "
+      << ToMillis(query_exec_max) << " ms\n";
+  out << "update exec time    " << ToMillis(update_exec_min) << " ~ "
+      << ToMillis(update_exec_max) << " ms\n";
+  out << "offered utilization " << offered_utilization << '\n';
+  return out.str();
+}
+
+}  // namespace webdb

@@ -1,0 +1,51 @@
+// Trace characterization, reproducing the statistics behind Figure 5 and
+// Table 3 of the paper: per-second arrival rates and per-stock query/update
+// counts.
+
+#ifndef WEBDB_TRACE_TRACE_STATS_H_
+#define WEBDB_TRACE_TRACE_STATS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/trace.h"
+
+namespace webdb {
+
+struct PerItemCounts {
+  int64_t queries = 0;  // accesses (an n-item query counts once per item)
+  int64_t updates = 0;
+};
+
+struct TraceStats {
+  int64_t num_queries = 0;
+  int64_t num_updates = 0;
+  int32_t num_items = 0;
+  // Distinct stocks referenced by at least one query / update.
+  int32_t stocks_queried = 0;
+  int32_t stocks_updated = 0;
+  SimDuration duration = 0;
+  SimDuration query_exec_min = 0, query_exec_max = 0;
+  SimDuration update_exec_min = 0, update_exec_max = 0;
+  // Offered CPU load: total service demand / duration (>1 means overload
+  // before update invalidation savings).
+  double offered_utilization = 0.0;
+
+  std::vector<int64_t> queries_per_second;  // Figure 5a
+  std::vector<int64_t> updates_per_second;  // Figure 5b
+  std::vector<PerItemCounts> per_item;      // Figure 5c
+
+  // Fraction of stocks (with any activity) that receive more updates than
+  // queries — the "points below the diagonal" observation of Figure 5c.
+  double FractionUpdateDominated() const;
+
+  // Table 3-style summary block.
+  std::string Summary() const;
+};
+
+TraceStats ComputeTraceStats(const Trace& trace);
+
+}  // namespace webdb
+
+#endif  // WEBDB_TRACE_TRACE_STATS_H_

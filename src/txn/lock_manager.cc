@@ -1,0 +1,76 @@
+#include "txn/lock_manager.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace webdb {
+
+std::vector<TxnId> LockManager::Conflicts(
+    TxnId txn, LockMode mode, const std::vector<ItemId>& items) const {
+  std::vector<TxnId> out;
+  for (ItemId item : items) {
+    auto it = locks_.find(item);
+    if (it == locks_.end()) continue;
+    const ItemLocks& entry = it->second;
+    if (entry.exclusive != 0 && entry.exclusive != txn) {
+      out.push_back(entry.exclusive);
+    }
+    if (mode == LockMode::kExclusive) {
+      for (TxnId holder : entry.shared) {
+        if (holder != txn) out.push_back(holder);
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+void LockManager::Acquire(TxnId txn, LockMode mode,
+                          const std::vector<ItemId>& items) {
+  WEBDB_CHECK(txn != 0);
+  WEBDB_CHECK_MSG(Conflicts(txn, mode, items).empty(),
+                  "Acquire with unresolved conflicts");
+  auto& held = held_[txn];
+  for (ItemId item : items) {
+    ItemLocks& entry = locks_[item];
+    if (mode == LockMode::kExclusive) {
+      if (entry.exclusive == txn) continue;  // re-entrant
+      entry.exclusive = txn;
+    } else {
+      if (!entry.shared.insert(txn).second) continue;  // re-entrant
+    }
+    held.push_back(item);
+  }
+}
+
+void LockManager::ReleaseAll(TxnId txn) {
+  auto it = held_.find(txn);
+  if (it == held_.end()) return;
+  for (ItemId item : it->second) {
+    auto lit = locks_.find(item);
+    WEBDB_CHECK(lit != locks_.end());
+    ItemLocks& entry = lit->second;
+    if (entry.exclusive == txn) entry.exclusive = 0;
+    entry.shared.erase(txn);
+    if (entry.Empty()) locks_.erase(lit);
+  }
+  held_.erase(it);
+}
+
+bool LockManager::HoldsAny(TxnId txn) const { return held_.count(txn) > 0; }
+
+TxnId LockManager::ExclusiveHolder(ItemId item) const {
+  auto it = locks_.find(item);
+  return it == locks_.end() ? 0 : it->second.exclusive;
+}
+
+std::vector<TxnId> LockManager::SharedHolders(ItemId item) const {
+  auto it = locks_.find(item);
+  if (it == locks_.end()) return {};
+  return std::vector<TxnId>(it->second.shared.begin(),
+                            it->second.shared.end());
+}
+
+}  // namespace webdb

@@ -1,0 +1,65 @@
+// 2PL-HP lock manager (Two Phase Locking - High Priority, Abbott &
+// Garcia-Molina), specialized for the paper's workload: read-only queries
+// acquire shared locks on their whole item set at dispatch; blind updates
+// acquire one exclusive lock.
+//
+// Conflict *detection* lives here; conflict *resolution* (restarting the
+// lower-priority holder, dropping the older update) is driven by the server,
+// which knows the schedulers' current priorities. With a single CPU, a
+// conflict can only involve the transaction being dispatched and
+// transactions that were preempted while holding locks.
+
+#ifndef WEBDB_TXN_LOCK_MANAGER_H_
+#define WEBDB_TXN_LOCK_MANAGER_H_
+
+#include <cstddef>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "db/data_item.h"
+#include "txn/transaction.h"
+
+namespace webdb {
+
+enum class LockMode { kShared, kExclusive };
+
+class LockManager {
+ public:
+  LockManager() = default;
+
+  // Transactions (other than `txn`) whose current locks conflict with `txn`
+  // locking `items` in `mode`. Duplicates removed; order unspecified.
+  std::vector<TxnId> Conflicts(TxnId txn, LockMode mode,
+                               const std::vector<ItemId>& items) const;
+
+  // Acquires locks on `items` in `mode`. All conflicts must have been
+  // resolved (checked). Re-entrant acquisition by the same holder is a no-op
+  // per item.
+  void Acquire(TxnId txn, LockMode mode, const std::vector<ItemId>& items);
+
+  // Releases every lock held by `txn` (commit, restart, or abort).
+  void ReleaseAll(TxnId txn);
+
+  bool HoldsAny(TxnId txn) const;
+  // Exclusive holder of `item`, or 0.
+  TxnId ExclusiveHolder(ItemId item) const;
+  // Shared holders of `item` (order unspecified).
+  std::vector<TxnId> SharedHolders(ItemId item) const;
+
+  size_t NumLockedItems() const { return locks_.size(); }
+
+ private:
+  struct ItemLocks {
+    TxnId exclusive = 0;
+    std::unordered_set<TxnId> shared;
+    bool Empty() const { return exclusive == 0 && shared.empty(); }
+  };
+
+  std::unordered_map<ItemId, ItemLocks> locks_;
+  std::unordered_map<TxnId, std::vector<ItemId>> held_;
+};
+
+}  // namespace webdb
+
+#endif  // WEBDB_TXN_LOCK_MANAGER_H_

@@ -1,0 +1,45 @@
+#include "txn/transaction.h"
+
+namespace webdb {
+
+std::string ToString(TxnKind kind) {
+  return kind == TxnKind::kQuery ? "query" : "update";
+}
+
+std::string ToString(TxnState state) {
+  switch (state) {
+    case TxnState::kPending:
+      return "pending";
+    case TxnState::kQueued:
+      return "queued";
+    case TxnState::kRunning:
+      return "running";
+    case TxnState::kPreempted:
+      return "preempted";
+    case TxnState::kCommitted:
+      return "committed";
+    case TxnState::kDropped:
+      return "dropped";
+    case TxnState::kInvalidated:
+      return "invalidated";
+    case TxnState::kRejected:
+      return "rejected";
+  }
+  return "?";
+}
+
+std::string ToString(QueryType type) {
+  switch (type) {
+    case QueryType::kLookup:
+      return "lookup";
+    case QueryType::kMovingAverage:
+      return "moving-average";
+    case QueryType::kComparison:
+      return "comparison";
+    case QueryType::kAggregation:
+      return "aggregation";
+  }
+  return "?";
+}
+
+}  // namespace webdb

@@ -1,0 +1,103 @@
+// Transaction model (Section 2.1 of the paper): read-only user queries and
+// blind write-only updates.
+
+#ifndef WEBDB_TXN_TRANSACTION_H_
+#define WEBDB_TXN_TRANSACTION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "db/data_item.h"
+#include "qc/quality_contract.h"
+#include "util/time.h"
+
+namespace webdb {
+
+// Globally unique transaction id; 0 is reserved as "no transaction".
+using TxnId = uint64_t;
+
+enum class TxnKind { kQuery, kUpdate };
+
+enum class TxnState {
+  kPending,      // in the trace, not yet arrived
+  kQueued,       // waiting in a scheduler queue
+  kRunning,      // occupying the CPU
+  kPreempted,    // paused mid-execution, progress retained, still holds locks
+  kCommitted,    // finished successfully
+  kDropped,      // query: lifetime deadline expired before commit
+  kInvalidated,  // update: superseded by a newer update on the same item
+  kRejected,     // query: refused by admission control at submission
+};
+
+std::string ToString(TxnKind kind);
+std::string ToString(TxnState state);
+
+// Read-only query types (Section 5, "Query Traces").
+enum class QueryType {
+  kLookup,         // single-item point read
+  kMovingAverage,  // single item, heavier computation
+  kComparison,     // multi-item comparison
+  kAggregation,    // multi-item aggregate
+};
+
+std::string ToString(QueryType type);
+
+struct Transaction {
+  TxnId id = 0;
+  TxnKind kind = TxnKind::kQuery;
+  TxnState state = TxnState::kPending;
+  SimTime arrival = 0;
+  // Full CPU demand of one uninterrupted execution.
+  SimDuration service_time = 0;
+  // Remaining CPU demand of the current attempt (== service_time after a
+  // restart, less after a preempt-resume).
+  SimDuration remaining = 0;
+  // Number of 2PL-HP restarts suffered.
+  int restarts = 0;
+  // Bumped on every scheduler enqueue; lets queues with lazy deletion tell
+  // live entries from stale ones (see TxnQueue).
+  uint64_t enqueue_epoch = 0;
+};
+
+struct Query : Transaction {
+  QueryType type = QueryType::kLookup;
+  std::vector<ItemId> items;
+  QualityContract qc;
+  // Absolute drop deadline (arrival + lifetime), set by the server.
+  SimTime lifetime_deadline = kSimTimeMax;
+  // Commit-time outcome (valid once state == kCommitted).
+  SimTime commit_time = 0;
+  double staleness = 0.0;
+  QualityContract::Evaluation profit;
+
+  SimDuration ResponseTime() const { return commit_time - arrival; }
+};
+
+struct Update : Transaction {
+  ItemId item = kInvalidItem;
+  double value = 0.0;
+  // The item's arrival sequence number assigned when this update arrived;
+  // presented to Database::ApplyUpdate at commit.
+  uint64_t item_arrival_seq = 0;
+  // FIFO rank used by update queues. The register table has one entry per
+  // data item, so an update that supersedes a pending one inherits its queue
+  // position (set by the server); otherwise equals `arrival`.
+  SimTime fifo_rank = 0;
+  // When the update was applied (valid once state == kCommitted).
+  SimTime commit_time = 0;
+
+  // Freshness lag this update experienced (arrival -> applied).
+  SimDuration ApplyLatency() const { return commit_time - arrival; }
+};
+
+// Queries and updates draw ids from disjoint spaces so an id alone reveals
+// the transaction kind (bit 0: 0 = query, 1 = update).
+inline TxnId QueryTxnId(uint64_t index) { return (index + 1) << 1; }
+inline TxnId UpdateTxnId(uint64_t index) { return ((index + 1) << 1) | 1; }
+inline bool IsUpdateTxnId(TxnId id) { return (id & 1) != 0; }
+inline uint64_t TxnIndex(TxnId id) { return (id >> 1) - 1; }
+
+}  // namespace webdb
+
+#endif  // WEBDB_TXN_TRANSACTION_H_

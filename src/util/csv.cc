@@ -1,0 +1,52 @@
+#include "util/csv.h"
+
+#include "util/logging.h"
+
+namespace webdb {
+
+CsvWriter::CsvWriter(const std::string& path) : out_(path) {}
+
+void CsvWriter::WriteRow(const std::vector<std::string>& fields) {
+  for (size_t i = 0; i < fields.size(); ++i) {
+    WEBDB_CHECK_MSG(fields[i].find(',') == std::string::npos &&
+                        fields[i].find('\n') == std::string::npos,
+                    "CSV fields must not contain separators");
+    if (i > 0) out_ << ',';
+    out_ << fields[i];
+  }
+  out_ << '\n';
+}
+
+bool CsvWriter::Close() {
+  out_.flush();
+  const bool good = out_.good();
+  out_.close();
+  return good;
+}
+
+CsvReader::CsvReader(const std::string& path) : in_(path), ok_(in_.good()) {}
+
+bool CsvReader::ReadRow(std::vector<std::string>& fields) {
+  std::string line;
+  if (!std::getline(in_, line)) return false;
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+  fields = SplitCsvLine(line);
+  return true;
+}
+
+std::vector<std::string> SplitCsvLine(const std::string& line) {
+  std::vector<std::string> fields;
+  size_t start = 0;
+  while (true) {
+    const size_t pos = line.find(',', start);
+    if (pos == std::string::npos) {
+      fields.push_back(line.substr(start));
+      break;
+    }
+    fields.push_back(line.substr(start, pos - start));
+    start = pos + 1;
+  }
+  return fields;
+}
+
+}  // namespace webdb

@@ -1,0 +1,52 @@
+// Minimal CSV reading/writing for trace persistence and experiment output.
+//
+// The dialect is deliberately simple (comma separator, no quoting) because
+// all persisted fields are numeric or ticker symbols; a field containing a
+// comma is rejected at write time.
+
+#ifndef WEBDB_UTIL_CSV_H_
+#define WEBDB_UTIL_CSV_H_
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace webdb {
+
+class CsvWriter {
+ public:
+  // Opens (truncates) `path`. Check ok() before writing.
+  explicit CsvWriter(const std::string& path);
+
+  bool ok() const { return out_.good(); }
+
+  // Writes one row; fields must not contain commas or newlines.
+  void WriteRow(const std::vector<std::string>& fields);
+
+  // Flushes and closes. Returns false if any write failed.
+  bool Close();
+
+ private:
+  std::ofstream out_;
+};
+
+class CsvReader {
+ public:
+  explicit CsvReader(const std::string& path);
+
+  bool ok() const { return ok_; }
+
+  // Reads the next row into `fields`; returns false at EOF.
+  bool ReadRow(std::vector<std::string>& fields);
+
+ private:
+  std::ifstream in_;
+  bool ok_;
+};
+
+// Splits `line` on commas (no quoting). Exposed for tests.
+std::vector<std::string> SplitCsvLine(const std::string& line);
+
+}  // namespace webdb
+
+#endif  // WEBDB_UTIL_CSV_H_

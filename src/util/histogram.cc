@@ -1,0 +1,85 @@
+#include "util/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace webdb {
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds)) {
+  WEBDB_CHECK(!bounds_.empty());
+  for (size_t i = 1; i < bounds_.size(); ++i) {
+    WEBDB_CHECK(bounds_[i] > bounds_[i - 1]);
+  }
+  counts_.assign(bounds_.size() + 1, 0);
+}
+
+Histogram Histogram::Exponential(double first, double factor, int count) {
+  WEBDB_CHECK(first > 0 && factor > 1.0 && count >= 1);
+  std::vector<double> bounds;
+  bounds.reserve(static_cast<size_t>(count));
+  double b = first;
+  for (int i = 0; i < count; ++i) {
+    bounds.push_back(b);
+    b *= factor;
+  }
+  return Histogram(std::move(bounds));
+}
+
+void Histogram::Add(double value) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  counts_[static_cast<size_t>(it - bounds_.begin())] += 1;
+  ++total_;
+}
+
+double Histogram::BucketUpperBound(size_t i) const {
+  WEBDB_CHECK(i < counts_.size());
+  return i < bounds_.size() ? bounds_[i]
+                            : std::numeric_limits<double>::infinity();
+}
+
+double Histogram::Quantile(double q) const {
+  WEBDB_CHECK(q >= 0.0 && q <= 1.0);
+  if (total_ == 0) return 0.0;
+  const double target = q * static_cast<double>(total_);
+  int64_t cum = 0;
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    const int64_t next = cum + counts_[i];
+    if (static_cast<double>(next) >= target && counts_[i] > 0) {
+      const double lo = i == 0 ? 0.0 : bounds_[i - 1];
+      const double hi =
+          i < bounds_.size() ? bounds_[i] : bounds_.back() * 2.0;
+      const double frac =
+          (target - static_cast<double>(cum)) / static_cast<double>(counts_[i]);
+      return lo + frac * (hi - lo);
+    }
+    cum = next;
+  }
+  return bounds_.back();
+}
+
+std::string Histogram::ToString() const {
+  std::ostringstream out;
+  int64_t maxc = 1;
+  for (int64_t c : counts_) maxc = std::max(maxc, c);
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    if (i < bounds_.size()) {
+      out << "<= " << bounds_[i];
+    } else {
+      out << ">  " << bounds_.back();
+    }
+    out << "  " << counts_[i] << "  ";
+    const int bar =
+        static_cast<int>(40.0 * static_cast<double>(counts_[i]) /
+                         static_cast<double>(maxc));
+    for (int b = 0; b < bar; ++b) out << '#';
+    out << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace webdb

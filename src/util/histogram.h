@@ -1,0 +1,47 @@
+// Fixed-boundary and log-scale histograms for response-time / staleness
+// distributions in the metrics layer and the micro-benchmarks.
+
+#ifndef WEBDB_UTIL_HISTOGRAM_H_
+#define WEBDB_UTIL_HISTOGRAM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace webdb {
+
+// Histogram over explicit ascending bucket upper bounds; values above the
+// last bound land in an overflow bucket.
+class Histogram {
+ public:
+  // `upper_bounds` must be non-empty and strictly ascending.
+  explicit Histogram(std::vector<double> upper_bounds);
+
+  // Convenience factory: `count` buckets growing geometrically from `first`
+  // by `factor` (e.g. 1ms, 2ms, 4ms, ... for latency).
+  static Histogram Exponential(double first, double factor, int count);
+
+  void Add(double value);
+
+  int64_t TotalCount() const { return total_; }
+  size_t NumBuckets() const { return counts_.size(); }  // includes overflow
+  int64_t BucketCount(size_t i) const { return counts_[i]; }
+  // Upper bound of bucket i; the overflow bucket returns +inf.
+  double BucketUpperBound(size_t i) const;
+
+  // Linear-interpolated quantile, q in [0, 1].
+  double Quantile(double q) const;
+
+  // Multi-line human-readable rendering (bound, count, bar).
+  std::string ToString() const;
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<int64_t> counts_;  // bounds_.size() + 1 (overflow)
+  int64_t total_ = 0;
+};
+
+}  // namespace webdb
+
+#endif  // WEBDB_UTIL_HISTOGRAM_H_

@@ -1,0 +1,31 @@
+// Minimal assertion / logging macros used throughout the library.
+//
+// WEBDB_CHECK(cond) aborts with a message when `cond` is false. Checks are
+// kept in release builds: the library is a research artifact where silent
+// invariant violations are far more expensive than the branch.
+
+#ifndef WEBDB_UTIL_LOGGING_H_
+#define WEBDB_UTIL_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+#define WEBDB_CHECK(cond)                                                  \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::fprintf(stderr, "CHECK failed at %s:%d: %s\n", __FILE__,        \
+                   __LINE__, #cond);                                       \
+      std::abort();                                                        \
+    }                                                                      \
+  } while (0)
+
+#define WEBDB_CHECK_MSG(cond, msg)                                         \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::fprintf(stderr, "CHECK failed at %s:%d: %s (%s)\n", __FILE__,   \
+                   __LINE__, #cond, msg);                                  \
+      std::abort();                                                        \
+    }                                                                      \
+  } while (0)
+
+#endif  // WEBDB_UTIL_LOGGING_H_

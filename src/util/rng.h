@@ -1,0 +1,74 @@
+// Deterministic random number generation for simulation and trace synthesis.
+//
+// We implement xoshiro256++ (public-domain algorithm by Blackman & Vigna)
+// seeded through SplitMix64 so that a single 64-bit seed fully determines
+// every experiment. std::mt19937_64 would also work, but a hand-rolled
+// generator guarantees bit-identical traces across standard library
+// implementations, which the tests rely on.
+
+#ifndef WEBDB_UTIL_RNG_H_
+#define WEBDB_UTIL_RNG_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace webdb {
+
+// xoshiro256++ pseudo-random generator. Not thread-safe; use one per thread.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  // Uniform 64-bit value.
+  uint64_t NextU64();
+
+  // Uniform double in [0, 1).
+  double NextDouble();
+
+  // Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  // Uniform double in [lo, hi).
+  double Uniform(double lo, double hi);
+
+  // Exponential variate with the given rate (events per unit).
+  // Requires rate > 0.
+  double Exponential(double rate);
+
+  // Standard normal via Box-Muller.
+  double Normal(double mean, double stddev);
+
+  // Bernoulli trial with success probability p.
+  bool Bernoulli(double p);
+
+  // Creates an independent child generator (stream split). Deterministic:
+  // each call advances this generator once.
+  Rng Split();
+
+ private:
+  uint64_t s_[4];
+};
+
+// Zipf(s) sampler over {0, 1, ..., n-1} using the inverse-CDF table method.
+// Rank 0 is the most popular item. O(log n) per sample after O(n) setup.
+class ZipfDistribution {
+ public:
+  // Requires n >= 1 and exponent >= 0 (0 means uniform).
+  ZipfDistribution(int64_t n, double exponent);
+
+  int64_t Sample(Rng& rng) const;
+
+  int64_t n() const { return static_cast<int64_t>(cdf_.size()); }
+  double exponent() const { return exponent_; }
+
+  // Probability mass of rank `k`.
+  double Pmf(int64_t k) const;
+
+ private:
+  double exponent_;
+  std::vector<double> cdf_;  // cumulative, cdf_.back() == 1.0
+};
+
+}  // namespace webdb
+
+#endif  // WEBDB_UTIL_RNG_H_

@@ -1,0 +1,78 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace webdb {
+
+void RunningStats::Add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::Variance() const {
+  return count_ < 2 ? 0.0 : m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::StdDev() const { return std::sqrt(Variance()); }
+
+double RunningStats::min() const { return count_ == 0 ? 0.0 : min_; }
+double RunningStats::max() const { return count_ == 0 ? 0.0 : max_; }
+
+void RunningStats::Reset() { *this = RunningStats(); }
+
+TimeSeries::TimeSeries(int64_t bucket_width) : bucket_width_(bucket_width) {
+  WEBDB_CHECK(bucket_width > 0);
+}
+
+void TimeSeries::Add(int64_t t, double value) {
+  WEBDB_CHECK(t >= 0);
+  const size_t i = static_cast<size_t>(t / bucket_width_);
+  if (i >= buckets_.size()) buckets_.resize(i + 1);
+  buckets_[i].sum += value;
+  buckets_[i].count += 1;
+}
+
+double TimeSeries::BucketSum(size_t i) const {
+  return i < buckets_.size() ? buckets_[i].sum : 0.0;
+}
+
+int64_t TimeSeries::BucketCount(size_t i) const {
+  return i < buckets_.size() ? buckets_[i].count : 0;
+}
+
+double TimeSeries::BucketMean(size_t i) const {
+  if (i >= buckets_.size() || buckets_[i].count == 0) return 0.0;
+  return buckets_[i].sum / static_cast<double>(buckets_[i].count);
+}
+
+std::vector<double> TimeSeries::SmoothedSums(size_t w) const {
+  WEBDB_CHECK(w >= 1);
+  std::vector<double> out(buckets_.size(), 0.0);
+  if (buckets_.empty()) return out;
+  const int64_t n = static_cast<int64_t>(buckets_.size());
+  const int64_t half = static_cast<int64_t>(w) / 2;
+  for (int64_t i = 0; i < n; ++i) {
+    const int64_t lo = std::max<int64_t>(0, i - half);
+    const int64_t hi = std::min<int64_t>(n - 1, i + half);
+    double acc = 0.0;
+    for (int64_t j = lo; j <= hi; ++j) {
+      acc += buckets_[static_cast<size_t>(j)].sum;
+    }
+    out[static_cast<size_t>(i)] = acc / static_cast<double>(hi - lo + 1);
+  }
+  return out;
+}
+
+}  // namespace webdb

@@ -1,0 +1,73 @@
+// Streaming statistical accumulators and time-bucketed series used by the
+// metrics layer and the experiment reports.
+
+#ifndef WEBDB_UTIL_STATS_H_
+#define WEBDB_UTIL_STATS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace webdb {
+
+// Welford-style streaming accumulator for mean / variance / extrema.
+class RunningStats {
+ public:
+  void Add(double x);
+
+  int64_t count() const { return count_; }
+  double mean() const { return count_ == 0 ? 0.0 : mean_; }
+  double Variance() const;
+  double StdDev() const;
+  double min() const;
+  double max() const;
+  double sum() const { return sum_; }
+
+  void Reset();
+
+ private:
+  int64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// A series of (bucket_start, value) samples on a fixed bucket width; used for
+// the per-second rate plots (Fig. 5) and profit-over-time plots (Fig. 9).
+class TimeSeries {
+ public:
+  // bucket_width in the same unit the caller uses for timestamps.
+  explicit TimeSeries(int64_t bucket_width);
+
+  // Adds `value` to the bucket containing `t`. t must be >= 0.
+  void Add(int64_t t, double value);
+
+  // Number of buckets spanned so far (trailing empty buckets included).
+  size_t NumBuckets() const { return buckets_.size(); }
+  int64_t bucket_width() const { return bucket_width_; }
+
+  // Sum accumulated in bucket i (0 if never touched).
+  double BucketSum(size_t i) const;
+  // Count of samples in bucket i.
+  int64_t BucketCount(size_t i) const;
+  // Mean of samples in bucket i (0 for empty buckets).
+  double BucketMean(size_t i) const;
+
+  // Centered moving-window average of bucket sums, window of `w` buckets
+  // (as used for the 5-second smoothing filter in Fig. 9).
+  std::vector<double> SmoothedSums(size_t w) const;
+
+ private:
+  struct Bucket {
+    double sum = 0.0;
+    int64_t count = 0;
+  };
+  int64_t bucket_width_;
+  std::vector<Bucket> buckets_;
+};
+
+}  // namespace webdb
+
+#endif  // WEBDB_UTIL_STATS_H_

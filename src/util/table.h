@@ -1,0 +1,31 @@
+// ASCII table rendering for the benchmark harness output. Every figure/table
+// bench prints its rows through this so the output stays aligned and easy to
+// diff against the paper.
+
+#ifndef WEBDB_UTIL_TABLE_H_
+#define WEBDB_UTIL_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace webdb {
+
+class AsciiTable {
+ public:
+  explicit AsciiTable(std::vector<std::string> headers);
+
+  void AddRow(std::vector<std::string> row);
+
+  // Convenience: formats doubles with the given precision.
+  static std::string Num(double v, int precision = 3);
+
+  std::string Render() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace webdb
+
+#endif  // WEBDB_UTIL_TABLE_H_

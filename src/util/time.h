@@ -1,0 +1,37 @@
+// Simulation time types.
+//
+// All simulation timestamps and durations are signed 64-bit microsecond
+// counts. A dedicated alias (rather than std::chrono) keeps the
+// discrete-event core trivially serializable and fast to compare, while the
+// helpers below keep call sites readable (`Millis(50)` instead of `50000`).
+
+#ifndef WEBDB_UTIL_TIME_H_
+#define WEBDB_UTIL_TIME_H_
+
+#include <cstdint>
+
+namespace webdb {
+
+// A point in simulated time, in microseconds since simulation start.
+using SimTime = int64_t;
+
+// A span of simulated time, in microseconds.
+using SimDuration = int64_t;
+
+constexpr SimTime kSimTimeMax = INT64_MAX;
+
+constexpr SimDuration Micros(int64_t us) { return us; }
+constexpr SimDuration Millis(int64_t ms) { return ms * 1000; }
+constexpr SimDuration Seconds(int64_t s) { return s * 1000 * 1000; }
+
+// Fractional-seconds constructor, useful for sweep parameters like ω = 0.1s.
+constexpr SimDuration SecondsF(double s) {
+  return static_cast<SimDuration>(s * 1e6);
+}
+
+constexpr double ToMillis(SimDuration d) { return static_cast<double>(d) / 1e3; }
+constexpr double ToSeconds(SimDuration d) { return static_cast<double>(d) / 1e6; }
+
+}  // namespace webdb
+
+#endif  // WEBDB_UTIL_TIME_H_

@@ -1,0 +1,131 @@
+#include "sched/admission.h"
+
+#include <gtest/gtest.h>
+
+#include "db/database.h"
+#include "sched/fifo_scheduler.h"
+#include "server/web_database_server.h"
+#include "test_txns.h"
+
+namespace webdb {
+namespace {
+
+TEST(AdmitAllTest, AlwaysAdmits) {
+  TxnPool pool;
+  AdmitAll controller;
+  AdmissionContext context;
+  context.queued_queries = 1 << 20;
+  EXPECT_TRUE(controller.Admit(*pool.NewQuery(0), context));
+  EXPECT_EQ(controller.Name(), "admit-all");
+}
+
+TEST(QueueCapTest, RejectsBeyondCap) {
+  TxnPool pool;
+  QueueCapAdmission controller(3);
+  Query* q = pool.NewQuery(0);
+  AdmissionContext context;
+  context.queued_queries = 2;
+  EXPECT_TRUE(controller.Admit(*q, context));
+  context.queued_queries = 3;
+  EXPECT_FALSE(controller.Admit(*q, context));
+  context.queued_queries = 100;
+  EXPECT_FALSE(controller.Admit(*q, context));
+  EXPECT_EQ(controller.RejectedCount(), 2);
+}
+
+TEST(ExpectedProfitTest, AdmitsWhenDeadlineReachable) {
+  TxnPool pool;
+  ExpectedProfitAdmission controller(Millis(7), /*min_worth=*/1.0);
+  // rt_max 50ms, 3 queued * 7ms wait + 5ms exec = 26ms < 50ms: reachable.
+  Query* q = pool.NewQuery(0, Millis(5), 10.0, 0.0, Millis(50));
+  AdmissionContext context;
+  context.queued_queries = 3;
+  EXPECT_TRUE(controller.Admit(*q, context));
+}
+
+TEST(ExpectedProfitTest, RejectsWhenOnlyWorthlessResidualRemains) {
+  TxnPool pool;
+  ExpectedProfitAdmission controller(Millis(7), /*min_worth=*/1.0);
+  // Deep backlog: predicted 100*7 + 5 = 705ms >> 50ms, and qod_max = 0.
+  Query* q = pool.NewQuery(0, Millis(5), 10.0, 0.0, Millis(50));
+  AdmissionContext context;
+  context.queued_queries = 100;
+  EXPECT_FALSE(controller.Admit(*q, context));
+  EXPECT_EQ(controller.RejectedCount(), 1);
+}
+
+TEST(ExpectedProfitTest, QodPotentialKeepsQueryAdmitted) {
+  TxnPool pool;
+  ExpectedProfitAdmission controller(Millis(7), /*min_worth=*/1.0);
+  // Same hopeless deadline, but $10 of QoD is still on the table
+  // (QoS-Independent contracts pay for freshness even when late).
+  Query* q = pool.NewQuery(0, Millis(5), 10.0, 10.0, Millis(50));
+  AdmissionContext context;
+  context.queued_queries = 100;
+  EXPECT_TRUE(controller.Admit(*q, context));
+}
+
+TEST(ServerAdmissionTest, RejectedQueriesNeverRun) {
+  Database db(2);
+  FifoScheduler sched;
+  QueueCapAdmission controller(1);
+  ServerConfig config;
+  config.admission = &controller;
+  WebDatabaseServer server(&db, &sched, config);
+  // Block the CPU, then stack queries: the second submission sees one
+  // queued query and is rejected.
+  server.SubmitUpdate(0, 1.0, Millis(20));
+  Query* admitted = nullptr;
+  Query* rejected = nullptr;
+  server.sim().ScheduleAt(Millis(1), [&] {
+    admitted = server.SubmitQuery(
+        QueryType::kLookup, {0},
+        QualityContract::Make(QcShape::kStep, 5.0, Millis(100), 5.0, 1.0),
+        Millis(5));
+  });
+  server.sim().ScheduleAt(Millis(2), [&] {
+    rejected = server.SubmitQuery(
+        QueryType::kLookup, {1},
+        QualityContract::Make(QcShape::kStep, 5.0, Millis(100), 5.0, 1.0),
+        Millis(5));
+  });
+  server.Run();
+  ASSERT_NE(admitted, nullptr);
+  ASSERT_NE(rejected, nullptr);
+  EXPECT_EQ(admitted->state, TxnState::kCommitted);
+  EXPECT_EQ(rejected->state, TxnState::kRejected);
+  EXPECT_EQ(server.metrics().queries_rejected, 1);
+  EXPECT_EQ(server.metrics().queries_committed, 1);
+  // The rejected query still counts toward the submitted maximum.
+  EXPECT_DOUBLE_EQ(server.ledger().total_max(), 20.0);
+  EXPECT_DOUBLE_EQ(server.ledger().total_gained(), 10.0);
+  EXPECT_TRUE(server.IsQuiescent());
+}
+
+TEST(ServerAdmissionTest, ConservationIncludesRejections) {
+  Database db(4);
+  FifoScheduler sched;
+  QueueCapAdmission controller(2);
+  ServerConfig config;
+  config.admission = &controller;
+  WebDatabaseServer server(&db, &sched, config);
+  server.SubmitUpdate(0, 1.0, Millis(50));
+  for (int i = 0; i < 10; ++i) {
+    server.sim().ScheduleAt(Millis(1 + i), [&server, i] {
+      server.SubmitQuery(
+          QueryType::kLookup, {static_cast<ItemId>(i % 4)},
+          QualityContract::Make(QcShape::kStep, 1.0, Millis(100), 1.0, 1.0),
+          Millis(5));
+    });
+  }
+  server.Run();
+  const ServerMetrics& metrics = server.metrics();
+  EXPECT_EQ(metrics.queries_submitted, 10);
+  EXPECT_EQ(metrics.queries_committed + metrics.queries_dropped +
+                metrics.queries_rejected,
+            metrics.queries_submitted);
+  EXPECT_GT(metrics.queries_rejected, 0);
+}
+
+}  // namespace
+}  // namespace webdb

@@ -1,0 +1,126 @@
+#include "trace/arrival_process.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+namespace webdb {
+namespace {
+
+TEST(ArrivalProcessTest, ConstantRateMatchesExpectation) {
+  Rng rng(1);
+  const auto arrivals = GenerateArrivals(
+      rng, [](double) { return 100.0; }, 100.0, Seconds(100));
+  // ~10000 arrivals expected; Poisson stddev ~100.
+  EXPECT_NEAR(static_cast<double>(arrivals.size()), 10000.0, 500.0);
+}
+
+TEST(ArrivalProcessTest, ArrivalsSortedAndInRange) {
+  Rng rng(2);
+  const auto arrivals = GenerateArrivals(
+      rng, [](double) { return 50.0; }, 50.0, Seconds(10));
+  SimTime prev = -1;
+  for (SimTime t : arrivals) {
+    EXPECT_GT(t, prev);
+    EXPECT_GE(t, 0);
+    EXPECT_LT(t, Seconds(10));
+    prev = t;
+  }
+}
+
+TEST(ArrivalProcessTest, ThinningTracksProfile) {
+  Rng rng(3);
+  // Rate 200 in the first half, 0 in the second half.
+  const auto arrivals = GenerateArrivals(
+      rng, [](double t) { return t < 50.0 ? 200.0 : 0.0; }, 200.0,
+      Seconds(100));
+  for (SimTime t : arrivals) EXPECT_LT(t, Seconds(50));
+  EXPECT_NEAR(static_cast<double>(arrivals.size()), 10000.0, 500.0);
+}
+
+TEST(ArrivalProcessTest, DeterministicForSeed) {
+  Rng a(4), b(4);
+  const auto profile = [](double) { return 30.0; };
+  EXPECT_EQ(GenerateArrivals(a, profile, 30.0, Seconds(20)),
+            GenerateArrivals(b, profile, 30.0, Seconds(20)));
+}
+
+TEST(ArrivalProcessTest, DecayingRateTrendsDownward) {
+  Rng rng(5);
+  const auto profile = DecayingRate(400.0, 100.0, 0.0, Seconds(100), rng);
+  EXPECT_NEAR(profile(0.0), 400.0, 1.0);
+  EXPECT_NEAR(profile(50.0), 250.0, 1.0);
+  EXPECT_NEAR(profile(100.0), 100.0, 1.0);
+}
+
+TEST(ArrivalProcessTest, DecayingRateNoiseBounded) {
+  Rng rng(6);
+  const auto profile = DecayingRate(100.0, 100.0, 0.2, Seconds(50), rng);
+  for (double t = 0.0; t < 50.0; t += 0.5) {
+    EXPECT_GE(profile(t), 80.0 - 1e-9);
+    EXPECT_LE(profile(t), 120.0 + 1e-9);
+  }
+}
+
+TEST(ArrivalProcessTest, WobblyRateStaysNearBase) {
+  Rng rng(7);
+  const auto profile =
+      WobblyRate(100.0, 0.3, /*spike_count=*/0, 1.0, 10.0, Seconds(100), rng);
+  for (double t = 0.0; t < 100.0; t += 1.0) {
+    EXPECT_GE(profile(t), 70.0 - 1e-9);
+    EXPECT_LE(profile(t), 130.0 + 1e-9);
+  }
+}
+
+TEST(ArrivalProcessTest, SpikesRaiseRate) {
+  Rng rng(8);
+  const auto profile =
+      WobblyRate(100.0, 0.0, /*spike_count=*/3, 5.0, 10.0, Seconds(100), rng);
+  double peak = 0.0;
+  for (double t = 0.0; t < 100.0; t += 0.25) peak = std::max(peak, profile(t));
+  EXPECT_GE(peak, 400.0);
+}
+
+TEST(ArrivalProcessTest, RateBoundCoversWobbleAndSpikes) {
+  EXPECT_GE(ProfileRateBound(100.0, 0.3, 5.0), 100.0 * 1.3 * 5.0);
+}
+
+TEST(OnOffRateTest, OnlyTwoRateLevels) {
+  Rng rng(9);
+  const auto profile = OnOffRate(200.0, 20.0, 5.0, 5.0, Seconds(100), rng);
+  for (double t = 0.0; t < 100.0; t += 0.1) {
+    const double r = profile(t);
+    EXPECT_TRUE(r == 200.0 || r == 20.0) << "rate " << r;
+  }
+}
+
+TEST(OnOffRateTest, SpendsRoughlyHalfTimeOnWithEqualDwells) {
+  Rng rng(10);
+  const auto profile = OnOffRate(200.0, 20.0, 3.0, 3.0, Seconds(2000), rng);
+  int on_samples = 0;
+  const int samples = 20000;
+  for (int i = 0; i < samples; ++i) {
+    if (profile(2000.0 * i / samples) == 200.0) ++on_samples;
+  }
+  EXPECT_NEAR(static_cast<double>(on_samples) / samples, 0.5, 0.1);
+}
+
+TEST(OnOffRateTest, StartsOff) {
+  Rng rng(11);
+  const auto profile = OnOffRate(100.0, 1.0, 10.0, 10.0, Seconds(50), rng);
+  EXPECT_DOUBLE_EQ(profile(0.0), 1.0);
+}
+
+TEST(OnOffRateTest, DrivesBurstyArrivals) {
+  Rng rng(12);
+  const auto profile = OnOffRate(300.0, 10.0, 2.0, 8.0, Seconds(100), rng);
+  Rng arr_rng(13);
+  const auto arrivals = GenerateArrivals(arr_rng, profile, 300.0,
+                                         Seconds(100));
+  // Expected count ≈ (0.2*300 + 0.8*10) * 100 = 6800; generous envelope.
+  EXPECT_GT(arrivals.size(), 2000u);
+  EXPECT_LT(arrivals.size(), 15000u);
+}
+
+}  // namespace
+}  // namespace webdb

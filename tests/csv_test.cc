@@ -1,0 +1,78 @@
+#include "util/csv.h"
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace webdb {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+TEST(CsvTest, SplitBasic) {
+  const auto fields = SplitCsvLine("a,b,c");
+  ASSERT_EQ(fields.size(), 3u);
+  EXPECT_EQ(fields[0], "a");
+  EXPECT_EQ(fields[1], "b");
+  EXPECT_EQ(fields[2], "c");
+}
+
+TEST(CsvTest, SplitEmptyFields) {
+  const auto fields = SplitCsvLine(",x,");
+  ASSERT_EQ(fields.size(), 3u);
+  EXPECT_EQ(fields[0], "");
+  EXPECT_EQ(fields[1], "x");
+  EXPECT_EQ(fields[2], "");
+}
+
+TEST(CsvTest, SplitSingleField) {
+  const auto fields = SplitCsvLine("solo");
+  ASSERT_EQ(fields.size(), 1u);
+  EXPECT_EQ(fields[0], "solo");
+}
+
+TEST(CsvTest, WriteReadRoundtrip) {
+  const std::string path = TempPath("roundtrip.csv");
+  {
+    CsvWriter writer(path);
+    ASSERT_TRUE(writer.ok());
+    writer.WriteRow({"1", "2.5", "AAPL"});
+    writer.WriteRow({"4", "5.5", "MSFT"});
+    ASSERT_TRUE(writer.Close());
+  }
+  CsvReader reader(path);
+  ASSERT_TRUE(reader.ok());
+  std::vector<std::string> row;
+  ASSERT_TRUE(reader.ReadRow(row));
+  EXPECT_EQ(row, (std::vector<std::string>{"1", "2.5", "AAPL"}));
+  ASSERT_TRUE(reader.ReadRow(row));
+  EXPECT_EQ(row, (std::vector<std::string>{"4", "5.5", "MSFT"}));
+  EXPECT_FALSE(reader.ReadRow(row));
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, ReaderOnMissingFileNotOk) {
+  CsvReader reader(TempPath("does-not-exist.csv"));
+  EXPECT_FALSE(reader.ok());
+}
+
+TEST(CsvTest, HandlesCrLf) {
+  const std::string path = TempPath("crlf.csv");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "a,b\r\n";
+  }
+  CsvReader reader(path);
+  std::vector<std::string> row;
+  ASSERT_TRUE(reader.ReadRow(row));
+  ASSERT_EQ(row.size(), 2u);
+  EXPECT_EQ(row[1], "b");
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace webdb

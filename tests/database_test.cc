@@ -1,0 +1,96 @@
+#include "db/database.h"
+
+#include <gtest/gtest.h>
+
+namespace webdb {
+namespace {
+
+TEST(DatabaseTest, FreshOnCreation) {
+  Database db(10);
+  EXPECT_EQ(db.NumItems(), 10);
+  for (ItemId i = 0; i < 10; ++i) {
+    EXPECT_TRUE(db.Item(i).IsFresh());
+    EXPECT_EQ(db.UnappliedCount(i), 0u);
+    EXPECT_DOUBLE_EQ(db.ValueDistance(i), 0.0);
+    EXPECT_EQ(db.TimeDifferential(i, 1000), 0);
+  }
+  EXPECT_EQ(db.StaleItemCount(), 0);
+}
+
+TEST(DatabaseTest, ArrivalIncrementsUnapplied) {
+  Database db(2);
+  const uint64_t seq1 = db.RecordUpdateArrival(0, 10.0, 100);
+  EXPECT_EQ(seq1, 1u);
+  EXPECT_EQ(db.UnappliedCount(0), 1u);
+  const uint64_t seq2 = db.RecordUpdateArrival(0, 20.0, 200);
+  EXPECT_EQ(seq2, 2u);
+  EXPECT_EQ(db.UnappliedCount(0), 2u);
+  EXPECT_EQ(db.UnappliedCount(1), 0u);
+  EXPECT_EQ(db.TotalArrivals(), 2u);
+  EXPECT_EQ(db.StaleItemCount(), 1);
+  EXPECT_EQ(db.TotalUnapplied(), 2u);
+}
+
+TEST(DatabaseTest, ApplyNewestMakesFresh) {
+  Database db(1);
+  db.RecordUpdateArrival(0, 10.0, 100);
+  const uint64_t seq2 = db.RecordUpdateArrival(0, 20.0, 200);
+  db.ApplyUpdate(0, seq2, 20.0, 300);
+  EXPECT_TRUE(db.Item(0).IsFresh());
+  EXPECT_DOUBLE_EQ(db.Item(0).value, 20.0);
+  EXPECT_EQ(db.UnappliedCount(0), 0u);
+  EXPECT_EQ(db.TimeDifferential(0, 400), 0);
+  EXPECT_DOUBLE_EQ(db.ValueDistance(0), 0.0);
+}
+
+TEST(DatabaseTest, ApplyOlderLeavesNewerUnapplied) {
+  Database db(1);
+  const uint64_t seq1 = db.RecordUpdateArrival(0, 10.0, 100);
+  db.RecordUpdateArrival(0, 20.0, 200);
+  db.ApplyUpdate(0, seq1, 10.0, 300);
+  EXPECT_FALSE(db.Item(0).IsFresh());
+  EXPECT_EQ(db.UnappliedCount(0), 1u);
+  EXPECT_DOUBLE_EQ(db.Item(0).value, 10.0);
+  // Value distance against the newest arrived value.
+  EXPECT_DOUBLE_EQ(db.ValueDistance(0), 10.0);
+}
+
+TEST(DatabaseTest, TimeDifferentialFromOldestUnapplied) {
+  Database db(1);
+  db.RecordUpdateArrival(0, 1.0, 100);
+  db.RecordUpdateArrival(0, 2.0, 250);
+  // Oldest unapplied arrived at t=100.
+  EXPECT_EQ(db.TimeDifferential(0, 400), 300);
+}
+
+TEST(DatabaseTest, InvalidationCountsOnly) {
+  Database db(1);
+  db.RecordUpdateArrival(0, 1.0, 100);
+  db.RecordInvalidation(0);
+  EXPECT_EQ(db.TotalInvalidated(), 1u);
+  EXPECT_EQ(db.Item(0).invalidated_count, 1u);
+  // Invalidation does not change freshness math.
+  EXPECT_EQ(db.UnappliedCount(0), 1u);
+}
+
+TEST(DatabaseDeathTest, ApplyUnknownSequenceAborts) {
+  Database db(1);
+  EXPECT_DEATH(db.ApplyUpdate(0, 1, 5.0, 10), "never saw");
+}
+
+TEST(DatabaseDeathTest, ApplyStaleSequenceAborts) {
+  Database db(1);
+  db.RecordUpdateArrival(0, 1.0, 10);
+  const uint64_t seq2 = db.RecordUpdateArrival(0, 2.0, 20);
+  db.ApplyUpdate(0, seq2, 2.0, 30);
+  EXPECT_DEATH(db.ApplyUpdate(0, 1, 1.0, 40), "older");
+}
+
+TEST(DatabaseDeathTest, OutOfRangeItemAborts) {
+  Database db(3);
+  EXPECT_DEATH(db.Item(3), "");
+  EXPECT_DEATH(db.Item(-1), "");
+}
+
+}  // namespace
+}  // namespace webdb

@@ -1,0 +1,104 @@
+#include "exp/experiment.h"
+
+#include <gtest/gtest.h>
+
+#include "exp/scheduler_factory.h"
+#include "trace/stock_trace_generator.h"
+
+namespace webdb {
+namespace {
+
+TEST(SchedulerFactoryTest, NamesRoundTrip) {
+  for (SchedulerKind kind :
+       {SchedulerKind::kFifo, SchedulerKind::kUpdateHigh,
+        SchedulerKind::kQueryHigh, SchedulerKind::kFifoUpdateHigh,
+        SchedulerKind::kFifoQueryHigh, SchedulerKind::kQuts}) {
+    EXPECT_EQ(SchedulerKindFromName(ToString(kind)), kind);
+    EXPECT_NE(MakeScheduler(kind), nullptr);
+  }
+}
+
+TEST(SchedulerFactoryTest, PaperSchedulersAreTheFourCompared) {
+  const auto kinds = PaperSchedulers();
+  ASSERT_EQ(kinds.size(), 4u);
+  EXPECT_EQ(kinds[0], SchedulerKind::kFifo);
+  EXPECT_EQ(kinds[3], SchedulerKind::kQuts);
+}
+
+TEST(ExperimentTest, FillsResultFields) {
+  const Trace trace = GenerateStockTrace(StockTraceConfig::Small(21));
+  auto scheduler = MakeScheduler(SchedulerKind::kQuts);
+  ExperimentOptions options;
+  options.profile = BalancedProfile(QcShape::kStep);
+  const ExperimentResult result =
+      RunExperiment(trace, scheduler.get(), options);
+  EXPECT_EQ(result.scheduler, "QUTS");
+  EXPECT_GT(result.queries_committed, 0);
+  EXPECT_GT(result.updates_applied, 0);
+  EXPECT_GT(result.total_pct, 0.0);
+  EXPECT_NEAR(result.qos_max_pct + result.qod_max_pct, 1.0, 1e-9);
+  EXPECT_FALSE(result.qos_gained_per_s.empty());
+  EXPECT_FALSE(result.rho_series.empty());
+}
+
+TEST(ExperimentTest, NonQutsSchedulerHasNoRhoSeries) {
+  const Trace trace = GenerateStockTrace(StockTraceConfig::Small(22));
+  auto scheduler = MakeScheduler(SchedulerKind::kFifo);
+  ExperimentOptions options;
+  options.profile = BalancedProfile(QcShape::kStep);
+  const ExperimentResult result =
+      RunExperiment(trace, scheduler.get(), options);
+  EXPECT_TRUE(result.rho_series.empty());
+  EXPECT_EQ(result.scheduler, "FIFO");
+}
+
+TEST(ExperimentTest, ZeroContractsModeEarnsNothing) {
+  const Trace trace = GenerateStockTrace(StockTraceConfig::Small(23));
+  auto scheduler = MakeScheduler(SchedulerKind::kFifo);
+  ExperimentOptions options;
+  options.zero_contracts = true;
+  options.server.lifetime_factor = 0.0;
+  const ExperimentResult result =
+      RunExperiment(trace, scheduler.get(), options);
+  EXPECT_DOUBLE_EQ(result.qos_max, 0.0);
+  EXPECT_DOUBLE_EQ(result.qos_gained, 0.0);
+  EXPECT_EQ(result.queries_committed,
+            static_cast<int64_t>(trace.queries.size()));
+  EXPECT_GT(result.avg_response_ms, 0.0);
+}
+
+TEST(ExperimentTest, ScheduleModeUsesTimeVaryingProfiles) {
+  const Trace trace = GenerateStockTrace(StockTraceConfig::Small(24));
+  const auto schedule = TimeVaryingQcGenerator::AlternatingPreference(
+      trace.EndTime() + 1, 2, 5.0, QcShape::kStep);
+  auto scheduler = MakeScheduler(SchedulerKind::kQuts);
+  ExperimentOptions options;
+  options.schedule = &schedule;
+  const ExperimentResult result =
+      RunExperiment(trace, scheduler.get(), options);
+  EXPECT_GT(result.total_pct, 0.0);
+  // First half QoD-heavy, second half QoS-heavy: the per-second max series
+  // must reflect the flip.
+  const size_t half = result.qos_max_per_s.size() / 2;
+  double qos_head = 0.0, qos_tail = 0.0, qod_head = 0.0, qod_tail = 0.0;
+  for (size_t i = 0; i < half; ++i) {
+    qos_head += result.qos_max_per_s[i];
+    qod_head += result.qod_max_per_s[i];
+  }
+  for (size_t i = half; i < result.qos_max_per_s.size(); ++i) {
+    qos_tail += result.qos_max_per_s[i];
+    qod_tail += result.qod_max_per_s[i];
+  }
+  EXPECT_GT(qod_head, qos_head);
+  EXPECT_GT(qos_tail, qod_tail);
+}
+
+TEST(ExperimentDeathTest, RequiresAQcSource) {
+  const Trace trace = GenerateStockTrace(StockTraceConfig::Small(25));
+  auto scheduler = MakeScheduler(SchedulerKind::kFifo);
+  ExperimentOptions options;  // no source configured
+  EXPECT_DEATH(RunExperiment(trace, scheduler.get(), options), "");
+}
+
+}  // namespace
+}  // namespace webdb

@@ -1,0 +1,67 @@
+#include "util/histogram.h"
+
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+namespace webdb {
+namespace {
+
+TEST(HistogramTest, BucketAssignment) {
+  Histogram h({1.0, 10.0, 100.0});
+  h.Add(0.5);    // bucket 0 (<= 1)
+  h.Add(1.0);    // bucket 0 (lower_bound: 1.0 <= 1.0)
+  h.Add(5.0);    // bucket 1
+  h.Add(99.0);   // bucket 2
+  h.Add(100.5);  // overflow
+  EXPECT_EQ(h.TotalCount(), 5);
+  ASSERT_EQ(h.NumBuckets(), 4u);
+  EXPECT_EQ(h.BucketCount(0), 2);
+  EXPECT_EQ(h.BucketCount(1), 1);
+  EXPECT_EQ(h.BucketCount(2), 1);
+  EXPECT_EQ(h.BucketCount(3), 1);
+}
+
+TEST(HistogramTest, ExponentialFactory) {
+  Histogram h = Histogram::Exponential(1.0, 2.0, 4);
+  EXPECT_DOUBLE_EQ(h.BucketUpperBound(0), 1.0);
+  EXPECT_DOUBLE_EQ(h.BucketUpperBound(1), 2.0);
+  EXPECT_DOUBLE_EQ(h.BucketUpperBound(2), 4.0);
+  EXPECT_DOUBLE_EQ(h.BucketUpperBound(3), 8.0);
+  EXPECT_TRUE(std::isinf(h.BucketUpperBound(4)));
+}
+
+TEST(HistogramTest, QuantileEmptyIsZero) {
+  Histogram h({1.0, 2.0});
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 0.0);
+}
+
+TEST(HistogramTest, QuantileInterpolates) {
+  Histogram h({10.0, 20.0});
+  for (int i = 0; i < 10; ++i) h.Add(5.0);   // all in first bucket
+  EXPECT_NEAR(h.Quantile(0.5), 5.0, 1e-9);   // halfway through [0, 10]
+  EXPECT_NEAR(h.Quantile(1.0), 10.0, 1e-9);
+}
+
+TEST(HistogramTest, QuantileMonotone) {
+  Histogram h = Histogram::Exponential(1.0, 2.0, 10);
+  for (int i = 1; i <= 100; ++i) h.Add(static_cast<double>(i));
+  double prev = 0.0;
+  for (double q : {0.1, 0.25, 0.5, 0.75, 0.9, 0.99}) {
+    const double v = h.Quantile(q);
+    EXPECT_GE(v, prev);
+    prev = v;
+  }
+}
+
+TEST(HistogramTest, ToStringContainsCounts) {
+  Histogram h({1.0});
+  h.Add(0.5);
+  const std::string s = h.ToString();
+  EXPECT_NE(s.find("<= 1"), std::string::npos);
+  EXPECT_NE(s.find('#'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace webdb

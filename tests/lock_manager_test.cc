@@ -1,0 +1,99 @@
+#include "txn/lock_manager.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+namespace webdb {
+namespace {
+
+TEST(LockManagerTest, SharedLocksCoexist) {
+  LockManager lm;
+  EXPECT_TRUE(lm.Conflicts(2, LockMode::kShared, {1, 2}).empty());
+  lm.Acquire(2, LockMode::kShared, {1, 2});
+  EXPECT_TRUE(lm.Conflicts(4, LockMode::kShared, {1, 2}).empty());
+  lm.Acquire(4, LockMode::kShared, {2, 3});
+  EXPECT_TRUE(lm.HoldsAny(2));
+  EXPECT_TRUE(lm.HoldsAny(4));
+  const auto holders = lm.SharedHolders(2);
+  EXPECT_EQ(holders.size(), 2u);
+}
+
+TEST(LockManagerTest, ExclusiveConflictsWithShared) {
+  LockManager lm;
+  lm.Acquire(2, LockMode::kShared, {5});
+  const auto conflicts = lm.Conflicts(3, LockMode::kExclusive, {5});
+  ASSERT_EQ(conflicts.size(), 1u);
+  EXPECT_EQ(conflicts[0], 2u);
+}
+
+TEST(LockManagerTest, SharedConflictsWithExclusive) {
+  LockManager lm;
+  lm.Acquire(3, LockMode::kExclusive, {5});
+  EXPECT_EQ(lm.ExclusiveHolder(5), 3u);
+  const auto conflicts = lm.Conflicts(2, LockMode::kShared, {4, 5});
+  ASSERT_EQ(conflicts.size(), 1u);
+  EXPECT_EQ(conflicts[0], 3u);
+}
+
+TEST(LockManagerTest, NoSelfConflict) {
+  LockManager lm;
+  lm.Acquire(2, LockMode::kShared, {1});
+  EXPECT_TRUE(lm.Conflicts(2, LockMode::kShared, {1}).empty());
+}
+
+TEST(LockManagerTest, ConflictsDeduplicated) {
+  LockManager lm;
+  lm.Acquire(2, LockMode::kShared, {1, 2, 3});
+  const auto conflicts = lm.Conflicts(5, LockMode::kExclusive, {1});
+  EXPECT_EQ(conflicts.size(), 1u);
+  // A query over several items held by the same exclusive holder reports it
+  // once.
+  LockManager lm2;
+  lm2.Acquire(3, LockMode::kExclusive, {1});
+  lm2.Acquire(5, LockMode::kExclusive, {2});
+  auto multi = lm2.Conflicts(2, LockMode::kShared, {1, 2});
+  std::sort(multi.begin(), multi.end());
+  EXPECT_EQ(multi, (std::vector<TxnId>{3, 5}));
+}
+
+TEST(LockManagerTest, ReleaseAllFreesEverything) {
+  LockManager lm;
+  lm.Acquire(2, LockMode::kShared, {1, 2, 3});
+  lm.ReleaseAll(2);
+  EXPECT_FALSE(lm.HoldsAny(2));
+  EXPECT_EQ(lm.NumLockedItems(), 0u);
+  EXPECT_TRUE(lm.Conflicts(3, LockMode::kExclusive, {1, 2, 3}).empty());
+}
+
+TEST(LockManagerTest, ReleaseUnknownIsNoop) {
+  LockManager lm;
+  lm.ReleaseAll(99);  // must not crash
+  EXPECT_FALSE(lm.HoldsAny(99));
+}
+
+TEST(LockManagerTest, ReentrantAcquireIsIdempotent) {
+  LockManager lm;
+  lm.Acquire(2, LockMode::kShared, {1});
+  lm.Acquire(2, LockMode::kShared, {1, 2});  // re-acquire 1, add 2
+  lm.ReleaseAll(2);
+  EXPECT_EQ(lm.NumLockedItems(), 0u);
+}
+
+TEST(LockManagerTest, ExclusiveThenReleaseAllowsNewExclusive) {
+  LockManager lm;
+  lm.Acquire(3, LockMode::kExclusive, {7});
+  lm.ReleaseAll(3);
+  EXPECT_TRUE(lm.Conflicts(5, LockMode::kExclusive, {7}).empty());
+  lm.Acquire(5, LockMode::kExclusive, {7});
+  EXPECT_EQ(lm.ExclusiveHolder(7), 5u);
+}
+
+TEST(LockManagerDeathTest, AcquireWithConflictAborts) {
+  LockManager lm;
+  lm.Acquire(3, LockMode::kExclusive, {1});
+  EXPECT_DEATH(lm.Acquire(5, LockMode::kExclusive, {1}), "conflict");
+}
+
+}  // namespace
+}  // namespace webdb

@@ -1,0 +1,117 @@
+#include "sim/processor.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace webdb {
+namespace {
+
+TEST(ProcessorTest, CompletesAfterServiceTime) {
+  Simulator sim;
+  Processor cpu(&sim);
+  std::vector<uint64_t> done;
+  sim.ScheduleAt(0, [&] {
+    cpu.Start(7, 100, [&](uint64_t id) { done.push_back(id); });
+  });
+  sim.Run();
+  EXPECT_EQ(done, (std::vector<uint64_t>{7}));
+  EXPECT_EQ(sim.Now(), 100);
+  EXPECT_FALSE(cpu.busy());
+  EXPECT_EQ(cpu.TotalBusyTime(), 100);
+}
+
+TEST(ProcessorTest, PreemptReturnsRemaining) {
+  Simulator sim;
+  Processor cpu(&sim);
+  bool completed = false;
+  SimDuration remaining = -1;
+  sim.ScheduleAt(0, [&] {
+    cpu.Start(1, 100, [&](uint64_t) { completed = true; });
+  });
+  sim.ScheduleAt(30, [&] { remaining = cpu.Preempt(); });
+  sim.Run();
+  EXPECT_FALSE(completed);
+  EXPECT_EQ(remaining, 70);
+  EXPECT_FALSE(cpu.busy());
+  EXPECT_EQ(cpu.TotalBusyTime(), 30);
+}
+
+TEST(ProcessorTest, ResumeAfterPreemptFinishesWithTotalService) {
+  Simulator sim;
+  Processor cpu(&sim);
+  SimTime completion_time = -1;
+  sim.ScheduleAt(0, [&] {
+    cpu.Start(1, 100, [&](uint64_t) { completion_time = sim.Now(); });
+  });
+  sim.ScheduleAt(40, [&] {
+    const SimDuration remaining = cpu.Preempt();
+    // resume 10 later
+    sim.ScheduleAfter(10, [&cpu, remaining, &completion_time, &sim] {
+      cpu.Start(1, remaining, [&](uint64_t) { completion_time = sim.Now(); });
+    });
+  });
+  sim.Run();
+  EXPECT_EQ(completion_time, 110);  // 40 run + 10 pause + 60 remaining
+  EXPECT_EQ(cpu.TotalBusyTime(), 100);
+}
+
+TEST(ProcessorTest, AbortDiscardsTask) {
+  Simulator sim;
+  Processor cpu(&sim);
+  bool completed = false;
+  sim.ScheduleAt(0, [&] {
+    cpu.Start(1, 100, [&](uint64_t) { completed = true; });
+  });
+  sim.ScheduleAt(10, [&] { cpu.Abort(); });
+  sim.Run();
+  EXPECT_FALSE(completed);
+  EXPECT_EQ(cpu.TotalBusyTime(), 10);
+}
+
+TEST(ProcessorTest, ElapsedAndRemainingTrackProgress) {
+  Simulator sim;
+  Processor cpu(&sim);
+  sim.ScheduleAt(0, [&] { cpu.Start(9, 50, [](uint64_t) {}); });
+  sim.ScheduleAt(20, [&] {
+    EXPECT_TRUE(cpu.busy());
+    EXPECT_EQ(cpu.current_task(), 9u);
+    EXPECT_EQ(cpu.Elapsed(), 20);
+    EXPECT_EQ(cpu.Remaining(), 30);
+  });
+  sim.Run();
+}
+
+TEST(ProcessorTest, IdleByCompletionCallbackTime) {
+  Simulator sim;
+  Processor cpu(&sim);
+  sim.ScheduleAt(0, [&] {
+    cpu.Start(1, 10, [&](uint64_t) {
+      EXPECT_FALSE(cpu.busy());
+      // Back-to-back dispatch from the completion callback must work.
+      cpu.Start(2, 5, [](uint64_t) {});
+    });
+  });
+  sim.Run();
+  EXPECT_EQ(sim.Now(), 15);
+  EXPECT_EQ(cpu.TotalBusyTime(), 15);
+}
+
+TEST(ProcessorDeathTest, DoubleStartAborts) {
+  Simulator sim;
+  Processor cpu(&sim);
+  sim.ScheduleAt(0, [&] {
+    cpu.Start(1, 10, [](uint64_t) {});
+    EXPECT_DEATH(cpu.Start(2, 10, [](uint64_t) {}), "busy");
+  });
+  sim.Run();
+}
+
+TEST(ProcessorDeathTest, PreemptIdleAborts) {
+  Simulator sim;
+  Processor cpu(&sim);
+  EXPECT_DEATH(cpu.Preempt(), "idle");
+}
+
+}  // namespace
+}  // namespace webdb

@@ -1,0 +1,93 @@
+#include "qc/profit_function.h"
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+namespace webdb {
+namespace {
+
+TEST(StepProfitTest, FullProfitStrictlyBelowCutoff) {
+  StepProfitFunction fn(10.0, 50.0);
+  EXPECT_DOUBLE_EQ(fn.Profit(0.0), 10.0);
+  EXPECT_DOUBLE_EQ(fn.Profit(49.999), 10.0);
+  EXPECT_DOUBLE_EQ(fn.Profit(50.0), 0.0);  // cutoff is exclusive
+  EXPECT_DOUBLE_EQ(fn.Profit(100.0), 0.0);
+  EXPECT_DOUBLE_EQ(fn.MaxProfit(), 10.0);
+  EXPECT_DOUBLE_EQ(fn.Cutoff(), 50.0);
+}
+
+TEST(StepProfitTest, UuMaxOneMeansNoUpdateMissed) {
+  // The paper's uu_max = 1 semantics: profit only when #uu == 0.
+  StepProfitFunction fn(2.0, 1.0);
+  EXPECT_DOUBLE_EQ(fn.Profit(0.0), 2.0);
+  EXPECT_DOUBLE_EQ(fn.Profit(1.0), 0.0);
+  EXPECT_DOUBLE_EQ(fn.Profit(2.0), 0.0);
+}
+
+TEST(LinearProfitTest, InterpolatesToZeroAtCutoff) {
+  LinearProfitFunction fn(10.0, 50.0);
+  EXPECT_DOUBLE_EQ(fn.Profit(0.0), 10.0);
+  EXPECT_DOUBLE_EQ(fn.Profit(25.0), 5.0);
+  EXPECT_DOUBLE_EQ(fn.Profit(50.0), 0.0);
+  EXPECT_DOUBLE_EQ(fn.Profit(60.0), 0.0);
+}
+
+TEST(LinearProfitTest, ZeroMaxProfitIsAlwaysZero) {
+  LinearProfitFunction fn(0.0, 50.0);
+  EXPECT_DOUBLE_EQ(fn.Profit(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(fn.Profit(10.0), 0.0);
+}
+
+TEST(ZeroProfitTest, AlwaysZero) {
+  ZeroProfitFunction fn;
+  EXPECT_DOUBLE_EQ(fn.Profit(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(fn.Profit(1e9), 0.0);
+  EXPECT_DOUBLE_EQ(fn.MaxProfit(), 0.0);
+}
+
+TEST(ProfitFunctionTest, DebugStringsMentionParameters) {
+  EXPECT_NE(StepProfitFunction(3.0, 7.0).DebugString().find("step"),
+            std::string::npos);
+  EXPECT_NE(LinearProfitFunction(3.0, 7.0).DebugString().find("linear"),
+            std::string::npos);
+}
+
+TEST(ProfitFunctionDeathTest, InvalidParamsAbort) {
+  EXPECT_DEATH(StepProfitFunction(-1.0, 1.0), "");
+  EXPECT_DEATH(StepProfitFunction(1.0, 0.0), "");
+  EXPECT_DEATH(LinearProfitFunction(1.0, -5.0), "");
+}
+
+// Property: every built-in shape is non-increasing over a wide grid,
+// for a sweep of (max_profit, cutoff) pairs.
+class NonIncreasingTest
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(NonIncreasingTest, StepAndLinear) {
+  const auto [max_profit, cutoff] = GetParam();
+  StepProfitFunction step(max_profit, cutoff);
+  LinearProfitFunction linear(max_profit, cutoff);
+  EXPECT_TRUE(IsNonIncreasing(step, cutoff * 3.0, 1000));
+  EXPECT_TRUE(IsNonIncreasing(linear, cutoff * 3.0, 1000));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, NonIncreasingTest,
+    ::testing::Combine(::testing::Values(0.0, 1.0, 10.0, 99.0),
+                       ::testing::Values(0.5, 1.0, 50.0, 100.0)));
+
+TEST(IsNonIncreasingTest, DetectsIncreasingFunction) {
+  class Increasing final : public ProfitFunction {
+   public:
+    double Profit(double x) const override { return x; }
+    double MaxProfit() const override { return 0.0; }
+    double Cutoff() const override { return 0.0; }
+    std::string DebugString() const override { return "inc"; }
+  };
+  Increasing fn;
+  EXPECT_FALSE(IsNonIncreasing(fn, 10.0, 100));
+}
+
+}  // namespace
+}  // namespace webdb

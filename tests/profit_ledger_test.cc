@@ -1,0 +1,64 @@
+#include "qc/profit_ledger.h"
+
+#include <gtest/gtest.h>
+
+namespace webdb {
+namespace {
+
+QualityContract MakeQc(double qos, double qod) {
+  return QualityContract::Make(QcShape::kStep, qos, Millis(50), qod, 1.0);
+}
+
+TEST(ProfitLedgerTest, EmptyLedgerIsAllZero) {
+  ProfitLedger ledger;
+  EXPECT_DOUBLE_EQ(ledger.total_max(), 0.0);
+  EXPECT_DOUBLE_EQ(ledger.TotalPct(), 0.0);
+  EXPECT_DOUBLE_EQ(ledger.QosMaxPct(), 0.0);
+}
+
+TEST(ProfitLedgerTest, TracksMaxOnSubmission) {
+  ProfitLedger ledger;
+  ledger.OnQuerySubmitted(MakeQc(10.0, 30.0), Seconds(1));
+  ledger.OnQuerySubmitted(MakeQc(20.0, 40.0), Seconds(2));
+  EXPECT_DOUBLE_EQ(ledger.qos_max(), 30.0);
+  EXPECT_DOUBLE_EQ(ledger.qod_max(), 70.0);
+  EXPECT_DOUBLE_EQ(ledger.total_max(), 100.0);
+  EXPECT_DOUBLE_EQ(ledger.QosMaxPct(), 0.3);
+  EXPECT_DOUBLE_EQ(ledger.QodMaxPct(), 0.7);
+}
+
+TEST(ProfitLedgerTest, TracksGainedOnCommit) {
+  ProfitLedger ledger;
+  ledger.OnQuerySubmitted(MakeQc(10.0, 10.0), 0);
+  ledger.OnQueryCommitted({5.0, 10.0}, Seconds(1));
+  EXPECT_DOUBLE_EQ(ledger.qos_gained(), 5.0);
+  EXPECT_DOUBLE_EQ(ledger.qod_gained(), 10.0);
+  EXPECT_DOUBLE_EQ(ledger.QosPct(), 0.25);
+  EXPECT_DOUBLE_EQ(ledger.QodPct(), 0.5);
+  EXPECT_DOUBLE_EQ(ledger.TotalPct(), 0.75);
+}
+
+TEST(ProfitLedgerTest, SeriesBucketedBySecond) {
+  ProfitLedger ledger;
+  ledger.OnQuerySubmitted(MakeQc(10.0, 20.0), Millis(500));   // second 0
+  ledger.OnQuerySubmitted(MakeQc(30.0, 40.0), Millis(1500));  // second 1
+  ledger.OnQueryCommitted({1.0, 2.0}, Millis(2500));          // second 2
+  EXPECT_DOUBLE_EQ(ledger.qos_max_series().BucketSum(0), 10.0);
+  EXPECT_DOUBLE_EQ(ledger.qod_max_series().BucketSum(0), 20.0);
+  EXPECT_DOUBLE_EQ(ledger.qos_max_series().BucketSum(1), 30.0);
+  EXPECT_DOUBLE_EQ(ledger.qos_gained_series().BucketSum(2), 1.0);
+  EXPECT_DOUBLE_EQ(ledger.qod_gained_series().BucketSum(2), 2.0);
+}
+
+TEST(ProfitLedgerTest, PctNeverExceedsOneForValidEvaluations) {
+  ProfitLedger ledger;
+  for (int i = 0; i < 100; ++i) {
+    const auto qc = MakeQc(10.0, 10.0);
+    ledger.OnQuerySubmitted(qc, Seconds(i));
+    ledger.OnQueryCommitted(qc.Evaluate(Millis(10), 0.0), Seconds(i));
+  }
+  EXPECT_DOUBLE_EQ(ledger.TotalPct(), 1.0);
+}
+
+}  // namespace
+}  // namespace webdb

@@ -1,0 +1,96 @@
+// Tests for the extended profit-function shapes (piecewise-linear,
+// exponential decay) beyond the paper's step/linear.
+
+#include <gtest/gtest.h>
+
+#include "qc/profit_function.h"
+
+namespace webdb {
+namespace {
+
+using Point = PiecewiseLinearProfitFunction::Point;
+
+TEST(PiecewiseLinearTest, FlatBeforeFirstPoint) {
+  PiecewiseLinearProfitFunction fn({{10.0, 8.0}, {20.0, 2.0}});
+  EXPECT_DOUBLE_EQ(fn.Profit(0.0), 8.0);
+  EXPECT_DOUBLE_EQ(fn.Profit(10.0), 8.0);
+  EXPECT_DOUBLE_EQ(fn.MaxProfit(), 8.0);
+}
+
+TEST(PiecewiseLinearTest, InterpolatesBetweenPoints) {
+  PiecewiseLinearProfitFunction fn({{10.0, 8.0}, {20.0, 2.0}});
+  EXPECT_DOUBLE_EQ(fn.Profit(15.0), 5.0);
+  EXPECT_DOUBLE_EQ(fn.Profit(12.5), 6.5);
+}
+
+TEST(PiecewiseLinearTest, ZeroAtAndBeyondLastPoint) {
+  PiecewiseLinearProfitFunction fn({{10.0, 8.0}, {20.0, 2.0}});
+  EXPECT_DOUBLE_EQ(fn.Profit(20.0), 0.0);
+  EXPECT_DOUBLE_EQ(fn.Profit(100.0), 0.0);
+  EXPECT_DOUBLE_EQ(fn.Cutoff(), 20.0);
+}
+
+TEST(PiecewiseLinearTest, SinglePointActsAsStep) {
+  PiecewiseLinearProfitFunction fn({{5.0, 3.0}});
+  EXPECT_DOUBLE_EQ(fn.Profit(4.9), 3.0);
+  EXPECT_DOUBLE_EQ(fn.Profit(5.0), 3.0);  // flat up to the point itself
+  EXPECT_DOUBLE_EQ(fn.Profit(5.1), 0.0);
+}
+
+TEST(PiecewiseLinearTest, ThreeTierContract) {
+  // Full / half / nothing, with ramps between tiers.
+  PiecewiseLinearProfitFunction fn({{1.0, 10.0}, {2.0, 5.0}, {4.0, 5.0}});
+  EXPECT_DOUBLE_EQ(fn.Profit(0.5), 10.0);
+  EXPECT_DOUBLE_EQ(fn.Profit(1.5), 7.5);
+  EXPECT_DOUBLE_EQ(fn.Profit(3.0), 5.0);
+  EXPECT_DOUBLE_EQ(fn.Profit(4.0), 0.0);
+}
+
+TEST(PiecewiseLinearTest, IsNonIncreasingProperty) {
+  PiecewiseLinearProfitFunction fn(
+      {{1.0, 10.0}, {2.0, 6.0}, {3.0, 6.0}, {8.0, 1.0}});
+  EXPECT_TRUE(IsNonIncreasing(fn, 12.0, 2000));
+}
+
+TEST(PiecewiseLinearTest, DebugStringListsPoints) {
+  PiecewiseLinearProfitFunction fn({{1.0, 2.0}});
+  EXPECT_NE(fn.DebugString().find("piecewise"), std::string::npos);
+  EXPECT_NE(fn.DebugString().find("1:2"), std::string::npos);
+}
+
+TEST(PiecewiseLinearDeathTest, RejectsBadPoints) {
+  EXPECT_DEATH(PiecewiseLinearProfitFunction({}), "");
+  EXPECT_DEATH(PiecewiseLinearProfitFunction({{2.0, 1.0}, {1.0, 0.5}}),
+               "ascending");
+  EXPECT_DEATH(PiecewiseLinearProfitFunction({{1.0, 1.0}, {2.0, 3.0}}),
+               "non-increasing");
+}
+
+TEST(ExponentialDecayTest, DecaysFromMax) {
+  ExponentialDecayProfitFunction fn(10.0, 5.0);
+  EXPECT_DOUBLE_EQ(fn.Profit(0.0), 10.0);
+  EXPECT_NEAR(fn.Profit(5.0), 10.0 / 2.718281828, 1e-6);
+  EXPECT_NEAR(fn.Profit(10.0), 10.0 / (2.718281828 * 2.718281828), 1e-6);
+}
+
+TEST(ExponentialDecayTest, CutoffAtFloorRatio) {
+  ExponentialDecayProfitFunction fn(10.0, 5.0, /*floor_ratio=*/0.01);
+  // cutoff = 5 * ln(100) ≈ 23.03
+  EXPECT_NEAR(fn.Cutoff(), 23.0259, 1e-3);
+  EXPECT_GT(fn.Profit(fn.Cutoff() - 0.01), 0.0);
+  EXPECT_DOUBLE_EQ(fn.Profit(fn.Cutoff()), 0.0);
+  EXPECT_DOUBLE_EQ(fn.Profit(1000.0), 0.0);
+}
+
+TEST(ExponentialDecayTest, IsNonIncreasingProperty) {
+  ExponentialDecayProfitFunction fn(7.0, 3.0, 0.05);
+  EXPECT_TRUE(IsNonIncreasing(fn, 50.0, 2000));
+}
+
+TEST(ExponentialDecayDeathTest, RejectsBadParams) {
+  EXPECT_DEATH(ExponentialDecayProfitFunction(1.0, 0.0), "");
+  EXPECT_DEATH(ExponentialDecayProfitFunction(1.0, 1.0, 1.5), "");
+}
+
+}  // namespace
+}  // namespace webdb

@@ -1,0 +1,114 @@
+#include "qc/qc_generator.h"
+
+#include <gtest/gtest.h>
+
+namespace webdb {
+namespace {
+
+TEST(QcProfileTest, BalancedProfileHasEqualShares) {
+  const QcProfile p = BalancedProfile(QcShape::kStep);
+  EXPECT_DOUBLE_EQ(p.ExpectedQosSharePct(), 0.5);
+  EXPECT_DOUBLE_EQ(p.uu_max, 1.0);
+}
+
+TEST(QcProfileTest, Table4ProfileMatchesPaper) {
+  // QODmax% = 0.1: qod ~ U[$10, $19], qos ~ U[$90, $99].
+  const QcProfile p = Table4Profile(0.1);
+  EXPECT_DOUBLE_EQ(p.qod_max_lo, 10.0);
+  EXPECT_DOUBLE_EQ(p.qod_max_hi, 19.0);
+  EXPECT_DOUBLE_EQ(p.qos_max_lo, 90.0);
+  EXPECT_DOUBLE_EQ(p.qos_max_hi, 99.0);
+  // QODmax% = 0.9 mirrors it.
+  const QcProfile q = Table4Profile(0.9);
+  EXPECT_DOUBLE_EQ(q.qod_max_lo, 90.0);
+  EXPECT_DOUBLE_EQ(q.qos_max_lo, 10.0);
+}
+
+TEST(QcProfileTest, Table4ExpectedShareTracksKnob) {
+  for (int i = 1; i <= 9; ++i) {
+    const double p = static_cast<double>(i) / 10.0;
+    const QcProfile profile = Table4Profile(p);
+    EXPECT_NEAR(1.0 - profile.ExpectedQosSharePct(), p, 0.05);
+  }
+}
+
+class QcGeneratorRangeTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(QcGeneratorRangeTest, DrawsWithinProfileRanges) {
+  const QcProfile profile = Table4Profile(GetParam());
+  QcGenerator generator(profile);
+  Rng rng(5);
+  for (int i = 0; i < 500; ++i) {
+    const QualityContract qc = generator.Next(rng);
+    EXPECT_GE(qc.qos_max(), profile.qos_max_lo);
+    EXPECT_LE(qc.qos_max(), profile.qos_max_hi);
+    EXPECT_GE(qc.qod_max(), profile.qod_max_lo);
+    EXPECT_LE(qc.qod_max(), profile.qod_max_hi);
+    EXPECT_GE(qc.rt_max(), profile.rt_max_lo);
+    EXPECT_LE(qc.rt_max(), profile.rt_max_hi);
+    EXPECT_DOUBLE_EQ(qc.uu_max(), profile.uu_max);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Table4, QcGeneratorRangeTest,
+                         ::testing::Values(0.1, 0.3, 0.5, 0.7, 0.9));
+
+TEST(QcGeneratorTest, DeterministicForSameSeed) {
+  QcGenerator generator(BalancedProfile(QcShape::kLinear));
+  Rng a(9), b(9);
+  for (int i = 0; i < 100; ++i) {
+    const auto qa = generator.Next(a);
+    const auto qb = generator.Next(b);
+    EXPECT_DOUBLE_EQ(qa.qos_max(), qb.qos_max());
+    EXPECT_DOUBLE_EQ(qa.qod_max(), qb.qod_max());
+    EXPECT_EQ(qa.rt_max(), qb.rt_max());
+  }
+}
+
+TEST(TimeVaryingTest, AlternatingScheduleSegments) {
+  const auto schedule = TimeVaryingQcGenerator::AlternatingPreference(
+      Seconds(300), 4, 5.0, QcShape::kStep);
+  ASSERT_EQ(schedule.segments().size(), 4u);
+  EXPECT_EQ(schedule.segments()[0].start, 0);
+  EXPECT_EQ(schedule.segments()[1].start, Seconds(75));
+  EXPECT_EQ(schedule.segments()[3].start, Seconds(225));
+  // Even segments QoD-heavy, odd segments QoS-heavy.
+  EXPECT_LT(schedule.ProfileAt(0).ExpectedQosSharePct(), 0.5);
+  EXPECT_GT(schedule.ProfileAt(Seconds(80)).ExpectedQosSharePct(), 0.5);
+  EXPECT_LT(schedule.ProfileAt(Seconds(160)).ExpectedQosSharePct(), 0.5);
+  EXPECT_GT(schedule.ProfileAt(Seconds(299)).ExpectedQosSharePct(), 0.5);
+}
+
+TEST(TimeVaryingTest, RatioIsFiveToOne) {
+  const auto schedule = TimeVaryingQcGenerator::AlternatingPreference(
+      Seconds(100), 2, 5.0, QcShape::kStep);
+  const QcProfile& qod_heavy = schedule.ProfileAt(0);
+  EXPECT_DOUBLE_EQ(qod_heavy.qod_max_lo, 5.0 * qod_heavy.qos_max_lo);
+  const QcProfile& qos_heavy = schedule.ProfileAt(Seconds(60));
+  EXPECT_DOUBLE_EQ(qos_heavy.qos_max_lo, 5.0 * qos_heavy.qod_max_lo);
+}
+
+TEST(TimeVaryingTest, NextDrawsFromActiveSegment) {
+  const auto schedule = TimeVaryingQcGenerator::AlternatingPreference(
+      Seconds(100), 2, 5.0, QcShape::kStep);
+  Rng rng(3);
+  // First half is QoD-heavy: qod_max in [50, 95].
+  for (int i = 0; i < 50; ++i) {
+    const auto qc = schedule.Next(Seconds(10), rng);
+    EXPECT_GT(qc.qod_max(), qc.qos_max());
+  }
+  // Second half is QoS-heavy.
+  for (int i = 0; i < 50; ++i) {
+    const auto qc = schedule.Next(Seconds(60), rng);
+    EXPECT_GT(qc.qos_max(), qc.qod_max());
+  }
+}
+
+TEST(TimeVaryingDeathTest, FirstSegmentMustStartAtZero) {
+  std::vector<TimeVaryingQcGenerator::Segment> segments = {
+      {Seconds(1), BalancedProfile(QcShape::kStep)}};
+  EXPECT_DEATH(TimeVaryingQcGenerator{std::move(segments)}, "time 0");
+}
+
+}  // namespace
+}  // namespace webdb

@@ -1,0 +1,122 @@
+#include "qc/quality_contract.h"
+
+#include <gtest/gtest.h>
+
+namespace webdb {
+namespace {
+
+TEST(QualityContractTest, DefaultIsZeroContract) {
+  QualityContract qc;
+  EXPECT_DOUBLE_EQ(qc.qos_max(), 0.0);
+  EXPECT_DOUBLE_EQ(qc.qod_max(), 0.0);
+  EXPECT_DOUBLE_EQ(qc.total_max(), 0.0);
+  const auto eval = qc.Evaluate(Millis(1), 0.0);
+  EXPECT_DOUBLE_EQ(eval.Total(), 0.0);
+}
+
+TEST(QualityContractTest, StepContractFigure2) {
+  // Figure 2: qos_max=$1, rt_max=50ms, qod_max=$2, uu_max=1.
+  const auto qc = QualityContract::Make(QcShape::kStep, 1.0, Millis(50), 2.0,
+                                        1.0);
+  EXPECT_DOUBLE_EQ(qc.qos_max(), 1.0);
+  EXPECT_DOUBLE_EQ(qc.qod_max(), 2.0);
+  EXPECT_EQ(qc.rt_max(), Millis(50));
+  EXPECT_DOUBLE_EQ(qc.uu_max(), 1.0);
+
+  EXPECT_DOUBLE_EQ(qc.QosProfit(Millis(20)), 1.0);
+  EXPECT_DOUBLE_EQ(qc.QosProfit(Millis(50)), 0.0);
+  EXPECT_DOUBLE_EQ(qc.QodProfit(0.0), 2.0);
+  EXPECT_DOUBLE_EQ(qc.QodProfit(1.0), 0.0);
+}
+
+TEST(QualityContractTest, LinearContractFigure3) {
+  // Figure 3: qos_max=$2, rt_max=50ms, qod_max=$1, uu_max=2.
+  const auto qc = QualityContract::Make(QcShape::kLinear, 2.0, Millis(50),
+                                        1.0, 2.0);
+  EXPECT_DOUBLE_EQ(qc.QosProfit(0), 2.0);
+  EXPECT_DOUBLE_EQ(qc.QosProfit(Millis(25)), 1.0);
+  EXPECT_DOUBLE_EQ(qc.QosProfit(Millis(50)), 0.0);
+  EXPECT_DOUBLE_EQ(qc.QodProfit(1.0), 0.5);
+  EXPECT_DOUBLE_EQ(qc.QodProfit(2.0), 0.0);
+}
+
+TEST(QualityContractTest, QosIndependentEarnsQodAfterDeadline) {
+  const auto qc = QualityContract::Make(QcShape::kStep, 1.0, Millis(50), 2.0,
+                                        1.0, QcCombination::kQosIndependent);
+  const auto eval = qc.Evaluate(Millis(200), 0.0);  // late but fresh
+  EXPECT_DOUBLE_EQ(eval.qos, 0.0);
+  EXPECT_DOUBLE_EQ(eval.qod, 2.0);
+  EXPECT_DOUBLE_EQ(eval.Total(), 2.0);
+}
+
+TEST(QualityContractTest, QosDependentForfeitsQodAfterDeadline) {
+  const auto qc = QualityContract::Make(QcShape::kStep, 1.0, Millis(50), 2.0,
+                                        1.0, QcCombination::kQosDependent);
+  const auto late = qc.Evaluate(Millis(200), 0.0);
+  EXPECT_DOUBLE_EQ(late.qod, 0.0);
+  EXPECT_DOUBLE_EQ(late.Total(), 0.0);
+  const auto in_time = qc.Evaluate(Millis(20), 0.0);
+  EXPECT_DOUBLE_EQ(in_time.Total(), 3.0);
+}
+
+TEST(QualityContractTest, StaleQueryEarnsOnlyQos) {
+  const auto qc = QualityContract::Make(QcShape::kStep, 1.0, Millis(50), 2.0,
+                                        1.0);
+  const auto eval = qc.Evaluate(Millis(10), 3.0);
+  EXPECT_DOUBLE_EQ(eval.qos, 1.0);
+  EXPECT_DOUBLE_EQ(eval.qod, 0.0);
+}
+
+TEST(QualityContractTest, CopyIsCheapAndShared) {
+  const auto a =
+      QualityContract::Make(QcShape::kStep, 5.0, Millis(80), 7.0, 1.0);
+  const QualityContract b = a;  // shared immutable functions
+  EXPECT_DOUBLE_EQ(b.qos_max(), 5.0);
+  EXPECT_DOUBLE_EQ(b.qod_max(), 7.0);
+  EXPECT_EQ(&a.qos_fn(), &b.qos_fn());
+}
+
+TEST(QualityContractTest, DebugStringMentionsShapeAndMode) {
+  const auto qc =
+      QualityContract::Make(QcShape::kLinear, 1.0, Millis(50), 2.0, 1.0);
+  const std::string s = qc.DebugString();
+  EXPECT_NE(s.find("linear"), std::string::npos);
+  EXPECT_NE(s.find("qos-independent"), std::string::npos);
+}
+
+TEST(QualityContractTest, ToStringHelpers) {
+  EXPECT_EQ(ToString(QcShape::kStep), "step");
+  EXPECT_EQ(ToString(QcShape::kLinear), "linear");
+  EXPECT_EQ(ToString(QcCombination::kQosDependent), "qos-dependent");
+}
+
+// Property: evaluation never exceeds the contract maxima and is monotone in
+// response time and staleness.
+class ContractBoundsTest : public ::testing::TestWithParam<QcShape> {};
+
+TEST_P(ContractBoundsTest, BoundedAndMonotone) {
+  const auto qc =
+      QualityContract::Make(GetParam(), 13.0, Millis(60), 17.0, 3.0);
+  double prev_qos = 1e18;
+  for (SimDuration rt = 0; rt <= Millis(120); rt += Millis(5)) {
+    const double qos = qc.QosProfit(rt);
+    EXPECT_GE(qos, 0.0);
+    EXPECT_LE(qos, qc.qos_max());
+    EXPECT_LE(qos, prev_qos);
+    prev_qos = qos;
+  }
+  double prev_qod = 1e18;
+  for (double uu = 0.0; uu <= 6.0; uu += 0.25) {
+    const double qod = qc.QodProfit(uu);
+    EXPECT_GE(qod, 0.0);
+    EXPECT_LE(qod, qc.qod_max());
+    EXPECT_LE(qod, prev_qod);
+    prev_qod = qod;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, ContractBoundsTest,
+                         ::testing::Values(QcShape::kStep, QcShape::kLinear));
+
+}  // namespace
+}  // namespace webdb

@@ -1,0 +1,80 @@
+#include "sched/query_policy.h"
+
+#include <gtest/gtest.h>
+
+#include "test_txns.h"
+
+namespace webdb {
+namespace {
+
+TEST(QueryPolicyTest, FifoPrefersEarlierArrival) {
+  TxnPool pool;
+  Query* early = pool.NewQuery(10);
+  Query* late = pool.NewQuery(20);
+  EXPECT_GT(QueryPriority(*early, QueryPolicy::kFifo),
+            QueryPriority(*late, QueryPolicy::kFifo));
+}
+
+TEST(QueryPolicyTest, VrdMatchesPaperFormula) {
+  TxnPool pool;
+  // VRD = (qos_max + qod_max) / rt_max.
+  Query* q = pool.NewQuery(0, Millis(5), 30.0, 20.0, Millis(50));
+  EXPECT_DOUBLE_EQ(QueryPriority(*q, QueryPolicy::kVrd), 50.0 / 50.0);
+}
+
+TEST(QueryPolicyTest, VrdPrefersHighValueTightDeadline) {
+  TxnPool pool;
+  Query* valuable = pool.NewQuery(0, Millis(5), 50.0, 50.0, Millis(50));
+  Query* cheap = pool.NewQuery(0, Millis(5), 10.0, 10.0, Millis(50));
+  Query* loose = pool.NewQuery(0, Millis(5), 50.0, 50.0, Millis(100));
+  EXPECT_GT(QueryPriority(*valuable, QueryPolicy::kVrd),
+            QueryPriority(*cheap, QueryPolicy::kVrd));
+  EXPECT_GT(QueryPriority(*valuable, QueryPolicy::kVrd),
+            QueryPriority(*loose, QueryPolicy::kVrd));
+}
+
+TEST(QueryPolicyTest, VrdZeroContractIsLowestValue) {
+  TxnPool pool;
+  Query* q = pool.NewQuery(0);
+  q->qc = QualityContract();  // rt_max == 0
+  EXPECT_DOUBLE_EQ(QueryPriority(*q, QueryPolicy::kVrd), 0.0);
+}
+
+TEST(QueryPolicyTest, EdfPrefersEarlierDeadline) {
+  TxnPool pool;
+  Query* tight = pool.NewQuery(0, Millis(5), 1.0, 1.0, Millis(50));
+  Query* loose = pool.NewQuery(0, Millis(5), 99.0, 99.0, Millis(100));
+  EXPECT_GT(QueryPriority(*tight, QueryPolicy::kEdf),
+            QueryPriority(*loose, QueryPolicy::kEdf));
+  // A later arrival with the same rt_max has a later absolute deadline.
+  Query* later = pool.NewQuery(Millis(10), Millis(5), 1.0, 1.0, Millis(50));
+  EXPECT_GT(QueryPriority(*tight, QueryPolicy::kEdf),
+            QueryPriority(*later, QueryPolicy::kEdf));
+}
+
+TEST(QueryPolicyTest, ProfitDensityNormalizesByServiceTime) {
+  TxnPool pool;
+  Query* quick = pool.NewQuery(0, Millis(5), 10.0, 10.0);
+  Query* slow = pool.NewQuery(0, Millis(10), 10.0, 10.0);
+  EXPECT_GT(QueryPriority(*quick, QueryPolicy::kProfitDensity),
+            QueryPriority(*slow, QueryPolicy::kProfitDensity));
+}
+
+TEST(QueryPolicyTest, SjfPrefersShortQueries) {
+  TxnPool pool;
+  Query* quick = pool.NewQuery(0, Millis(2), 1.0, 1.0);
+  Query* slow = pool.NewQuery(0, Millis(9), 99.0, 99.0);
+  EXPECT_GT(QueryPriority(*quick, QueryPolicy::kSjf),
+            QueryPriority(*slow, QueryPolicy::kSjf));
+}
+
+TEST(QueryPolicyTest, Names) {
+  EXPECT_EQ(ToString(QueryPolicy::kSjf), "sjf");
+  EXPECT_EQ(ToString(QueryPolicy::kFifo), "fifo");
+  EXPECT_EQ(ToString(QueryPolicy::kVrd), "vrd");
+  EXPECT_EQ(ToString(QueryPolicy::kEdf), "edf");
+  EXPECT_EQ(ToString(QueryPolicy::kProfitDensity), "profit-density");
+}
+
+}  // namespace
+}  // namespace webdb

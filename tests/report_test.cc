@@ -1,0 +1,72 @@
+#include "exp/report.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace webdb {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+std::string Slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+TEST(ReportTest, WriteExperimentCsvHasHeaderAndRows) {
+  ExperimentResult a;
+  a.scheduler = "QUTS";
+  a.total_pct = 0.9;
+  a.queries_committed = 42;
+  ExperimentResult b;
+  b.scheduler = "FIFO";
+  b.total_pct = 0.5;
+  const std::string path = TempPath("results.csv");
+  ASSERT_TRUE(WriteExperimentCsv(path, {a, b}));
+  const std::string content = Slurp(path);
+  EXPECT_NE(content.find("scheduler,qos_pct"), std::string::npos);
+  EXPECT_NE(content.find("QUTS"), std::string::npos);
+  EXPECT_NE(content.find("FIFO"), std::string::npos);
+  EXPECT_NE(content.find("42"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(ReportTest, WriteSeriesCsvPadsToLongest) {
+  const std::string path = TempPath("series.csv");
+  ASSERT_TRUE(WriteSeriesCsv(path, {"gained", "max"},
+                             {{1.0, 2.0}, {3.0, 4.0, 5.0}}));
+  const std::string content = Slurp(path);
+  EXPECT_NE(content.find("t,gained,max"), std::string::npos);
+  // Row 2 has the padded zero for the shorter series.
+  EXPECT_NE(content.find("2,0,5"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(ReportTest, WritePairsCsv) {
+  const std::string path = TempPath("pairs.csv");
+  ASSERT_TRUE(WritePairsCsv(path, "tau_ms", "total_pct",
+                            {{1.0, 0.9}, {10.0, 0.85}}));
+  const std::string content = Slurp(path);
+  EXPECT_NE(content.find("tau_ms,total_pct"), std::string::npos);
+  EXPECT_NE(content.find("10,0.85"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(ReportTest, WriteToUnwritablePathFails) {
+  EXPECT_FALSE(WriteExperimentCsv("/nonexistent-dir/x.csv", {}));
+}
+
+TEST(ReportTest, CsvDirFromEnvEmptyByDefault) {
+  // The test environment does not set WEBDB_CSV_DIR.
+  EXPECT_TRUE(CsvDirFromEnv().empty());
+}
+
+}  // namespace
+}  // namespace webdb

@@ -1,0 +1,79 @@
+#include "core/rho.h"
+
+#include <gtest/gtest.h>
+
+namespace webdb {
+namespace {
+
+TEST(RhoTest, EqualSharesGiveRhoOne) {
+  // QOSmax == QODmax: ρ = 0.5/1 + 0.5 = 1 (Eq. 4).
+  EXPECT_DOUBLE_EQ(OptimalRho(100.0, 100.0), 1.0);
+}
+
+TEST(RhoTest, QodHeavyPullsTowardHalf) {
+  // QOSmax:QODmax = 1:9 -> ρ = 1/18 + 0.5 ≈ 0.5556 (the Fig. 9d low band).
+  EXPECT_NEAR(OptimalRho(10.0, 90.0), 0.5556, 1e-3);
+}
+
+TEST(RhoTest, NeverBelowHalf) {
+  // Even with zero QoS demand, queries keep half the CPU (paper's
+  // observation below Eq. 4).
+  EXPECT_DOUBLE_EQ(OptimalRho(0.0, 100.0), 0.5);
+}
+
+TEST(RhoTest, CappedAtOne) {
+  EXPECT_DOUBLE_EQ(OptimalRho(1000.0, 1.0), 1.0);
+}
+
+TEST(RhoTest, ModeledProfitEndpoints) {
+  // Eq. 3: Q(0) = 0, Q(1) = QOSmax.
+  EXPECT_DOUBLE_EQ(ModeledTotalProfit(10.0, 90.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(ModeledTotalProfit(10.0, 90.0, 1.0), 10.0);
+}
+
+TEST(RhoTest, SmoothingConverges) {
+  double rho = 0.5;
+  for (int i = 0; i < 200; ++i) rho = SmoothRho(rho, 0.9, 0.2);
+  EXPECT_NEAR(rho, 0.9, 1e-6);
+}
+
+TEST(RhoTest, SmoothingWithAlphaOneJumps) {
+  EXPECT_DOUBLE_EQ(SmoothRho(0.5, 0.8, 1.0), 0.8);
+}
+
+TEST(RhoTest, SmoothingStep) {
+  EXPECT_DOUBLE_EQ(SmoothRho(0.5, 1.0, 0.2), 0.6);
+}
+
+// Property: Eq. 4's ρ* maximizes Eq. 3 over a fine grid, for a sweep of
+// QOSmax/QODmax combinations.
+class OptimalRhoTest
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(OptimalRhoTest, MaximizesModeledProfit) {
+  const auto [qos_max, qod_max] = GetParam();
+  const double rho_star = OptimalRho(qos_max, qod_max);
+  EXPECT_GE(rho_star, 0.5);
+  EXPECT_LE(rho_star, 1.0);
+  const double best = ModeledTotalProfit(qos_max, qod_max, rho_star);
+  for (int i = 0; i <= 1000; ++i) {
+    const double rho = static_cast<double>(i) / 1000.0;
+    EXPECT_LE(ModeledTotalProfit(qos_max, qod_max, rho), best + 1e-9)
+        << "rho=" << rho;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, OptimalRhoTest,
+    ::testing::Combine(::testing::Values(0.0, 1.0, 10.0, 50.0, 500.0),
+                       ::testing::Values(1.0, 10.0, 50.0, 500.0)));
+
+TEST(RhoDeathTest, InvalidInputsAbort) {
+  EXPECT_DEATH(OptimalRho(1.0, 0.0), "");
+  EXPECT_DEATH(OptimalRho(-1.0, 1.0), "");
+  EXPECT_DEATH(SmoothRho(0.5, 0.5, 0.0), "");
+  EXPECT_DEATH(ModeledTotalProfit(1.0, 1.0, 1.5), "");
+}
+
+}  // namespace
+}  // namespace webdb

@@ -1,0 +1,159 @@
+#include "util/rng.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace webdb {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(a.NextU64(), b.NextU64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.NextU64() == b.NextU64()) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.NextDouble();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(RngTest, UniformIntInclusiveBounds) {
+  Rng rng(9);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const int64_t v = rng.UniformInt(3, 7);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 7);
+    saw_lo |= v == 3;
+    saw_hi |= v == 7;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, UniformIntDegenerateRange) {
+  Rng rng(11);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(rng.UniformInt(42, 42), 42);
+  }
+}
+
+TEST(RngTest, ExponentialMeanMatchesRate) {
+  Rng rng(13);
+  const double rate = 4.0;
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += rng.Exponential(rate);
+  EXPECT_NEAR(sum / n, 1.0 / rate, 0.01);
+}
+
+TEST(RngTest, NormalMoments) {
+  Rng rng(17);
+  const int n = 200000;
+  double sum = 0.0, sum2 = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.Normal(5.0, 2.0);
+    sum += x;
+    sum2 += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sum2 / n - mean * mean;
+  EXPECT_NEAR(mean, 5.0, 0.05);
+  EXPECT_NEAR(std::sqrt(var), 2.0, 0.05);
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(19);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.Bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(RngTest, SplitStreamsAreIndependentAndDeterministic) {
+  Rng a(5);
+  Rng child1 = a.Split();
+  Rng b(5);
+  Rng child2 = b.Split();
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(child1.NextU64(), child2.NextU64());
+  }
+}
+
+TEST(ZipfTest, UniformWhenExponentZero) {
+  ZipfDistribution zipf(10, 0.0);
+  for (int64_t k = 0; k < 10; ++k) {
+    EXPECT_NEAR(zipf.Pmf(k), 0.1, 1e-12);
+  }
+}
+
+TEST(ZipfTest, PmfSumsToOne) {
+  ZipfDistribution zipf(1000, 0.8);
+  double sum = 0.0;
+  for (int64_t k = 0; k < zipf.n(); ++k) sum += zipf.Pmf(k);
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(ZipfTest, RankZeroMostPopular) {
+  ZipfDistribution zipf(100, 1.0);
+  for (int64_t k = 1; k < 100; ++k) {
+    EXPECT_GT(zipf.Pmf(0), zipf.Pmf(k));
+  }
+}
+
+TEST(ZipfTest, SampleMatchesPmf) {
+  ZipfDistribution zipf(50, 1.0);
+  Rng rng(23);
+  std::vector<int> counts(50, 0);
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) counts[zipf.Sample(rng)]++;
+  for (int64_t k : {0, 1, 5, 20}) {
+    EXPECT_NEAR(static_cast<double>(counts[k]) / n, zipf.Pmf(k), 0.01);
+  }
+}
+
+TEST(ZipfTest, SingleItem) {
+  ZipfDistribution zipf(1, 2.0);
+  Rng rng(29);
+  EXPECT_EQ(zipf.Sample(rng), 0);
+  EXPECT_NEAR(zipf.Pmf(0), 1.0, 1e-12);
+}
+
+// Property sweep: samples always in range for many (n, exponent) combos.
+class ZipfRangeTest
+    : public ::testing::TestWithParam<std::tuple<int64_t, double>> {};
+
+TEST_P(ZipfRangeTest, SamplesInRange) {
+  const auto [n, s] = GetParam();
+  ZipfDistribution zipf(n, s);
+  Rng rng(31);
+  for (int i = 0; i < 5000; ++i) {
+    const int64_t k = zipf.Sample(rng);
+    EXPECT_GE(k, 0);
+    EXPECT_LT(k, n);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ZipfRangeTest,
+    ::testing::Combine(::testing::Values<int64_t>(1, 2, 17, 1000),
+                       ::testing::Values(0.0, 0.5, 1.0, 2.0)));
+
+}  // namespace
+}  // namespace webdb

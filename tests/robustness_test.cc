@@ -1,0 +1,55 @@
+#include "exp/robustness.h"
+
+#include <gtest/gtest.h>
+
+namespace webdb {
+namespace {
+
+StockTraceConfig SmallBase() {
+  StockTraceConfig config = StockTraceConfig::Small(51);
+  config.query_rate = 35.0;
+  config.update_rate_start = 250.0;
+  config.update_rate_end = 180.0;
+  return config;
+}
+
+TEST(RobustnessTest, CorrelationSweepProducesOneRowPerPoint) {
+  const auto rows = RunCorrelationRobustness(SmallBase(), {0.0, 1.0});
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_DOUBLE_EQ(rows[0].knob, 0.0);
+  EXPECT_DOUBLE_EQ(rows[1].knob, 1.0);
+  for (const auto& row : rows) {
+    for (double v : {row.fifo, row.uh, row.qh, row.quts}) {
+      EXPECT_GT(v, 0.0);
+      EXPECT_LE(v, 1.0 + 1e-9);
+    }
+  }
+}
+
+TEST(RobustnessTest, SpikeSweepProducesOneRowPerPoint) {
+  const auto rows = RunSpikeRobustness(SmallBase(), {1.0, 4.0});
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_DOUBLE_EQ(rows[0].knob, 1.0);
+  for (const auto& row : rows) {
+    EXPECT_GT(row.quts, 0.0);
+  }
+}
+
+TEST(RobustnessTest, QutsVsBestFixedMath) {
+  RobustnessRow row;
+  row.uh = 0.7;
+  row.qh = 0.8;
+  row.quts = 0.85;
+  EXPECT_NEAR(row.QutsVsBestFixed(), 0.05, 1e-12);
+}
+
+TEST(RobustnessTest, DeterministicForSameInputs) {
+  const auto a = RunCorrelationRobustness(SmallBase(), {0.5});
+  const auto b = RunCorrelationRobustness(SmallBase(), {0.5});
+  ASSERT_EQ(a.size(), 1u);
+  EXPECT_DOUBLE_EQ(a[0].quts, b[0].quts);
+  EXPECT_DOUBLE_EQ(a[0].fifo, b[0].fifo);
+}
+
+}  // namespace
+}  // namespace webdb

@@ -1,0 +1,176 @@
+// Edge-case server tests: lock release on drop of a preempted holder,
+// multi-holder conflict resolution, FIFO-rank inheritance, alternative
+// staleness metrics end-to-end, and dispatch-overhead accounting.
+
+#include <gtest/gtest.h>
+
+#include "db/database.h"
+#include "sched/dual_queue_scheduler.h"
+#include "sched/fifo_scheduler.h"
+#include "server/web_database_server.h"
+
+namespace webdb {
+namespace {
+
+QualityContract StepQc(double qos = 10.0, double qod = 20.0,
+                       SimDuration rt_max = Millis(50), double uu_max = 1.0) {
+  return QualityContract::Make(QcShape::kStep, qos, rt_max, qod, uu_max);
+}
+
+TEST(ServerEdgeTest, DroppedPreemptedQueryReleasesItsLocks) {
+  Database db(2);
+  auto sched = MakeUpdateHigh();
+  ServerConfig config;
+  config.lifetime_factor = 0.1;
+  config.min_lifetime = Millis(5);  // the query will be dropped mid-flight
+  WebDatabaseServer server(&db, sched.get(), config);
+  // Query starts, gets preempted (holding its read lock) by an update on
+  // the other item, and its 5 ms lifetime expires during that update.
+  Query* query =
+      server.SubmitQuery(QueryType::kLookup, {0}, StepQc(), Millis(10));
+  server.sim().ScheduleAt(Millis(2), [&] {
+    server.SubmitUpdate(1, 1.0, Millis(10));
+  });
+  server.Run();
+  EXPECT_EQ(query->state, TxnState::kDropped);
+  EXPECT_TRUE(server.IsQuiescent());  // in particular: no leaked lock
+}
+
+TEST(ServerEdgeTest, QueryRestartsMultiplePreemptedUpdates) {
+  Database db(3);
+  auto sched = MakeQueryHigh();
+  WebDatabaseServer server(&db, sched.get());
+  // Two updates on different items start (one runs, is preempted by the
+  // arriving query; the other never gets the CPU). The comparison query
+  // read-locks both items; the preempted update holding a write lock is
+  // restarted under 2PL-HP.
+  server.SubmitUpdate(0, 1.0, Millis(4));
+  server.SubmitUpdate(1, 2.0, Millis(4));
+  Query* query = nullptr;
+  server.sim().ScheduleAt(Millis(1), [&] {
+    query = server.SubmitQuery(QueryType::kComparison, {0, 1}, StepQc(),
+                               Millis(5));
+  });
+  server.Run();
+  ASSERT_NE(query, nullptr);
+  EXPECT_EQ(query->state, TxnState::kCommitted);
+  EXPECT_EQ(server.metrics().update_restarts, 1);
+  // Both updates still applied afterwards.
+  EXPECT_EQ(server.metrics().updates_applied, 2);
+  EXPECT_TRUE(db.Item(0).IsFresh());
+  EXPECT_TRUE(db.Item(1).IsFresh());
+}
+
+TEST(ServerEdgeTest, SupersedingUpdateInheritsQueuePosition) {
+  Database db(3);
+  FifoScheduler sched;
+  WebDatabaseServer server(&db, &sched);
+  // CPU is blocked; three updates queue: A(item 0), B(item 1), then A2
+  // (item 0) superseding A. A2 inherits A's FIFO rank, so it must be
+  // applied BEFORE B despite arriving later.
+  server.SubmitQuery(QueryType::kLookup, {2}, StepQc(), Millis(20));
+  Update* b = nullptr;
+  Update* a2 = nullptr;
+  server.sim().ScheduleAt(Millis(1),
+                          [&] { server.SubmitUpdate(0, 1.0, Millis(2)); });
+  server.sim().ScheduleAt(Millis(2),
+                          [&] { b = server.SubmitUpdate(1, 2.0, Millis(2)); });
+  server.sim().ScheduleAt(Millis(3),
+                          [&] { a2 = server.SubmitUpdate(0, 3.0, Millis(2)); });
+  server.Run();
+  ASSERT_NE(b, nullptr);
+  ASSERT_NE(a2, nullptr);
+  EXPECT_EQ(a2->state, TxnState::kCommitted);
+  EXPECT_LT(a2->commit_time, b->commit_time);
+  EXPECT_DOUBLE_EQ(db.Item(0).value, 3.0);
+}
+
+TEST(ServerEdgeTest, ValueDistanceMetricEndToEnd) {
+  Database db(2);
+  auto sched = MakeQueryHigh();
+  ServerConfig config;
+  config.staleness_metric = StalenessMetric::kValueDistance;
+  WebDatabaseServer server(&db, sched.get(), config);
+  // Apply 100.0 first so the item has a committed value, then leave 107.5
+  // pending while the query reads: vd = 7.5.
+  server.SubmitUpdate(0, 100.0, Millis(2));
+  Query* query = nullptr;
+  server.sim().ScheduleAt(Millis(5), [&] {
+    server.SubmitUpdate(0, 107.5, Millis(2));
+    query = server.SubmitQuery(QueryType::kLookup, {0},
+                               StepQc(10.0, 20.0, Millis(50), /*uu_max=*/5.0),
+                               Millis(5));
+  });
+  server.Run();
+  ASSERT_NE(query, nullptr);
+  EXPECT_DOUBLE_EQ(query->staleness, 7.5);
+  // vd 7.5 >= cutoff 5.0: no QoD profit.
+  EXPECT_DOUBLE_EQ(query->profit.qod, 0.0);
+  EXPECT_DOUBLE_EQ(query->profit.qos, 10.0);
+}
+
+TEST(ServerEdgeTest, TimeDifferentialMetricEndToEnd) {
+  Database db(2);
+  FifoScheduler sched;
+  ServerConfig config;
+  config.staleness_metric = StalenessMetric::kTimeDifferential;
+  WebDatabaseServer server(&db, &sched, config);
+  // The reading query is queued BEFORE the update under non-preemptive
+  // FIFO, so it reads item 0 at ~35ms with the update pending since t=1ms:
+  // td ≈ 34ms > 20ms cutoff -> no QoD.
+  server.SubmitQuery(QueryType::kLookup, {1}, StepQc(), Millis(30));
+  Query* query = server.SubmitQuery(
+      QueryType::kLookup, {0},
+      StepQc(10.0, 20.0, Millis(100), /*uu_max(td ms)=*/20.0), Millis(5));
+  server.sim().ScheduleAt(Millis(1),
+                          [&] { server.SubmitUpdate(0, 1.0, Millis(2)); });
+  server.Run();
+  ASSERT_NE(query, nullptr);
+  EXPECT_GT(query->staleness, 20.0);
+  EXPECT_DOUBLE_EQ(query->profit.qod, 0.0);
+}
+
+TEST(ServerEdgeTest, DispatchOverheadExtendsExecution) {
+  Database db(1);
+  FifoScheduler sched;
+  ServerConfig config;
+  config.dispatch_overhead = Millis(1);
+  WebDatabaseServer server(&db, &sched, config);
+  Update* update = server.SubmitUpdate(0, 1.0, Millis(4));
+  server.Run();
+  EXPECT_EQ(update->commit_time, Millis(5));  // 4ms work + 1ms overhead
+}
+
+TEST(ServerEdgeTest, ZeroQcQueryCommitsWithZeroProfit) {
+  Database db(1);
+  FifoScheduler sched;
+  WebDatabaseServer server(&db, &sched);
+  Query* query = server.SubmitQuery(QueryType::kLookup, {0},
+                                    QualityContract(), Millis(5));
+  server.Run();
+  EXPECT_EQ(query->state, TxnState::kCommitted);
+  EXPECT_DOUBLE_EQ(query->profit.Total(), 0.0);
+  EXPECT_DOUBLE_EQ(server.ledger().total_max(), 0.0);
+}
+
+TEST(ServerEdgeTest, BackToBackSubmissionsAtSameInstant) {
+  Database db(4);
+  auto sched = MakeUpdateHigh();
+  WebDatabaseServer server(&db, sched.get());
+  // Everything at t=0, including two updates on the same item.
+  server.SubmitUpdate(0, 1.0, Millis(2));
+  server.SubmitUpdate(0, 2.0, Millis(2));
+  server.SubmitQuery(QueryType::kLookup, {0}, StepQc(), Millis(5));
+  server.SubmitUpdate(1, 3.0, Millis(2));
+  server.SubmitQuery(QueryType::kAggregation, {0, 1}, StepQc(), Millis(5));
+  server.Run();
+  EXPECT_EQ(server.metrics().queries_committed, 2);
+  EXPECT_EQ(server.metrics().updates_applied +
+                server.metrics().updates_invalidated,
+            3);
+  EXPECT_DOUBLE_EQ(db.Item(0).value, 2.0);
+  EXPECT_TRUE(server.IsQuiescent());
+}
+
+}  // namespace
+}  // namespace webdb

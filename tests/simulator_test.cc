@@ -1,0 +1,119 @@
+#include "sim/simulator.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace webdb {
+namespace {
+
+TEST(SimulatorTest, StartsAtZero) {
+  Simulator sim;
+  EXPECT_EQ(sim.Now(), 0);
+  EXPECT_EQ(sim.NumPending(), 0u);
+}
+
+TEST(SimulatorTest, EventsFireInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.ScheduleAt(30, [&] { order.push_back(3); });
+  sim.ScheduleAt(10, [&] { order.push_back(1); });
+  sim.ScheduleAt(20, [&] { order.push_back(2); });
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.Now(), 30);
+}
+
+TEST(SimulatorTest, EqualTimesFireInScheduleOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.ScheduleAt(5, [&order, i] { order.push_back(i); });
+  }
+  sim.Run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(SimulatorTest, ScheduleAfterUsesNow) {
+  Simulator sim;
+  SimTime inner_fire_time = -1;
+  sim.ScheduleAt(100, [&] {
+    sim.ScheduleAfter(50, [&] { inner_fire_time = sim.Now(); });
+  });
+  sim.Run();
+  EXPECT_EQ(inner_fire_time, 150);
+}
+
+TEST(SimulatorTest, CancelPreventsExecution) {
+  Simulator sim;
+  bool fired = false;
+  const EventId id = sim.ScheduleAt(10, [&] { fired = true; });
+  EXPECT_TRUE(sim.IsPending(id));
+  EXPECT_TRUE(sim.Cancel(id));
+  EXPECT_FALSE(sim.IsPending(id));
+  EXPECT_FALSE(sim.Cancel(id));  // double-cancel is a no-op
+  sim.Run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(SimulatorTest, CancelFromInsideEarlierEvent) {
+  Simulator sim;
+  bool fired = false;
+  const EventId victim = sim.ScheduleAt(20, [&] { fired = true; });
+  sim.ScheduleAt(10, [&] { sim.Cancel(victim); });
+  sim.Run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(SimulatorTest, RunUntilStopsAtBoundaryAndAdvancesClock) {
+  Simulator sim;
+  std::vector<SimTime> fired;
+  sim.ScheduleAt(10, [&] { fired.push_back(10); });
+  sim.ScheduleAt(20, [&] { fired.push_back(20); });
+  sim.RunUntil(15);
+  EXPECT_EQ(fired, (std::vector<SimTime>{10}));
+  EXPECT_EQ(sim.Now(), 15);
+  sim.RunUntil(25);
+  EXPECT_EQ(fired, (std::vector<SimTime>{10, 20}));
+  EXPECT_EQ(sim.Now(), 25);
+}
+
+TEST(SimulatorTest, RunUntilInclusiveOfBoundary) {
+  Simulator sim;
+  bool fired = false;
+  sim.ScheduleAt(15, [&] { fired = true; });
+  sim.RunUntil(15);
+  EXPECT_TRUE(fired);
+}
+
+TEST(SimulatorTest, StepReturnsFalseWhenEmpty) {
+  Simulator sim;
+  EXPECT_FALSE(sim.Step());
+  sim.ScheduleAt(1, [] {});
+  EXPECT_TRUE(sim.Step());
+  EXPECT_FALSE(sim.Step());
+  EXPECT_EQ(sim.NumExecuted(), 1u);
+}
+
+TEST(SimulatorTest, EventsCanScheduleMoreEvents) {
+  Simulator sim;
+  int count = 0;
+  std::function<void()> chain = [&] {
+    ++count;
+    if (count < 100) sim.ScheduleAfter(1, chain);
+  };
+  sim.ScheduleAt(0, chain);
+  sim.Run();
+  EXPECT_EQ(count, 100);
+  EXPECT_EQ(sim.Now(), 99);
+}
+
+TEST(SimulatorDeathTest, SchedulingInPastAborts) {
+  Simulator sim;
+  sim.ScheduleAt(10, [] {});
+  sim.Run();
+  EXPECT_DEATH(sim.ScheduleAt(5, [] {}), "past");
+}
+
+}  // namespace
+}  // namespace webdb

@@ -1,0 +1,100 @@
+#include "util/stats.h"
+
+#include <gtest/gtest.h>
+
+namespace webdb {
+namespace {
+
+TEST(RunningStatsTest, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.Variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 0.0);
+  EXPECT_DOUBLE_EQ(s.max(), 0.0);
+}
+
+TEST(RunningStatsTest, KnownSequence) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(x);
+  EXPECT_EQ(s.count(), 8);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  // Sample variance of the classic sequence: 32/7.
+  EXPECT_NEAR(s.Variance(), 32.0 / 7.0, 1e-12);
+}
+
+TEST(RunningStatsTest, SingleValue) {
+  RunningStats s;
+  s.Add(3.5);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(s.Variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 3.5);
+  EXPECT_DOUBLE_EQ(s.max(), 3.5);
+}
+
+TEST(RunningStatsTest, ResetClears) {
+  RunningStats s;
+  s.Add(1.0);
+  s.Add(2.0);
+  s.Reset();
+  EXPECT_EQ(s.count(), 0);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+}
+
+TEST(TimeSeriesTest, BucketsByWidth) {
+  TimeSeries series(10);
+  series.Add(0, 1.0);
+  series.Add(9, 2.0);
+  series.Add(10, 4.0);
+  series.Add(25, 8.0);
+  ASSERT_EQ(series.NumBuckets(), 3u);
+  EXPECT_DOUBLE_EQ(series.BucketSum(0), 3.0);
+  EXPECT_EQ(series.BucketCount(0), 2);
+  EXPECT_DOUBLE_EQ(series.BucketSum(1), 4.0);
+  EXPECT_DOUBLE_EQ(series.BucketSum(2), 8.0);
+  EXPECT_DOUBLE_EQ(series.BucketSum(99), 0.0);  // out of range reads as empty
+}
+
+TEST(TimeSeriesTest, BucketMean) {
+  TimeSeries series(5);
+  series.Add(1, 2.0);
+  series.Add(2, 4.0);
+  EXPECT_DOUBLE_EQ(series.BucketMean(0), 3.0);
+  EXPECT_DOUBLE_EQ(series.BucketMean(1), 0.0);  // empty
+}
+
+TEST(TimeSeriesTest, SmoothedSumsWindowOne) {
+  TimeSeries series(1);
+  for (int t = 0; t < 5; ++t) series.Add(t, static_cast<double>(t));
+  const std::vector<double> smoothed = series.SmoothedSums(1);
+  ASSERT_EQ(smoothed.size(), 5u);
+  for (int t = 0; t < 5; ++t) EXPECT_DOUBLE_EQ(smoothed[t], t);
+}
+
+TEST(TimeSeriesTest, SmoothedSumsCenteredWindow) {
+  TimeSeries series(1);
+  // Impulse at t=2 with window 3 spreads over t=1..3.
+  series.Add(2, 9.0);
+  series.Add(4, 0.0);  // extend to 5 buckets
+  const std::vector<double> smoothed = series.SmoothedSums(3);
+  ASSERT_EQ(smoothed.size(), 5u);
+  EXPECT_DOUBLE_EQ(smoothed[0], 0.0);
+  EXPECT_DOUBLE_EQ(smoothed[1], 3.0);
+  EXPECT_DOUBLE_EQ(smoothed[2], 3.0);
+  EXPECT_DOUBLE_EQ(smoothed[3], 3.0);
+  EXPECT_DOUBLE_EQ(smoothed[4], 0.0);
+}
+
+TEST(TimeSeriesTest, SmoothingPreservesTotalMassForConstantSeries) {
+  TimeSeries series(1);
+  for (int t = 0; t < 100; ++t) series.Add(t, 2.0);
+  const std::vector<double> smoothed = series.SmoothedSums(5);
+  // Interior buckets keep their value exactly.
+  for (int t = 5; t < 95; ++t) EXPECT_NEAR(smoothed[t], 2.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace webdb

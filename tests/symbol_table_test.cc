@@ -1,0 +1,53 @@
+#include "db/symbol_table.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace webdb {
+namespace {
+
+TEST(SymbolTableTest, InternAssignsDenseIds) {
+  SymbolTable table;
+  EXPECT_EQ(table.Intern("IBM"), 0);
+  EXPECT_EQ(table.Intern("AAPL"), 1);
+  EXPECT_EQ(table.Intern("IBM"), 0);  // idempotent
+  EXPECT_EQ(table.Size(), 2);
+}
+
+TEST(SymbolTableTest, LookupUnknownReturnsInvalid) {
+  SymbolTable table;
+  EXPECT_EQ(table.Lookup("NOPE"), kInvalidItem);
+  table.Intern("X");
+  EXPECT_EQ(table.Lookup("X"), 0);
+}
+
+TEST(SymbolTableTest, SymbolRoundTrip) {
+  SymbolTable table;
+  table.Intern("GOOG");
+  EXPECT_EQ(table.Symbol(0), "GOOG");
+}
+
+TEST(SymbolTableTest, SyntheticGeneratesDistinctSymbols) {
+  SymbolTable table = SymbolTable::Synthetic(1000);
+  EXPECT_EQ(table.Size(), 1000);
+  std::set<std::string> seen;
+  for (ItemId i = 0; i < 1000; ++i) {
+    EXPECT_TRUE(seen.insert(table.Symbol(i)).second)
+        << "duplicate symbol " << table.Symbol(i);
+  }
+  // Base-26 naming: 0 -> "A", 25 -> "Z", 26 -> "AA".
+  EXPECT_EQ(table.Symbol(0), "A");
+  EXPECT_EQ(table.Symbol(25), "Z");
+  EXPECT_EQ(table.Symbol(26), "AA");
+}
+
+TEST(SymbolTableTest, SyntheticRoundTripThroughLookup) {
+  SymbolTable table = SymbolTable::Synthetic(100);
+  for (ItemId i = 0; i < 100; ++i) {
+    EXPECT_EQ(table.Lookup(table.Symbol(i)), i);
+  }
+}
+
+}  // namespace
+}  // namespace webdb

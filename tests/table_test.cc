@@ -1,0 +1,40 @@
+#include "util/table.h"
+
+#include <gtest/gtest.h>
+
+namespace webdb {
+namespace {
+
+TEST(AsciiTableTest, RendersHeadersAndRows) {
+  AsciiTable table({"policy", "profit"});
+  table.AddRow({"QUTS", "0.95"});
+  table.AddRow({"FIFO", "0.40"});
+  const std::string out = table.Render();
+  EXPECT_NE(out.find("policy"), std::string::npos);
+  EXPECT_NE(out.find("QUTS"), std::string::npos);
+  EXPECT_NE(out.find("0.40"), std::string::npos);
+  EXPECT_NE(out.find('+'), std::string::npos);
+}
+
+TEST(AsciiTableTest, ColumnsAlignToWidestCell) {
+  AsciiTable table({"x"});
+  table.AddRow({"aaaaaaaaaa"});
+  const std::string out = table.Render();
+  // The separator must span the widest cell plus padding.
+  EXPECT_NE(out.find("+------------+"), std::string::npos);
+}
+
+TEST(AsciiTableTest, NumFormatting) {
+  EXPECT_EQ(AsciiTable::Num(1.23456, 2), "1.23");
+  EXPECT_EQ(AsciiTable::Num(1.0, 0), "1");
+  EXPECT_EQ(AsciiTable::Num(-0.5, 1), "-0.5");
+}
+
+TEST(AsciiTableTest, EmptyTableStillRenders) {
+  AsciiTable table({"only-header"});
+  const std::string out = table.Render();
+  EXPECT_NE(out.find("only-header"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace webdb

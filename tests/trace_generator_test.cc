@@ -1,0 +1,153 @@
+#include "trace/stock_trace_generator.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "trace/trace_stats.h"
+
+namespace webdb {
+namespace {
+
+TEST(TraceGeneratorTest, SmallConfigProducesValidTrace) {
+  const Trace trace = GenerateStockTrace(StockTraceConfig::Small(1));
+  trace.CheckValid();
+  EXPECT_GT(trace.queries.size(), 50u);
+  EXPECT_GT(trace.updates.size(), 100u);
+  EXPECT_EQ(trace.num_items, 64);
+}
+
+TEST(TraceGeneratorTest, DeterministicForSeed) {
+  const Trace a = GenerateStockTrace(StockTraceConfig::Small(7));
+  const Trace b = GenerateStockTrace(StockTraceConfig::Small(7));
+  ASSERT_EQ(a.queries.size(), b.queries.size());
+  ASSERT_EQ(a.updates.size(), b.updates.size());
+  for (size_t i = 0; i < a.queries.size(); ++i) {
+    EXPECT_EQ(a.queries[i].arrival, b.queries[i].arrival);
+    EXPECT_EQ(a.queries[i].items, b.queries[i].items);
+    EXPECT_EQ(a.queries[i].exec_time, b.queries[i].exec_time);
+  }
+  for (size_t i = 0; i < a.updates.size(); ++i) {
+    EXPECT_EQ(a.updates[i].arrival, b.updates[i].arrival);
+    EXPECT_EQ(a.updates[i].item, b.updates[i].item);
+    EXPECT_DOUBLE_EQ(a.updates[i].value, b.updates[i].value);
+  }
+}
+
+TEST(TraceGeneratorTest, DifferentSeedsDiffer) {
+  const Trace a = GenerateStockTrace(StockTraceConfig::Small(1));
+  const Trace b = GenerateStockTrace(StockTraceConfig::Small(2));
+  EXPECT_NE(a.queries.size(), b.queries.size());
+}
+
+TEST(TraceGeneratorTest, ExecTimesWithinConfiguredRanges) {
+  const StockTraceConfig config = StockTraceConfig::Small(3);
+  const Trace trace = GenerateStockTrace(config);
+  for (const QueryRecord& q : trace.queries) {
+    EXPECT_GE(q.exec_time, config.query_exec_lo);
+    EXPECT_LE(q.exec_time, config.query_exec_hi);
+  }
+  for (const UpdateRecord& u : trace.updates) {
+    EXPECT_GE(u.exec_time, config.update_exec_lo);
+    EXPECT_LE(u.exec_time, config.update_exec_hi);
+  }
+}
+
+TEST(TraceGeneratorTest, MultiItemQueriesHaveDistinctItems) {
+  const Trace trace = GenerateStockTrace(StockTraceConfig::Small(4));
+  for (const QueryRecord& q : trace.queries) {
+    if (q.type == QueryType::kLookup || q.type == QueryType::kMovingAverage) {
+      EXPECT_EQ(q.items.size(), 1u);
+    } else {
+      EXPECT_GE(q.items.size(), 2u);
+      EXPECT_LE(q.items.size(), 5u);
+      const std::set<ItemId> distinct(q.items.begin(), q.items.end());
+      EXPECT_EQ(distinct.size(), q.items.size());
+    }
+  }
+}
+
+TEST(TraceGeneratorTest, PricesArePositive) {
+  const Trace trace = GenerateStockTrace(StockTraceConfig::Small(5));
+  for (const UpdateRecord& u : trace.updates) {
+    EXPECT_GT(u.value, 0.0);
+  }
+}
+
+// Full-size trace checks (Table 3 / Figure 5 shape). One generation, many
+// assertions: generation takes a moment at full scale.
+class FullTraceTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    trace_ = new Trace(GenerateStockTrace(StockTraceConfig()));
+    stats_ = new TraceStats(ComputeTraceStats(*trace_));
+  }
+  static void TearDownTestSuite() {
+    delete trace_;
+    delete stats_;
+    trace_ = nullptr;
+    stats_ = nullptr;
+  }
+  static Trace* trace_;
+  static TraceStats* stats_;
+};
+
+Trace* FullTraceTest::trace_ = nullptr;
+TraceStats* FullTraceTest::stats_ = nullptr;
+
+TEST_F(FullTraceTest, CountsNearTable3) {
+  // Table 3: 82,129 queries / 496,892 updates. Poisson noise allows a few
+  // percent.
+  EXPECT_NEAR(static_cast<double>(stats_->num_queries), 82129.0, 8000.0);
+  EXPECT_NEAR(static_cast<double>(stats_->num_updates), 496892.0, 25000.0);
+  EXPECT_EQ(stats_->num_items, 4608);
+  EXPECT_NEAR(ToSeconds(stats_->duration), 1800.0, 2.0);
+}
+
+TEST_F(FullTraceTest, UpdateRateTrendsDownward) {
+  // Figure 5b: compare first and last thirds of the trace (the calibrated
+  // decay is gentler than the paper's plot; see StockTraceConfig).
+  const auto& per_s = stats_->updates_per_second;
+  const size_t third = per_s.size() / 3;
+  int64_t head = 0, tail = 0;
+  for (size_t i = 0; i < third; ++i) head += per_s[i];
+  for (size_t i = per_s.size() - third; i < per_s.size(); ++i) {
+    tail += per_s[i];
+  }
+  EXPECT_GT(static_cast<double>(head), static_cast<double>(tail) * 1.1);
+}
+
+TEST_F(FullTraceTest, MostStocksUpdateDominated) {
+  // Figure 5c: most active stocks see more updates than queries.
+  EXPECT_GT(stats_->FractionUpdateDominated(), 0.5);
+}
+
+TEST_F(FullTraceTest, OverloadIsTransientNotPermanent) {
+  // The paper's regime: the opening burst overloads the CPU (queries starve
+  // under update-first policies) but the full 30 minutes are processable,
+  // so FIFO response times stay in the sub-second range.
+  EXPECT_GT(stats_->offered_utilization, 0.70);
+  EXPECT_LT(stats_->offered_utilization, 1.05);
+  // Demand during the first 5 minutes runs essentially at capacity and
+  // clearly above the trace-wide average.
+  const SimTime head_window = Seconds(300);
+  SimDuration head_demand = 0;
+  for (const QueryRecord& q : trace_->queries) {
+    if (q.arrival < head_window) head_demand += q.exec_time;
+  }
+  for (const UpdateRecord& u : trace_->updates) {
+    if (u.arrival < head_window) head_demand += u.exec_time;
+  }
+  const double head_util = static_cast<double>(head_demand) /
+                           static_cast<double>(head_window);
+  EXPECT_GT(head_util, 0.93);
+  EXPECT_GT(head_util, stats_->offered_utilization);
+}
+
+TEST_F(FullTraceTest, QueriesTouchThousandsOfStocks) {
+  EXPECT_GT(stats_->stocks_queried, 2000);
+  EXPECT_GT(stats_->stocks_updated, 3000);
+}
+
+}  // namespace
+}  // namespace webdb

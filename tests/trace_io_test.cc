@@ -1,0 +1,65 @@
+#include "trace/trace_io.h"
+
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+#include "trace/stock_trace_generator.h"
+
+namespace webdb {
+namespace {
+
+std::string TempBase(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+void RemoveTraceFiles(const std::string& base) {
+  std::remove((base + ".meta.csv").c_str());
+  std::remove((base + ".queries.csv").c_str());
+  std::remove((base + ".updates.csv").c_str());
+}
+
+TEST(TraceIoTest, RoundTripPreservesEverything) {
+  const Trace original = GenerateStockTrace(StockTraceConfig::Small(11));
+  const std::string base = TempBase("roundtrip");
+  ASSERT_TRUE(SaveTrace(original, base));
+  Trace loaded;
+  ASSERT_TRUE(LoadTrace(base, &loaded));
+  EXPECT_EQ(loaded.num_items, original.num_items);
+  ASSERT_EQ(loaded.queries.size(), original.queries.size());
+  ASSERT_EQ(loaded.updates.size(), original.updates.size());
+  for (size_t i = 0; i < original.queries.size(); ++i) {
+    EXPECT_EQ(loaded.queries[i].arrival, original.queries[i].arrival);
+    EXPECT_EQ(loaded.queries[i].type, original.queries[i].type);
+    EXPECT_EQ(loaded.queries[i].exec_time, original.queries[i].exec_time);
+    EXPECT_EQ(loaded.queries[i].items, original.queries[i].items);
+  }
+  for (size_t i = 0; i < original.updates.size(); ++i) {
+    EXPECT_EQ(loaded.updates[i].arrival, original.updates[i].arrival);
+    EXPECT_EQ(loaded.updates[i].item, original.updates[i].item);
+    EXPECT_NEAR(loaded.updates[i].value, original.updates[i].value, 1e-5);
+    EXPECT_EQ(loaded.updates[i].exec_time, original.updates[i].exec_time);
+  }
+  RemoveTraceFiles(base);
+}
+
+TEST(TraceIoTest, EmptyTraceRoundTrips) {
+  Trace empty;
+  empty.num_items = 5;
+  const std::string base = TempBase("empty");
+  ASSERT_TRUE(SaveTrace(empty, base));
+  Trace loaded;
+  ASSERT_TRUE(LoadTrace(base, &loaded));
+  EXPECT_EQ(loaded.num_items, 5);
+  EXPECT_TRUE(loaded.queries.empty());
+  EXPECT_TRUE(loaded.updates.empty());
+  RemoveTraceFiles(base);
+}
+
+TEST(TraceIoTest, LoadMissingFilesFails) {
+  Trace loaded;
+  EXPECT_FALSE(LoadTrace(TempBase("missing"), &loaded));
+}
+
+}  // namespace
+}  // namespace webdb

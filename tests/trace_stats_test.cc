@@ -1,0 +1,100 @@
+#include "trace/trace_stats.h"
+
+#include <gtest/gtest.h>
+
+namespace webdb {
+namespace {
+
+Trace HandTrace() {
+  Trace trace;
+  trace.num_items = 4;
+  trace.queries = {
+      {Millis(100), QueryType::kLookup, {0}, Millis(5)},
+      {Millis(200), QueryType::kComparison, {0, 1}, Millis(9)},
+      {Seconds(2), QueryType::kLookup, {2}, Millis(7)},
+  };
+  trace.updates = {
+      {Millis(50), 1, 10.0, Millis(1)},
+      {Millis(60), 1, 11.0, Millis(2)},
+      {Seconds(1), 3, 12.0, Millis(5)},
+  };
+  return trace;
+}
+
+TEST(TraceStatsTest, CountsAndRanges) {
+  const TraceStats stats = ComputeTraceStats(HandTrace());
+  EXPECT_EQ(stats.num_queries, 3);
+  EXPECT_EQ(stats.num_updates, 3);
+  EXPECT_EQ(stats.num_items, 4);
+  EXPECT_EQ(stats.query_exec_min, Millis(5));
+  EXPECT_EQ(stats.query_exec_max, Millis(9));
+  EXPECT_EQ(stats.update_exec_min, Millis(1));
+  EXPECT_EQ(stats.update_exec_max, Millis(5));
+  EXPECT_EQ(stats.duration, Seconds(2));
+}
+
+TEST(TraceStatsTest, PerSecondBuckets) {
+  const TraceStats stats = ComputeTraceStats(HandTrace());
+  ASSERT_EQ(stats.queries_per_second.size(), 3u);
+  EXPECT_EQ(stats.queries_per_second[0], 2);
+  EXPECT_EQ(stats.queries_per_second[1], 0);
+  EXPECT_EQ(stats.queries_per_second[2], 1);
+  EXPECT_EQ(stats.updates_per_second[0], 2);
+  EXPECT_EQ(stats.updates_per_second[1], 1);
+}
+
+TEST(TraceStatsTest, PerItemCountsIncludeMultiItemQueries) {
+  const TraceStats stats = ComputeTraceStats(HandTrace());
+  EXPECT_EQ(stats.per_item[0].queries, 2);  // lookup + comparison
+  EXPECT_EQ(stats.per_item[1].queries, 1);
+  EXPECT_EQ(stats.per_item[1].updates, 2);
+  EXPECT_EQ(stats.per_item[3].updates, 1);
+  EXPECT_EQ(stats.stocks_queried, 3);
+  EXPECT_EQ(stats.stocks_updated, 2);
+}
+
+TEST(TraceStatsTest, FractionUpdateDominated) {
+  const TraceStats stats = ComputeTraceStats(HandTrace());
+  // Active items: 0 (2q/0u), 1 (1q/2u), 2 (1q/0u), 3 (0q/1u).
+  // Update-dominated: items 1 and 3 -> 2/4.
+  EXPECT_DOUBLE_EQ(stats.FractionUpdateDominated(), 0.5);
+}
+
+TEST(TraceStatsTest, OfferedUtilization) {
+  const TraceStats stats = ComputeTraceStats(HandTrace());
+  // (5+9+7 + 1+2+5) ms over 2 s = 29ms / 2000ms.
+  EXPECT_NEAR(stats.offered_utilization, 0.0145, 1e-6);
+}
+
+TEST(TraceStatsTest, SummaryMentionsKeyNumbers) {
+  const TraceStats stats = ComputeTraceStats(HandTrace());
+  const std::string summary = stats.Summary();
+  EXPECT_NE(summary.find("# queries"), std::string::npos);
+  EXPECT_NE(summary.find("3"), std::string::npos);
+}
+
+TEST(TraceStatsTest, EmptyTrace) {
+  Trace trace;
+  trace.num_items = 2;
+  const TraceStats stats = ComputeTraceStats(trace);
+  EXPECT_EQ(stats.num_queries, 0);
+  EXPECT_DOUBLE_EQ(stats.offered_utilization, 0.0);
+  EXPECT_DOUBLE_EQ(stats.FractionUpdateDominated(), 0.0);
+}
+
+TEST(TracePrefixTest, PrefixCutsBothStreams) {
+  const Trace trace = HandTrace();
+  const Trace prefix = trace.Prefix(Seconds(1));
+  EXPECT_EQ(prefix.queries.size(), 2u);
+  EXPECT_EQ(prefix.updates.size(), 2u);  // the t=1s update is excluded
+  EXPECT_EQ(prefix.num_items, trace.num_items);
+}
+
+TEST(TraceEndTimeTest, EndTimeIsLatestArrival) {
+  EXPECT_EQ(HandTrace().EndTime(), Seconds(2));
+  Trace empty;
+  EXPECT_EQ(empty.EndTime(), 0);
+}
+
+}  // namespace
+}  // namespace webdb

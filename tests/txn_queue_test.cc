@@ -1,0 +1,134 @@
+#include "sched/txn_queue.h"
+
+#include <gtest/gtest.h>
+
+#include "test_txns.h"
+
+namespace webdb {
+namespace {
+
+TEST(TxnQueueTest, EmptyQueue) {
+  TxnQueue queue;
+  EXPECT_TRUE(queue.Empty());
+  EXPECT_EQ(queue.Peek(), nullptr);
+  EXPECT_EQ(queue.Pop(), nullptr);
+  EXPECT_EQ(queue.Size(), 0u);
+}
+
+TEST(TxnQueueTest, PopsHighestPriorityFirst) {
+  TxnPool pool;
+  TxnQueue queue;
+  Query* low = pool.NewQuery(0);
+  Query* high = pool.NewQuery(1);
+  queue.Push(low, 1.0);
+  queue.Push(high, 2.0);
+  EXPECT_EQ(queue.Pop(), high);
+  EXPECT_EQ(queue.Pop(), low);
+}
+
+TEST(TxnQueueTest, TieBreaksOnEarlierArrival) {
+  TxnPool pool;
+  TxnQueue queue;
+  Query* late = pool.NewQuery(100);
+  Query* early = pool.NewQuery(50);
+  queue.Push(late, 1.0);
+  queue.Push(early, 1.0);
+  EXPECT_EQ(queue.Pop(), early);
+  EXPECT_EQ(queue.Pop(), late);
+}
+
+TEST(TxnQueueTest, TieBreaksOnIdWhenArrivalEqual) {
+  TxnPool pool;
+  TxnQueue queue;
+  Query* first = pool.NewQuery(10);   // lower id
+  Query* second = pool.NewQuery(10);  // higher id
+  queue.Push(second, 1.0);
+  queue.Push(first, 1.0);
+  EXPECT_EQ(queue.Pop(), first);
+}
+
+TEST(TxnQueueTest, RemoveDropsLiveEntry) {
+  TxnPool pool;
+  TxnQueue queue;
+  Query* a = pool.NewQuery(0);
+  Query* b = pool.NewQuery(1);
+  queue.Push(a, 2.0);
+  queue.Push(b, 1.0);
+  EXPECT_TRUE(queue.Remove(a));
+  EXPECT_EQ(queue.Size(), 1u);
+  EXPECT_EQ(queue.SlowSize(), 1u);
+  EXPECT_EQ(queue.Peek(), b);
+  EXPECT_EQ(queue.Pop(), b);
+  EXPECT_TRUE(queue.Empty());
+  EXPECT_EQ(queue.Size(), 0u);
+}
+
+TEST(TxnQueueTest, RepushAfterRemoveYieldsSingleLiveEntry) {
+  TxnPool pool;
+  TxnQueue queue;
+  Query* a = pool.NewQuery(0);
+  queue.Push(a, 1.0);
+  queue.Remove(a);
+  queue.Push(a, 5.0);  // re-enqueue with a new priority
+  EXPECT_EQ(queue.Size(), 1u);
+  EXPECT_EQ(queue.Pop(), a);
+  EXPECT_EQ(queue.Pop(), nullptr);
+}
+
+TEST(TxnQueueTest, StaticInvalidateHidesEntryButNotDepth) {
+  TxnPool pool;
+  TxnQueue queue_a, queue_b;
+  Query* a = pool.NewQuery(0);
+  queue_a.Push(a, 1.0);
+  // Moving the txn to another queue implicitly kills the old entry; the
+  // O(1) depth of the abandoned queue is only repaired lazily, which is why
+  // schedulers use Remove() instead.
+  queue_b.Push(a, 1.0);
+  EXPECT_TRUE(queue_a.Empty());
+  EXPECT_EQ(queue_a.SlowSize(), 0u);
+  EXPECT_EQ(queue_b.Pop(), a);
+}
+
+TEST(TxnQueueTest, SizeTracksPushAndPop) {
+  TxnPool pool;
+  TxnQueue queue;
+  for (int i = 0; i < 10; ++i) queue.Push(pool.NewQuery(i), 1.0);
+  EXPECT_EQ(queue.Size(), 10u);
+  EXPECT_EQ(queue.SlowSize(), 10u);
+  for (int i = 0; i < 4; ++i) queue.Pop();
+  EXPECT_EQ(queue.Size(), 6u);
+  EXPECT_EQ(queue.SlowSize(), 6u);
+}
+
+TEST(TxnQueueTest, PeekDoesNotConsume) {
+  TxnPool pool;
+  TxnQueue queue;
+  Query* a = pool.NewQuery(0);
+  queue.Push(a, 1.0);
+  EXPECT_EQ(queue.Peek(), a);
+  EXPECT_EQ(queue.Peek(), a);
+  EXPECT_EQ(queue.Pop(), a);
+}
+
+TEST(TxnQueueTest, ManyEntriesOrdered) {
+  TxnPool pool;
+  TxnQueue queue;
+  for (int i = 0; i < 100; ++i) {
+    queue.Push(pool.NewQuery(i), static_cast<double>(i % 10));
+  }
+  double prev = 1e18;
+  SimTime prev_arrival = -1;
+  while (Transaction* txn = queue.Pop()) {
+    auto* query = static_cast<Query*>(txn);
+    const double priority = static_cast<double>(query->arrival % 10);
+    EXPECT_LE(priority, prev);
+    if (priority == prev) {
+      EXPECT_GT(query->arrival, prev_arrival);
+    }
+    prev = priority;
+    prev_arrival = query->arrival;
+  }
+}
+
+}  // namespace
+}  // namespace webdb

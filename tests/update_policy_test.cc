@@ -1,0 +1,40 @@
+#include "sched/update_policy.h"
+
+#include <gtest/gtest.h>
+
+#include "test_txns.h"
+
+namespace webdb {
+namespace {
+
+TEST(UpdatePolicyTest, FifoPrefersEarlierArrival) {
+  TxnPool pool;
+  Update* early = pool.NewUpdate(10);
+  Update* late = pool.NewUpdate(20);
+  EXPECT_GT(UpdatePriority(*early, UpdatePolicy::kFifo, nullptr),
+            UpdatePriority(*late, UpdatePolicy::kFifo, nullptr));
+}
+
+TEST(UpdatePolicyTest, DemandWeightedUsesItemWeight) {
+  TxnPool pool;
+  const std::vector<double> weights = {1.0, 100.0};
+  Update* cold = pool.NewUpdate(0, Millis(2), /*item=*/0);
+  Update* hot = pool.NewUpdate(5, Millis(2), /*item=*/1);
+  EXPECT_GT(UpdatePriority(*hot, UpdatePolicy::kDemandWeighted, &weights),
+            UpdatePriority(*cold, UpdatePolicy::kDemandWeighted, &weights));
+}
+
+TEST(UpdatePolicyTest, Names) {
+  EXPECT_EQ(ToString(UpdatePolicy::kFifo), "fifo");
+  EXPECT_EQ(ToString(UpdatePolicy::kDemandWeighted), "demand-weighted");
+}
+
+TEST(UpdatePolicyDeathTest, DemandWeightedRequiresWeights) {
+  TxnPool pool;
+  Update* u = pool.NewUpdate(0);
+  EXPECT_DEATH(UpdatePriority(*u, UpdatePolicy::kDemandWeighted, nullptr),
+               "");
+}
+
+}  // namespace
+}  // namespace webdb

@@ -1,0 +1,60 @@
+#include "db/update_register.h"
+
+#include <gtest/gtest.h>
+
+namespace webdb {
+namespace {
+
+TEST(UpdateRegisterTest, FirstRegistrationHasNoVictim) {
+  UpdateRegister reg;
+  EXPECT_EQ(reg.Register(5, 101), 0u);
+  EXPECT_EQ(reg.PendingFor(5), 101u);
+  EXPECT_EQ(reg.Size(), 1u);
+  EXPECT_EQ(reg.TotalInvalidated(), 0u);
+}
+
+TEST(UpdateRegisterTest, NewArrivalInvalidatesPending) {
+  UpdateRegister reg;
+  reg.Register(5, 101);
+  EXPECT_EQ(reg.Register(5, 103), 101u);
+  EXPECT_EQ(reg.PendingFor(5), 103u);
+  EXPECT_EQ(reg.Size(), 1u);
+  EXPECT_EQ(reg.TotalInvalidated(), 1u);
+}
+
+TEST(UpdateRegisterTest, DistinctItemsIndependent) {
+  UpdateRegister reg;
+  reg.Register(1, 11);
+  reg.Register(2, 13);
+  EXPECT_EQ(reg.PendingFor(1), 11u);
+  EXPECT_EQ(reg.PendingFor(2), 13u);
+  EXPECT_EQ(reg.Size(), 2u);
+}
+
+TEST(UpdateRegisterTest, RemoveOnlyMatching) {
+  UpdateRegister reg;
+  reg.Register(1, 11);
+  EXPECT_FALSE(reg.Remove(1, 99));  // superseded caller
+  EXPECT_EQ(reg.PendingFor(1), 11u);
+  EXPECT_TRUE(reg.Remove(1, 11));
+  EXPECT_EQ(reg.PendingFor(1), 0u);
+  EXPECT_FALSE(reg.Remove(1, 11));  // already gone
+}
+
+TEST(UpdateRegisterTest, PendingForUnknownItemIsZero) {
+  UpdateRegister reg;
+  EXPECT_EQ(reg.PendingFor(42), 0u);
+}
+
+TEST(UpdateRegisterTest, ChainOfInvalidations) {
+  UpdateRegister reg;
+  reg.Register(7, 1);
+  EXPECT_EQ(reg.Register(7, 3), 1u);
+  EXPECT_EQ(reg.Register(7, 5), 3u);
+  EXPECT_EQ(reg.Register(7, 7), 5u);
+  EXPECT_EQ(reg.TotalInvalidated(), 3u);
+  EXPECT_EQ(reg.PendingFor(7), 7u);
+}
+
+}  // namespace
+}  // namespace webdb

@@ -1,0 +1,102 @@
+// trace_tool — generate, inspect and spot-check synthetic stock traces from
+// the command line.
+//
+// Usage:
+//   trace_tool generate <base> [seed] [duration_s]   write <base>.*.csv
+//   trace_tool stats <base>                          Table-3 style summary
+//   trace_tool head <base> [n]                       first n records per stream
+//
+// Exit status: 0 on success, 1 on usage or IO errors.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "trace/stock_trace_generator.h"
+#include "trace/trace_io.h"
+#include "trace/trace_stats.h"
+#include "txn/transaction.h"
+
+namespace {
+
+using namespace webdb;
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  trace_tool generate <base> [seed] [duration_s]\n"
+               "  trace_tool stats <base>\n"
+               "  trace_tool head <base> [n]\n");
+  return 1;
+}
+
+int Generate(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  const std::string base = argv[2];
+  StockTraceConfig config;
+  if (argc > 3) config.seed = static_cast<uint64_t>(std::atoll(argv[3]));
+  if (argc > 4) config.duration = Seconds(std::atoll(argv[4]));
+  std::fprintf(stderr, "generating %.0f s trace with seed %llu...\n",
+               ToSeconds(config.duration),
+               static_cast<unsigned long long>(config.seed));
+  const Trace trace = GenerateStockTrace(config);
+  if (!SaveTrace(trace, base)) {
+    std::fprintf(stderr, "error: cannot write %s.*.csv\n", base.c_str());
+    return 1;
+  }
+  std::printf("wrote %zu queries and %zu updates under %s.*.csv\n",
+              trace.queries.size(), trace.updates.size(), base.c_str());
+  return 0;
+}
+
+int Stats(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  Trace trace;
+  if (!LoadTrace(argv[2], &trace)) {
+    std::fprintf(stderr, "error: cannot load trace '%s'\n", argv[2]);
+    return 1;
+  }
+  const TraceStats stats = ComputeTraceStats(trace);
+  std::printf("%s", stats.Summary().c_str());
+  std::printf("update-dominated stocks  %.3f\n",
+              stats.FractionUpdateDominated());
+  return 0;
+}
+
+int Head(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  Trace trace;
+  if (!LoadTrace(argv[2], &trace)) {
+    std::fprintf(stderr, "error: cannot load trace '%s'\n", argv[2]);
+    return 1;
+  }
+  const size_t n = argc > 3 ? static_cast<size_t>(std::atoll(argv[3])) : 10;
+  std::printf("-- queries --\n");
+  for (size_t i = 0; i < trace.queries.size() && i < n; ++i) {
+    const QueryRecord& q = trace.queries[i];
+    std::printf("%10.3fms  %-15s exec=%.1fms items=[", ToMillis(q.arrival),
+                ToString(q.type).c_str(), ToMillis(q.exec_time));
+    for (size_t k = 0; k < q.items.size(); ++k) {
+      std::printf("%s%d", k > 0 ? "," : "", q.items[k]);
+    }
+    std::printf("]\n");
+  }
+  std::printf("-- updates --\n");
+  for (size_t i = 0; i < trace.updates.size() && i < n; ++i) {
+    const UpdateRecord& u = trace.updates[i];
+    std::printf("%10.3fms  item=%-5d value=%-10.2f exec=%.1fms\n",
+                ToMillis(u.arrival), u.item, u.value, ToMillis(u.exec_time));
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string command = argv[1];
+  if (command == "generate") return Generate(argc, argv);
+  if (command == "stats") return Stats(argc, argv);
+  if (command == "head") return Head(argc, argv);
+  return Usage();
+}
