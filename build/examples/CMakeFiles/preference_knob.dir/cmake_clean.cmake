@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/preference_knob.dir/preference_knob.cpp.o"
+  "CMakeFiles/preference_knob.dir/preference_knob.cpp.o.d"
+  "preference_knob"
+  "preference_knob.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/preference_knob.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/replica_cluster.dir/replica_cluster.cpp.o"
+  "CMakeFiles/replica_cluster.dir/replica_cluster.cpp.o.d"
+  "replica_cluster"
+  "replica_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/replica_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

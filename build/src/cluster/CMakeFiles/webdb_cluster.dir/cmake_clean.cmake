@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/webdb_cluster.dir/replica_selector.cc.o"
+  "CMakeFiles/webdb_cluster.dir/replica_selector.cc.o.d"
+  "CMakeFiles/webdb_cluster.dir/web_database_cluster.cc.o"
+  "CMakeFiles/webdb_cluster.dir/web_database_cluster.cc.o.d"
+  "libwebdb_cluster.a"
+  "libwebdb_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/webdb_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

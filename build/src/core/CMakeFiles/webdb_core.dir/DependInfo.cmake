@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/quts_scheduler.cc" "src/core/CMakeFiles/webdb_core.dir/quts_scheduler.cc.o" "gcc" "src/core/CMakeFiles/webdb_core.dir/quts_scheduler.cc.o.d"
+  "/root/repo/src/core/rho.cc" "src/core/CMakeFiles/webdb_core.dir/rho.cc.o" "gcc" "src/core/CMakeFiles/webdb_core.dir/rho.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sched/CMakeFiles/webdb_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/qc/CMakeFiles/webdb_qc.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/webdb_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/txn/CMakeFiles/webdb_txn.dir/DependInfo.cmake"
+  "/root/repo/build/src/db/CMakeFiles/webdb_db.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

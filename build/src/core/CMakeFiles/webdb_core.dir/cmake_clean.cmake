@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/webdb_core.dir/quts_scheduler.cc.o"
+  "CMakeFiles/webdb_core.dir/quts_scheduler.cc.o.d"
+  "CMakeFiles/webdb_core.dir/rho.cc.o"
+  "CMakeFiles/webdb_core.dir/rho.cc.o.d"
+  "libwebdb_core.a"
+  "libwebdb_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/webdb_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/db/database.cc" "src/db/CMakeFiles/webdb_db.dir/database.cc.o" "gcc" "src/db/CMakeFiles/webdb_db.dir/database.cc.o.d"
+  "/root/repo/src/db/staleness.cc" "src/db/CMakeFiles/webdb_db.dir/staleness.cc.o" "gcc" "src/db/CMakeFiles/webdb_db.dir/staleness.cc.o.d"
+  "/root/repo/src/db/symbol_table.cc" "src/db/CMakeFiles/webdb_db.dir/symbol_table.cc.o" "gcc" "src/db/CMakeFiles/webdb_db.dir/symbol_table.cc.o.d"
+  "/root/repo/src/db/update_register.cc" "src/db/CMakeFiles/webdb_db.dir/update_register.cc.o" "gcc" "src/db/CMakeFiles/webdb_db.dir/update_register.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/webdb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

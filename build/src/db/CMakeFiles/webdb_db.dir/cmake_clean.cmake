@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/webdb_db.dir/database.cc.o"
+  "CMakeFiles/webdb_db.dir/database.cc.o.d"
+  "CMakeFiles/webdb_db.dir/staleness.cc.o"
+  "CMakeFiles/webdb_db.dir/staleness.cc.o.d"
+  "CMakeFiles/webdb_db.dir/symbol_table.cc.o"
+  "CMakeFiles/webdb_db.dir/symbol_table.cc.o.d"
+  "CMakeFiles/webdb_db.dir/update_register.cc.o"
+  "CMakeFiles/webdb_db.dir/update_register.cc.o.d"
+  "libwebdb_db.a"
+  "libwebdb_db.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/webdb_db.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/webdb_exp.dir/cluster_experiment.cc.o"
+  "CMakeFiles/webdb_exp.dir/cluster_experiment.cc.o.d"
+  "CMakeFiles/webdb_exp.dir/experiment.cc.o"
+  "CMakeFiles/webdb_exp.dir/experiment.cc.o.d"
+  "CMakeFiles/webdb_exp.dir/figures.cc.o"
+  "CMakeFiles/webdb_exp.dir/figures.cc.o.d"
+  "CMakeFiles/webdb_exp.dir/report.cc.o"
+  "CMakeFiles/webdb_exp.dir/report.cc.o.d"
+  "CMakeFiles/webdb_exp.dir/robustness.cc.o"
+  "CMakeFiles/webdb_exp.dir/robustness.cc.o.d"
+  "CMakeFiles/webdb_exp.dir/scheduler_factory.cc.o"
+  "CMakeFiles/webdb_exp.dir/scheduler_factory.cc.o.d"
+  "CMakeFiles/webdb_exp.dir/trace_feeder.cc.o"
+  "CMakeFiles/webdb_exp.dir/trace_feeder.cc.o.d"
+  "libwebdb_exp.a"
+  "libwebdb_exp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/webdb_exp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

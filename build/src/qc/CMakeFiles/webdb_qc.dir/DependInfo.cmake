@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/qc/profit_function.cc" "src/qc/CMakeFiles/webdb_qc.dir/profit_function.cc.o" "gcc" "src/qc/CMakeFiles/webdb_qc.dir/profit_function.cc.o.d"
+  "/root/repo/src/qc/profit_ledger.cc" "src/qc/CMakeFiles/webdb_qc.dir/profit_ledger.cc.o" "gcc" "src/qc/CMakeFiles/webdb_qc.dir/profit_ledger.cc.o.d"
+  "/root/repo/src/qc/qc_generator.cc" "src/qc/CMakeFiles/webdb_qc.dir/qc_generator.cc.o" "gcc" "src/qc/CMakeFiles/webdb_qc.dir/qc_generator.cc.o.d"
+  "/root/repo/src/qc/qc_spec.cc" "src/qc/CMakeFiles/webdb_qc.dir/qc_spec.cc.o" "gcc" "src/qc/CMakeFiles/webdb_qc.dir/qc_spec.cc.o.d"
+  "/root/repo/src/qc/quality_contract.cc" "src/qc/CMakeFiles/webdb_qc.dir/quality_contract.cc.o" "gcc" "src/qc/CMakeFiles/webdb_qc.dir/quality_contract.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/webdb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

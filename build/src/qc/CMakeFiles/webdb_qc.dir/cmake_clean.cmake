@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/webdb_qc.dir/profit_function.cc.o"
+  "CMakeFiles/webdb_qc.dir/profit_function.cc.o.d"
+  "CMakeFiles/webdb_qc.dir/profit_ledger.cc.o"
+  "CMakeFiles/webdb_qc.dir/profit_ledger.cc.o.d"
+  "CMakeFiles/webdb_qc.dir/qc_generator.cc.o"
+  "CMakeFiles/webdb_qc.dir/qc_generator.cc.o.d"
+  "CMakeFiles/webdb_qc.dir/qc_spec.cc.o"
+  "CMakeFiles/webdb_qc.dir/qc_spec.cc.o.d"
+  "CMakeFiles/webdb_qc.dir/quality_contract.cc.o"
+  "CMakeFiles/webdb_qc.dir/quality_contract.cc.o.d"
+  "libwebdb_qc.a"
+  "libwebdb_qc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/webdb_qc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

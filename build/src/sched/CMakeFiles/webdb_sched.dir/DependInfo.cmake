@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/admission.cc" "src/sched/CMakeFiles/webdb_sched.dir/admission.cc.o" "gcc" "src/sched/CMakeFiles/webdb_sched.dir/admission.cc.o.d"
+  "/root/repo/src/sched/dual_queue_scheduler.cc" "src/sched/CMakeFiles/webdb_sched.dir/dual_queue_scheduler.cc.o" "gcc" "src/sched/CMakeFiles/webdb_sched.dir/dual_queue_scheduler.cc.o.d"
+  "/root/repo/src/sched/fifo_scheduler.cc" "src/sched/CMakeFiles/webdb_sched.dir/fifo_scheduler.cc.o" "gcc" "src/sched/CMakeFiles/webdb_sched.dir/fifo_scheduler.cc.o.d"
+  "/root/repo/src/sched/query_policy.cc" "src/sched/CMakeFiles/webdb_sched.dir/query_policy.cc.o" "gcc" "src/sched/CMakeFiles/webdb_sched.dir/query_policy.cc.o.d"
+  "/root/repo/src/sched/scheduler.cc" "src/sched/CMakeFiles/webdb_sched.dir/scheduler.cc.o" "gcc" "src/sched/CMakeFiles/webdb_sched.dir/scheduler.cc.o.d"
+  "/root/repo/src/sched/txn_queue.cc" "src/sched/CMakeFiles/webdb_sched.dir/txn_queue.cc.o" "gcc" "src/sched/CMakeFiles/webdb_sched.dir/txn_queue.cc.o.d"
+  "/root/repo/src/sched/update_policy.cc" "src/sched/CMakeFiles/webdb_sched.dir/update_policy.cc.o" "gcc" "src/sched/CMakeFiles/webdb_sched.dir/update_policy.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/txn/CMakeFiles/webdb_txn.dir/DependInfo.cmake"
+  "/root/repo/build/src/qc/CMakeFiles/webdb_qc.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/webdb_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/db/CMakeFiles/webdb_db.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/webdb_sched.dir/admission.cc.o"
+  "CMakeFiles/webdb_sched.dir/admission.cc.o.d"
+  "CMakeFiles/webdb_sched.dir/dual_queue_scheduler.cc.o"
+  "CMakeFiles/webdb_sched.dir/dual_queue_scheduler.cc.o.d"
+  "CMakeFiles/webdb_sched.dir/fifo_scheduler.cc.o"
+  "CMakeFiles/webdb_sched.dir/fifo_scheduler.cc.o.d"
+  "CMakeFiles/webdb_sched.dir/query_policy.cc.o"
+  "CMakeFiles/webdb_sched.dir/query_policy.cc.o.d"
+  "CMakeFiles/webdb_sched.dir/scheduler.cc.o"
+  "CMakeFiles/webdb_sched.dir/scheduler.cc.o.d"
+  "CMakeFiles/webdb_sched.dir/txn_queue.cc.o"
+  "CMakeFiles/webdb_sched.dir/txn_queue.cc.o.d"
+  "CMakeFiles/webdb_sched.dir/update_policy.cc.o"
+  "CMakeFiles/webdb_sched.dir/update_policy.cc.o.d"
+  "libwebdb_sched.a"
+  "libwebdb_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/webdb_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/webdb_server.dir/metrics.cc.o"
+  "CMakeFiles/webdb_server.dir/metrics.cc.o.d"
+  "CMakeFiles/webdb_server.dir/web_database_server.cc.o"
+  "CMakeFiles/webdb_server.dir/web_database_server.cc.o.d"
+  "libwebdb_server.a"
+  "libwebdb_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/webdb_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

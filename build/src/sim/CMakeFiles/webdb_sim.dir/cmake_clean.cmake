@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/webdb_sim.dir/processor.cc.o"
+  "CMakeFiles/webdb_sim.dir/processor.cc.o.d"
+  "CMakeFiles/webdb_sim.dir/simulator.cc.o"
+  "CMakeFiles/webdb_sim.dir/simulator.cc.o.d"
+  "libwebdb_sim.a"
+  "libwebdb_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/webdb_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

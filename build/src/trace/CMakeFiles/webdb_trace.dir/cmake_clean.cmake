@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/webdb_trace.dir/arrival_process.cc.o"
+  "CMakeFiles/webdb_trace.dir/arrival_process.cc.o.d"
+  "CMakeFiles/webdb_trace.dir/stock_trace_generator.cc.o"
+  "CMakeFiles/webdb_trace.dir/stock_trace_generator.cc.o.d"
+  "CMakeFiles/webdb_trace.dir/trace.cc.o"
+  "CMakeFiles/webdb_trace.dir/trace.cc.o.d"
+  "CMakeFiles/webdb_trace.dir/trace_io.cc.o"
+  "CMakeFiles/webdb_trace.dir/trace_io.cc.o.d"
+  "CMakeFiles/webdb_trace.dir/trace_stats.cc.o"
+  "CMakeFiles/webdb_trace.dir/trace_stats.cc.o.d"
+  "libwebdb_trace.a"
+  "libwebdb_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/webdb_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/webdb_txn.dir/lock_manager.cc.o"
+  "CMakeFiles/webdb_txn.dir/lock_manager.cc.o.d"
+  "CMakeFiles/webdb_txn.dir/transaction.cc.o"
+  "CMakeFiles/webdb_txn.dir/transaction.cc.o.d"
+  "libwebdb_txn.a"
+  "libwebdb_txn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/webdb_txn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

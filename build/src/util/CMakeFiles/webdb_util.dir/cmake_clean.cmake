@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/webdb_util.dir/csv.cc.o"
+  "CMakeFiles/webdb_util.dir/csv.cc.o.d"
+  "CMakeFiles/webdb_util.dir/histogram.cc.o"
+  "CMakeFiles/webdb_util.dir/histogram.cc.o.d"
+  "CMakeFiles/webdb_util.dir/rng.cc.o"
+  "CMakeFiles/webdb_util.dir/rng.cc.o.d"
+  "CMakeFiles/webdb_util.dir/stats.cc.o"
+  "CMakeFiles/webdb_util.dir/stats.cc.o.d"
+  "CMakeFiles/webdb_util.dir/table.cc.o"
+  "CMakeFiles/webdb_util.dir/table.cc.o.d"
+  "libwebdb_util.a"
+  "libwebdb_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/webdb_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

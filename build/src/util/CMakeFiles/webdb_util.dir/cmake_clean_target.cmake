@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libwebdb_util.a"
+)

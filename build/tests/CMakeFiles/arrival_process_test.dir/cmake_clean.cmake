@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arrival_process_test.dir/arrival_process_test.cc.o"
+  "CMakeFiles/arrival_process_test.dir/arrival_process_test.cc.o.d"
+  "arrival_process_test"
+  "arrival_process_test.pdb"
+  "arrival_process_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arrival_process_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

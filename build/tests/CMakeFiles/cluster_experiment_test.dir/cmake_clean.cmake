@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cluster_experiment_test.dir/cluster_experiment_test.cc.o"
+  "CMakeFiles/cluster_experiment_test.dir/cluster_experiment_test.cc.o.d"
+  "cluster_experiment_test"
+  "cluster_experiment_test.pdb"
+  "cluster_experiment_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_experiment_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

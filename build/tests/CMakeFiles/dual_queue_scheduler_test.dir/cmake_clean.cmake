@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dual_queue_scheduler_test.dir/dual_queue_scheduler_test.cc.o"
+  "CMakeFiles/dual_queue_scheduler_test.dir/dual_queue_scheduler_test.cc.o.d"
+  "dual_queue_scheduler_test"
+  "dual_queue_scheduler_test.pdb"
+  "dual_queue_scheduler_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dual_queue_scheduler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

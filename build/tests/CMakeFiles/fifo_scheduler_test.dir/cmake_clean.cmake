@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fifo_scheduler_test.dir/fifo_scheduler_test.cc.o"
+  "CMakeFiles/fifo_scheduler_test.dir/fifo_scheduler_test.cc.o.d"
+  "fifo_scheduler_test"
+  "fifo_scheduler_test.pdb"
+  "fifo_scheduler_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fifo_scheduler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

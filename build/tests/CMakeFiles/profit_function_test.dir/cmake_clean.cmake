@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/profit_function_test.dir/profit_function_test.cc.o"
+  "CMakeFiles/profit_function_test.dir/profit_function_test.cc.o.d"
+  "profit_function_test"
+  "profit_function_test.pdb"
+  "profit_function_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/profit_function_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

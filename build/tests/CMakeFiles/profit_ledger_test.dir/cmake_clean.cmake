@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/profit_ledger_test.dir/profit_ledger_test.cc.o"
+  "CMakeFiles/profit_ledger_test.dir/profit_ledger_test.cc.o.d"
+  "profit_ledger_test"
+  "profit_ledger_test.pdb"
+  "profit_ledger_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/profit_ledger_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

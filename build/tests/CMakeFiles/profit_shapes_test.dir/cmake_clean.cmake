@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/profit_shapes_test.dir/profit_shapes_test.cc.o"
+  "CMakeFiles/profit_shapes_test.dir/profit_shapes_test.cc.o.d"
+  "profit_shapes_test"
+  "profit_shapes_test.pdb"
+  "profit_shapes_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/profit_shapes_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

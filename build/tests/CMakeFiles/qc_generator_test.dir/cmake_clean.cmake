@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qc_generator_test.dir/qc_generator_test.cc.o"
+  "CMakeFiles/qc_generator_test.dir/qc_generator_test.cc.o.d"
+  "qc_generator_test"
+  "qc_generator_test.pdb"
+  "qc_generator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qc_generator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qc_spec_test.dir/qc_spec_test.cc.o"
+  "CMakeFiles/qc_spec_test.dir/qc_spec_test.cc.o.d"
+  "qc_spec_test"
+  "qc_spec_test.pdb"
+  "qc_spec_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qc_spec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quality_contract_test.dir/quality_contract_test.cc.o"
+  "CMakeFiles/quality_contract_test.dir/quality_contract_test.cc.o.d"
+  "quality_contract_test"
+  "quality_contract_test.pdb"
+  "quality_contract_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quality_contract_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/query_policy_test.dir/query_policy_test.cc.o"
+  "CMakeFiles/query_policy_test.dir/query_policy_test.cc.o.d"
+  "query_policy_test"
+  "query_policy_test.pdb"
+  "query_policy_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/query_policy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

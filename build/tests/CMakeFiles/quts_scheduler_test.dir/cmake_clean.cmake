@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quts_scheduler_test.dir/quts_scheduler_test.cc.o"
+  "CMakeFiles/quts_scheduler_test.dir/quts_scheduler_test.cc.o.d"
+  "quts_scheduler_test"
+  "quts_scheduler_test.pdb"
+  "quts_scheduler_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quts_scheduler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

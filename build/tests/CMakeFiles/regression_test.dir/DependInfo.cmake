@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/regression_test.cc" "tests/CMakeFiles/regression_test.dir/regression_test.cc.o" "gcc" "tests/CMakeFiles/regression_test.dir/regression_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/exp/CMakeFiles/webdb_exp.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/webdb_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/server/CMakeFiles/webdb_server.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/webdb_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/webdb_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/webdb_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/webdb_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/txn/CMakeFiles/webdb_txn.dir/DependInfo.cmake"
+  "/root/repo/build/src/db/CMakeFiles/webdb_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/qc/CMakeFiles/webdb_qc.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/webdb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rho_test.dir/rho_test.cc.o"
+  "CMakeFiles/rho_test.dir/rho_test.cc.o.d"
+  "rho_test"
+  "rho_test.pdb"
+  "rho_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rho_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

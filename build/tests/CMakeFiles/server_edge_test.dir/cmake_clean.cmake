@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/server_edge_test.dir/server_edge_test.cc.o"
+  "CMakeFiles/server_edge_test.dir/server_edge_test.cc.o.d"
+  "server_edge_test"
+  "server_edge_test.pdb"
+  "server_edge_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/server_edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

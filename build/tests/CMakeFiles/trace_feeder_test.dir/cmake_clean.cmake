@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_feeder_test.dir/trace_feeder_test.cc.o"
+  "CMakeFiles/trace_feeder_test.dir/trace_feeder_test.cc.o.d"
+  "trace_feeder_test"
+  "trace_feeder_test.pdb"
+  "trace_feeder_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_feeder_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/update_policy_test.dir/update_policy_test.cc.o"
+  "CMakeFiles/update_policy_test.dir/update_policy_test.cc.o.d"
+  "update_policy_test"
+  "update_policy_test.pdb"
+  "update_policy_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/update_policy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/update_register_test.dir/update_register_test.cc.o"
+  "CMakeFiles/update_register_test.dir/update_register_test.cc.o.d"
+  "update_register_test"
+  "update_register_test.pdb"
+  "update_register_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/update_register_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
