@@ -1,10 +1,21 @@
 // Micro-benchmarks (google-benchmark): costs of the building blocks — event
 // queue, transaction queues, QC evaluation, Zipf sampling, lock manager,
 // trace generation, and a small end-to-end server run per scheduler.
+//
+// Extra flags (consumed before google-benchmark sees argv):
+//   --trace <path>   after the benchmarks, run one end-to-end experiment with
+//                    lifecycle tracing on and write the JSONL trace to <path>
+//                    (inspect with `trace_tool summarize-spans <path>`)
+//   --sched <name>   scheduler for that traced run (default: quts)
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <string>
+#include <vector>
+
 #include "core/quts_scheduler.h"
+#include "obs/tracer.h"
 #include "exp/experiment.h"
 #include "exp/scheduler_factory.h"
 #include "qc/qc_generator.h"
@@ -111,7 +122,7 @@ void BM_EndToEndServerRun(benchmark::State& state) {
   for (auto _ : state) {
     auto scheduler = MakeScheduler(kind);
     ExperimentOptions options;
-    options.profile = BalancedProfile(QcShape::kStep);
+    options.qc = BalancedProfile(QcShape::kStep);
     benchmark::DoNotOptimize(
         RunExperiment(trace, scheduler.get(), options));
   }
@@ -127,7 +138,66 @@ BENCHMARK(BM_EndToEndServerRun)
     ->Arg(static_cast<int>(SchedulerKind::kQuts))
     ->Unit(benchmark::kMillisecond);
 
+// Runs one end-to-end experiment with the tracer attached and writes the
+// JSONL lifecycle trace to `path`. Returns an exit status.
+int RunTracedExperiment(const std::string& path, const std::string& sched) {
+  const std::optional<SchedulerKind> kind = SchedulerKindFromName(sched);
+  if (!kind.has_value()) {
+    std::fprintf(stderr, "error: unknown scheduler '%s'; valid names:",
+                 sched.c_str());
+    for (const std::string& name : ValidSchedulerNames()) {
+      std::fprintf(stderr, " %s", name.c_str());
+    }
+    std::fprintf(stderr, "\n");
+    return 1;
+  }
+  StockTraceConfig config = StockTraceConfig::Small(7);
+  config.query_rate = 40.0;
+  config.update_rate_start = 280.0;
+  config.update_rate_end = 200.0;
+  const Trace trace = GenerateStockTrace(config);
+
+  Tracer tracer;
+  auto scheduler = MakeScheduler(*kind);
+  ExperimentOptions options;
+  options.qc = BalancedProfile(QcShape::kStep);
+  options.server.tracer = &tracer;
+  RunExperiment(trace, scheduler.get(), options);
+  if (!tracer.WriteJsonlFile(path)) {
+    std::fprintf(stderr, "error: cannot write trace to '%s'\n", path.c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "wrote %zu trace events (%s) to %s\n",
+               tracer.NumEvents(), ToString(*kind).c_str(), path.c_str());
+  return 0;
+}
+
 }  // namespace
 }  // namespace webdb
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  std::string trace_path;
+  std::string sched = "quts";
+  std::vector<char*> bench_argv;
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--trace" && i + 1 < argc) {
+      trace_path = argv[++i];
+    } else if (arg == "--sched" && i + 1 < argc) {
+      sched = argv[++i];
+    } else {
+      bench_argv.push_back(argv[i]);
+    }
+  }
+  int bench_argc = static_cast<int>(bench_argv.size());
+  benchmark::Initialize(&bench_argc, bench_argv.data());
+  if (benchmark::ReportUnrecognizedArguments(bench_argc, bench_argv.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  if (!trace_path.empty()) {
+    return webdb::RunTracedExperiment(trace_path, sched);
+  }
+  return 0;
+}

@@ -39,7 +39,7 @@ int main() {
   for (const SchedulerKind kind : PaperSchedulers()) {
     auto scheduler = MakeScheduler(kind);
     ExperimentOptions options;
-    options.profile = BalancedProfile(QcShape::kStep);
+    options.qc = BalancedProfile(QcShape::kStep);
     const ExperimentResult result =
         RunExperiment(trace, scheduler.get(), options);
     table.AddRow({result.scheduler, AsciiTable::Num(result.qos_pct, 3),

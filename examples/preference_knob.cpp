@@ -33,7 +33,7 @@ int main() {
     const double knob = static_cast<double>(i) / 10.0;
     auto scheduler = MakeScheduler(SchedulerKind::kQuts);
     ExperimentOptions options;
-    options.profile = Table4Profile(knob, QcShape::kStep);
+    options.qc = Table4Profile(knob, QcShape::kStep);
     const ExperimentResult result =
         RunExperiment(trace, scheduler.get(), options);
     const double final_rho =

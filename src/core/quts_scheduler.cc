@@ -1,6 +1,7 @@
 #include "core/quts_scheduler.h"
 
 #include "core/rho.h"
+#include "obs/metric_registry.h"
 #include "util/logging.h"
 
 namespace webdb {
@@ -43,6 +44,7 @@ void QutsScheduler::MaybeAdapt(SimTime now) {
     window_qos_max_ = 0.0;
     window_qod_max_ = 0.0;
     window_start_ += options_.adaptation_period;
+    ++adaptations_;
     if (options_.record_rho_series) {
       rho_series_.emplace_back(window_start_, rho_);
     }
@@ -71,6 +73,7 @@ void QutsScheduler::Redraw(SimTime now) {
     side_ = side_ == TxnKind::kQuery ? TxnKind::kUpdate : TxnKind::kQuery;
   }
   atom_expiry_ = now + options_.atom_time;
+  ++redraws_;
 }
 
 void QutsScheduler::EnsureSide(SimTime now) {
@@ -148,6 +151,19 @@ bool QutsScheduler::HasWork() const {
 
 void QutsScheduler::RemoveQueued(Transaction* txn, SimTime) {
   QueueFor(txn->kind).Remove(txn);
+}
+
+void QutsScheduler::ExportStats(MetricRegistry& registry) const {
+  Scheduler::ExportStats(registry);
+  registry.GetGauge("scheduler.quts.rho").Set(rho_);
+  registry.GetGauge("scheduler.quts.adaptations")
+      .Set(static_cast<double>(adaptations_));
+  registry.GetGauge("scheduler.quts.atom.redraws")
+      .Set(static_cast<double>(redraws_));
+  registry.GetGauge("scheduler.quts.queue.queries")
+      .Set(static_cast<double>(queries_.Size()));
+  registry.GetGauge("scheduler.quts.queue.updates")
+      .Set(static_cast<double>(updates_.Size()));
 }
 
 }  // namespace webdb

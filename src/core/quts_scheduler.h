@@ -80,6 +80,10 @@ class QutsScheduler final : public Scheduler {
   }
   void RemoveQueued(Transaction* txn, SimTime now) override;
 
+  // Generic queue gauges plus scheduler.quts.{rho, adaptations,
+  // atom.redraws, queue.queries, queue.updates}.
+  void ExportStats(MetricRegistry& registry) const override;
+
   double rho() const { return rho_; }
   TxnKind current_side() const { return side_; }
   const std::vector<std::pair<SimTime, double>>& rho_series() const {
@@ -108,6 +112,8 @@ class QutsScheduler final : public Scheduler {
   SimTime window_start_ = 0;
   double window_qos_max_ = 0.0;
   double window_qod_max_ = 0.0;
+  int64_t adaptations_ = 0;  // Eq. 5-6 boundaries folded in so far
+  int64_t redraws_ = 0;      // atoms started (side redraws)
   std::vector<std::pair<SimTime, double>> rho_series_;
 
   // Low-level queues.

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <memory>
+#include <optional>
 
 #include "core/quts_scheduler.h"
 #include "db/database.h"
@@ -26,8 +27,6 @@ std::vector<double> BucketSums(const TimeSeries& series) {
 ExperimentResult RunExperiment(const Trace& trace, Scheduler* scheduler,
                                const ExperimentOptions& options) {
   WEBDB_CHECK(scheduler != nullptr);
-  WEBDB_CHECK(options.zero_contracts || options.schedule != nullptr ||
-              options.profile.has_value());
   trace.CheckValid();
 
   Database db(trace.num_items);
@@ -35,15 +34,20 @@ ExperimentResult RunExperiment(const Trace& trace, Scheduler* scheduler,
 
   Rng qc_rng(options.qc_seed);
   std::optional<QcGenerator> generator;
-  if (options.profile.has_value()) generator.emplace(*options.profile);
+  if (const QcProfile* profile = std::get_if<QcProfile>(&options.qc)) {
+    generator.emplace(*profile);
+  }
+  const QcSchedule* schedule = std::get_if<QcSchedule>(&options.qc);
+  if (schedule != nullptr) WEBDB_CHECK(schedule->generator != nullptr);
 
   TraceFeeder feeder(&server, &trace,
                      [&](const QueryRecord& record) -> QualityContract {
-                       if (options.zero_contracts) return QualityContract();
-                       if (options.schedule != nullptr) {
-                         return options.schedule->Next(record.arrival, qc_rng);
+                       if (generator.has_value()) return generator->Next(qc_rng);
+                       if (schedule != nullptr) {
+                         return schedule->generator->Next(record.arrival,
+                                                          qc_rng);
                        }
-                       return generator->Next(qc_rng);
+                       return QualityContract();  // ZeroContracts
                      });
   feeder.Start();
   server.Run();
@@ -90,6 +94,11 @@ ExperimentResult RunExperiment(const Trace& trace, Scheduler* scheduler,
   if (auto* quts = dynamic_cast<QutsScheduler*>(scheduler)) {
     result.rho_series = quts->rho_series();
   }
+
+  // Pull the scheduler's final state into the registry, then capture it.
+  scheduler->ExportStats(server.metric_registry());
+  result.registry = server.metric_registry().Snap(server.Now());
+  result.registry_series = server.metric_registry().series();
   return result;
 }
 

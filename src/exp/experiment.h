@@ -6,11 +6,12 @@
 #define WEBDB_EXP_EXPERIMENT_H_
 
 #include <cstdint>
-#include <optional>
 #include <string>
 #include <utility>
+#include <variant>
 #include <vector>
 
+#include "obs/metric_registry.h"
 #include "qc/qc_generator.h"
 #include "sched/scheduler.h"
 #include "server/server_config.h"
@@ -18,18 +19,28 @@
 
 namespace webdb {
 
+// --- QC sources -------------------------------------------------------------
+// Exactly one source assigns Quality Contracts to arriving queries; the
+// variant makes "none" or "several" unrepresentable.
+
+// Figure 1 mode: naive policies, no QCs — every query carries an empty
+// contract. Callers typically also disable lifetime drops via
+// server.lifetime_factor = 0.
+struct ZeroContracts {};
+
+// Time-varying profiles (Figure 9). The generator is not owned and must
+// outlive the experiment; it must be non-null.
+struct QcSchedule {
+  const TimeVaryingQcGenerator* generator = nullptr;
+};
+
+// A plain QcProfile draws fixed-distribution contracts (Figures 6-8).
+using QcSource = std::variant<ZeroContracts, QcProfile, QcSchedule>;
+
 struct ExperimentOptions {
   ServerConfig server;
   uint64_t qc_seed = 7;
-
-  // Exactly one QC source applies, in this precedence order:
-  //  1. zero_contracts — Figure 1 mode: naive policies, no QCs, lifetime
-  //     drops disabled by the caller via server.lifetime_factor = 0.
-  //  2. schedule       — time-varying profiles (Figure 9). Not owned.
-  //  3. profile        — a fixed QcProfile (Figures 6-8).
-  bool zero_contracts = false;
-  const TimeVaryingQcGenerator* schedule = nullptr;
-  std::optional<QcProfile> profile;
+  QcSource qc = ZeroContracts{};
 };
 
 struct ExperimentResult {
@@ -72,6 +83,13 @@ struct ExperimentResult {
   // (time, ρ) per adaptation period — only populated when the scheduler is
   // QUTS (Figure 9d).
   std::vector<std::pair<SimTime, double>> rho_series;
+
+  // Final metric-registry snapshot taken after the run drained: server.* /
+  // txn.* lifecycle counters plus whatever the scheduler exports under
+  // scheduler.* (QUTS: scheduler.quts.rho and friends).
+  MetricSnapshot registry;
+  // Periodic snapshots (empty unless server.metric_snapshot_period was set).
+  std::vector<MetricSnapshot> registry_series;
 };
 
 // Runs `trace` through `scheduler` (not owned; used for a single run — make

@@ -33,7 +33,7 @@ ExperimentResult RunWithProfile(const Trace& trace, SchedulerKind kind,
   ExperimentOptions options;
   options.server = QcServerConfig();
   options.qc_seed = qc_seed;
-  options.profile = profile;
+  options.qc = profile;
   return RunExperiment(trace, scheduler.get(), options);
 }
 
@@ -62,7 +62,7 @@ std::vector<TradeoffRow> RunFigure1(const Trace& trace) {
         SchedulerKind::kFifoQueryHigh}) {
     std::unique_ptr<Scheduler> scheduler = MakeScheduler(kind);
     ExperimentOptions options;
-    options.zero_contracts = true;
+    options.qc = ZeroContracts{};
     // The naive Figure 1 policies predate QCs: no lifetime drops, #uu
     // staleness, every query runs to completion.
     options.server.lifetime_factor = 0.0;
@@ -139,7 +139,7 @@ AdaptabilityResult RunFigure9(const Trace& trace, int intervals, double ratio,
   ExperimentOptions options;
   options.server = QcServerConfig();
   options.qc_seed = qc_seed;
-  options.schedule = &schedule;
+  options.qc = QcSchedule{&schedule};
   AdaptabilityResult out;
   out.raw = RunExperiment(trace, scheduler.get(), options);
 
@@ -178,7 +178,7 @@ double RunQutsOnSchedule(const Trace& trace,
   ExperimentOptions options;
   options.server = QcServerConfig();
   options.qc_seed = qc_seed;
-  options.schedule = &schedule;
+  options.qc = QcSchedule{&schedule};
   return RunExperiment(trace, scheduler.get(), options).total_pct;
 }
 
@@ -270,7 +270,7 @@ std::vector<AblationRow> RunStalenessAblation(const Trace& trace,
     options.qc_seed = qc_seed;
     QcProfile profile = BalancedProfile(QcShape::kStep);
     profile.uu_max = variant.uu_max;
-    options.profile = profile;
+    options.qc = profile;
     const ExperimentResult result =
         RunExperiment(trace, scheduler.get(), options);
     rows.push_back(AblationRow{
@@ -330,7 +330,7 @@ std::vector<AblationRow> RunAdmissionAblation(const Trace& trace,
     options.server = QcServerConfig();
     options.server.admission = variant.controller.get();
     options.qc_seed = qc_seed;
-    options.profile = BalancedProfile(QcShape::kStep);
+    options.qc = BalancedProfile(QcShape::kStep);
     const ExperimentResult result =
         RunExperiment(trace, scheduler.get(), options);
     rows.push_back(AblationRow{variant.name, result.qos_pct, result.qod_pct,
@@ -375,7 +375,7 @@ std::vector<AblationRow> RunAdaptabilityComparison(const Trace& trace,
     ExperimentOptions options;
     options.server = QcServerConfig();
     options.qc_seed = qc_seed;
-    options.schedule = &schedule;
+    options.qc = QcSchedule{&schedule};
     const ExperimentResult result =
         RunExperiment(trace, scheduler.get(), options);
     rows.push_back(AblationRow{ToString(kind), result.qos_pct,
@@ -414,7 +414,7 @@ std::vector<AblationRow> RunConcurrencyAblation(const Trace& trace,
     options.server = QcServerConfig();
     options.server.enable_2plhp = enable;
     options.qc_seed = qc_seed;
-    options.profile = BalancedProfile(QcShape::kStep);
+    options.qc = BalancedProfile(QcShape::kStep);
     const ExperimentResult result =
         RunExperiment(trace, scheduler.get(), options);
     rows.push_back(AblationRow{enable ? "2pl-hp" : "no-cc", result.qos_pct,

@@ -20,7 +20,7 @@ RobustnessRow CompareSchedulers(const Trace& trace, double knob,
     ExperimentOptions options;
     options.server.dispatch_overhead = Micros(20);
     options.qc_seed = qc_seed;
-    options.profile = BalancedProfile(QcShape::kStep);
+    options.qc = BalancedProfile(QcShape::kStep);
     const double total =
         RunExperiment(trace, scheduler.get(), options).total_pct;
     switch (kind) {

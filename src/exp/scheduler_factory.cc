@@ -24,15 +24,27 @@ std::string ToString(SchedulerKind kind) {
   return "?";
 }
 
-SchedulerKind SchedulerKindFromName(const std::string& name) {
-  for (SchedulerKind kind :
-       {SchedulerKind::kFifo, SchedulerKind::kUpdateHigh,
-        SchedulerKind::kQueryHigh, SchedulerKind::kFifoUpdateHigh,
-        SchedulerKind::kFifoQueryHigh, SchedulerKind::kQuts}) {
+namespace {
+
+constexpr SchedulerKind kAllKinds[] = {
+    SchedulerKind::kFifo,           SchedulerKind::kUpdateHigh,
+    SchedulerKind::kQueryHigh,      SchedulerKind::kFifoUpdateHigh,
+    SchedulerKind::kFifoQueryHigh,  SchedulerKind::kQuts,
+};
+
+}  // namespace
+
+std::optional<SchedulerKind> SchedulerKindFromName(const std::string& name) {
+  for (SchedulerKind kind : kAllKinds) {
     if (ToString(kind) == name) return kind;
   }
-  WEBDB_CHECK_MSG(false, "unknown scheduler name");
-  return SchedulerKind::kFifo;
+  return std::nullopt;
+}
+
+std::vector<std::string> ValidSchedulerNames() {
+  std::vector<std::string> names;
+  for (SchedulerKind kind : kAllKinds) names.push_back(ToString(kind));
+  return names;
 }
 
 std::unique_ptr<Scheduler> MakeScheduler(

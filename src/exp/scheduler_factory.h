@@ -5,6 +5,7 @@
 #define WEBDB_EXP_SCHEDULER_FACTORY_H_
 
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -25,8 +26,12 @@ enum class SchedulerKind {
 std::string ToString(SchedulerKind kind);
 
 // Parses "fifo", "uh", "qh", "fifo-uh", "fifo-qh", "quts" (case-sensitive).
-// Aborts on unknown names.
-SchedulerKind SchedulerKindFromName(const std::string& name);
+// Returns std::nullopt on unknown names; callers own the error message
+// (ValidSchedulerNames below feeds a usage line).
+std::optional<SchedulerKind> SchedulerKindFromName(const std::string& name);
+
+// Every parseable name, in a stable order — for usage errors and sweeps.
+std::vector<std::string> ValidSchedulerNames();
 
 // Constructs a scheduler. `quts_options` only applies to kQuts.
 std::unique_ptr<Scheduler> MakeScheduler(

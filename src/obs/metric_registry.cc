@@ -1,0 +1,113 @@
+#include "obs/metric_registry.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace webdb {
+
+const double* MetricSnapshot::Find(const std::string& name) const {
+  const auto it = std::lower_bound(
+      values.begin(), values.end(), name,
+      [](const std::pair<std::string, double>& entry, const std::string& key) {
+        return entry.first < key;
+      });
+  if (it == values.end() || it->first != name) return nullptr;
+  return &it->second;
+}
+
+Counter& MetricRegistry::GetCounter(const std::string& name) {
+  auto [it, inserted] = entries_.try_emplace(name);
+  if (inserted) {
+    it->second.kind = Kind::kCounter;
+    it->second.counter = std::make_unique<Counter>();
+  }
+  WEBDB_CHECK_MSG(it->second.kind == Kind::kCounter,
+                  "metric name already bound to a different kind");
+  return *it->second.counter;
+}
+
+Gauge& MetricRegistry::GetGauge(const std::string& name) {
+  auto [it, inserted] = entries_.try_emplace(name);
+  if (inserted) {
+    it->second.kind = Kind::kGauge;
+    it->second.gauge = std::make_unique<Gauge>();
+  }
+  WEBDB_CHECK_MSG(it->second.kind == Kind::kGauge,
+                  "metric name already bound to a different kind");
+  return *it->second.gauge;
+}
+
+Histogram& MetricRegistry::GetHistogram(const std::string& name,
+                                        Histogram prototype) {
+  auto [it, inserted] = entries_.try_emplace(name);
+  if (inserted) {
+    it->second.kind = Kind::kHistogram;
+    it->second.histogram = std::make_unique<Histogram>(std::move(prototype));
+  }
+  WEBDB_CHECK_MSG(it->second.kind == Kind::kHistogram,
+                  "metric name already bound to a different kind");
+  return *it->second.histogram;
+}
+
+bool MetricRegistry::Has(const std::string& name) const {
+  return entries_.find(name) != entries_.end();
+}
+
+std::vector<std::string> MetricRegistry::Names() const {
+  std::vector<std::string> names;
+  names.reserve(entries_.size());
+  for (const auto& [name, entry] : entries_) names.push_back(name);
+  return names;
+}
+
+double MetricRegistry::Value(const std::string& name) const {
+  const auto it = entries_.find(name);
+  WEBDB_CHECK_MSG(it != entries_.end(), "unknown metric name");
+  switch (it->second.kind) {
+    case Kind::kCounter:
+      return static_cast<double>(it->second.counter->value());
+    case Kind::kGauge:
+      return it->second.gauge->value();
+    case Kind::kHistogram:
+      WEBDB_CHECK_MSG(false, "Value() on a histogram; use Snap()");
+  }
+  return 0.0;
+}
+
+MetricSnapshot MetricRegistry::Snap(SimTime now) const {
+  MetricSnapshot snapshot;
+  snapshot.time = now;
+  snapshot.values.reserve(entries_.size());
+  for (const auto& [name, entry] : entries_) {
+    switch (entry.kind) {
+      case Kind::kCounter:
+        snapshot.values.emplace_back(
+            name, static_cast<double>(entry.counter->value()));
+        break;
+      case Kind::kGauge:
+        snapshot.values.emplace_back(name, entry.gauge->value());
+        break;
+      case Kind::kHistogram:
+        snapshot.values.emplace_back(
+            name + ".count",
+            static_cast<double>(entry.histogram->TotalCount()));
+        snapshot.values.emplace_back(name + ".p50",
+                                     entry.histogram->Quantile(0.5));
+        snapshot.values.emplace_back(name + ".p99",
+                                     entry.histogram->Quantile(0.99));
+        break;
+    }
+  }
+  // Histogram expansion can break the map's ordering (e.g. "x.count" vs a
+  // sibling "x.y"); restore it so MetricSnapshot::Find can binary-search.
+  std::sort(snapshot.values.begin(), snapshot.values.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return snapshot;
+}
+
+void MetricRegistry::RecordSnapshot(SimTime now) {
+  series_.push_back(Snap(now));
+}
+
+}  // namespace webdb

@@ -1,0 +1,110 @@
+// MetricRegistry: a flat namespace of named counters, gauges and histograms,
+// plus a time-series of snapshots taken on the simulator clock.
+//
+// Naming convention (enforced by convention, documented in DESIGN.md §6):
+//   server.*     transaction lifecycle counters owned by the server
+//   scheduler.*  queue depths and policy state exported by the scheduler
+//                (scheduler.quts.* for QUTS-specific state such as rho)
+//   txn.*        cross-cutting transaction mechanics (restarts, preemptions)
+//
+// A name is bound to exactly one metric kind for the registry's lifetime;
+// re-registering the same name with a different kind is a CHECK failure.
+// Handles returned by Get* stay valid for the registry's lifetime.
+
+#ifndef WEBDB_OBS_METRIC_REGISTRY_H_
+#define WEBDB_OBS_METRIC_REGISTRY_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/histogram.h"
+#include "util/time.h"
+
+namespace webdb {
+
+// Monotonically increasing integer metric.
+class Counter {
+ public:
+  void Increment(int64_t delta = 1) { value_ += delta; }
+  Counter& operator++() {
+    ++value_;
+    return *this;
+  }
+  int64_t value() const { return value_; }
+  operator int64_t() const { return value_; }  // NOLINT: thin-view reads
+
+ private:
+  int64_t value_ = 0;
+};
+
+// Last-write-wins floating-point metric.
+class Gauge {
+ public:
+  void Set(double value) { value_ = value; }
+  double value() const { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+// One (time, name -> value) observation of every counter and gauge, plus
+// count/p50/p99 summaries of every histogram. Values are sorted by name.
+struct MetricSnapshot {
+  SimTime time = 0;
+  std::vector<std::pair<std::string, double>> values;
+
+  // nullptr when `name` was not captured.
+  const double* Find(const std::string& name) const;
+};
+
+class MetricRegistry {
+ public:
+  MetricRegistry() = default;
+  MetricRegistry(const MetricRegistry&) = delete;
+  MetricRegistry& operator=(const MetricRegistry&) = delete;
+
+  // Get-or-create. The same name always yields the same object; a kind
+  // mismatch aborts.
+  Counter& GetCounter(const std::string& name);
+  Gauge& GetGauge(const std::string& name);
+  // `prototype` supplies the bucket layout on first registration and is
+  // ignored afterwards.
+  Histogram& GetHistogram(const std::string& name, Histogram prototype);
+
+  bool Has(const std::string& name) const;
+  size_t NumMetrics() const { return entries_.size(); }
+  std::vector<std::string> Names() const;
+
+  // Current value of a counter or gauge; aborts on unknown names and on
+  // histograms (use Snap() for their summaries).
+  double Value(const std::string& name) const;
+
+  // Captures every metric at `now`.
+  MetricSnapshot Snap(SimTime now) const;
+
+  // Appends Snap(now) to the snapshot series (the periodic sampler the
+  // server drives off the simulator clock).
+  void RecordSnapshot(SimTime now);
+  const std::vector<MetricSnapshot>& series() const { return series_; }
+
+ private:
+  enum class Kind { kCounter, kGauge, kHistogram };
+  struct Entry {
+    Kind kind;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  // std::map: snapshots iterate in sorted name order, deterministically.
+  std::map<std::string, Entry> entries_;
+  std::vector<MetricSnapshot> series_;
+};
+
+}  // namespace webdb
+
+#endif  // WEBDB_OBS_METRIC_REGISTRY_H_

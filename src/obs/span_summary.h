@@ -1,0 +1,65 @@
+// Per-phase latency breakdown reconstructed from a lifecycle event stream:
+// where did each transaction spend its life — waiting in queues, executing
+// on the CPU, or losing work to 2PL-HP restarts?
+//
+// Phase definitions (per transaction, committed ones feed the percentiles):
+//   queue-wait    sum of every queue-entry -> dispatch interval
+//   service       total CPU occupancy (all dispatch -> preempt/commit
+//                 intervals, including work later discarded by a restart and
+//                 any configured dispatch overhead)
+//   restart-lost  CPU time accrued and then discarded by 2PL-HP restarts
+//                 (the kRestart event's detail, summed)
+//   response      submit -> commit
+//
+// Used by `trace_tool summarize-spans` and the tracer tests.
+
+#ifndef WEBDB_OBS_SPAN_SUMMARY_H_
+#define WEBDB_OBS_SPAN_SUMMARY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/trace_event.h"
+
+namespace webdb {
+
+// Order statistics over one phase, in milliseconds.
+struct PhaseStats {
+  int64_t count = 0;
+  double mean = 0.0;
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+  double max = 0.0;
+};
+
+// One transaction kind's lifecycle accounting.
+struct SpanBreakdown {
+  int64_t committed = 0;
+  int64_t dropped = 0;      // queries only
+  int64_t invalidated = 0;  // updates only
+  int64_t rejected = 0;     // queries only
+  int64_t preempts = 0;
+  int64_t restarts = 0;
+  PhaseStats queue_wait_ms;
+  PhaseStats service_ms;
+  PhaseStats restart_lost_ms;
+  PhaseStats response_ms;
+};
+
+struct SpanSummary {
+  int64_t num_events = 0;
+  SpanBreakdown queries;
+  SpanBreakdown updates;
+};
+
+// Events may arrive in any order; they are stably sorted by time first.
+SpanSummary SummarizeSpans(std::vector<TraceEvent> events);
+
+// Multi-line human-readable rendering.
+std::string RenderSpanSummary(const SpanSummary& summary);
+
+}  // namespace webdb
+
+#endif  // WEBDB_OBS_SPAN_SUMMARY_H_

@@ -1,0 +1,57 @@
+// Structured per-transaction lifecycle events recorded by obs::Tracer.
+//
+// One event marks one transition in the transaction lifecycle the server
+// plays out (see server/web_database_server.h). Events carry the raw
+// transaction id plus an explicit query/update flag so the observability
+// layer stays independent of the txn layer's id-encoding convention.
+//
+// The `detail` field is event-specific, always in milliseconds where it is a
+// duration:
+//   kPreempt  remaining service time at the moment of preemption
+//   kRestart  CPU time lost (work already accrued and discarded by 2PL-HP)
+//   kCommit   staleness of the answer (queries) / apply latency (updates)
+//   others    0
+
+#ifndef WEBDB_OBS_TRACE_EVENT_H_
+#define WEBDB_OBS_TRACE_EVENT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "util/time.h"
+
+namespace webdb {
+
+enum class TraceEventType : uint8_t {
+  kSubmit,      // client handed the transaction to the server
+  kEnqueue,     // entered a scheduler queue (initial, or after preempt/restart)
+  kDispatch,    // started (or resumed) on the CPU
+  kPreempt,     // paused mid-execution, progress retained
+  kRestart,     // 2PL-HP loser: progress discarded, back to the queue
+  kCommit,      // query committed / update applied
+  kDrop,        // query dropped at its lifetime deadline
+  kInvalidate,  // update superseded by a newer arrival on the same item
+  kReject,      // query refused by admission control
+};
+
+std::string ToString(TraceEventType type);
+
+// Parses the ToString spelling; returns false on unknown names.
+bool TraceEventTypeFromName(const std::string& name, TraceEventType* out);
+
+struct TraceEvent {
+  SimTime time = 0;       // microseconds since simulation start
+  uint64_t txn = 0;       // transaction id (0 is never valid)
+  bool is_update = false;
+  TraceEventType type = TraceEventType::kSubmit;
+  double detail = 0.0;
+
+  friend bool operator==(const TraceEvent& a, const TraceEvent& b) {
+    return a.time == b.time && a.txn == b.txn && a.is_update == b.is_update &&
+           a.type == b.type && a.detail == b.detail;
+  }
+};
+
+}  // namespace webdb
+
+#endif  // WEBDB_OBS_TRACE_EVENT_H_

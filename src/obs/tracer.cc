@@ -1,0 +1,159 @@
+#include "obs/tracer.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+namespace webdb {
+
+std::string ToString(TraceEventType type) {
+  switch (type) {
+    case TraceEventType::kSubmit:
+      return "submit";
+    case TraceEventType::kEnqueue:
+      return "enqueue";
+    case TraceEventType::kDispatch:
+      return "dispatch";
+    case TraceEventType::kPreempt:
+      return "preempt";
+    case TraceEventType::kRestart:
+      return "restart";
+    case TraceEventType::kCommit:
+      return "commit";
+    case TraceEventType::kDrop:
+      return "drop";
+    case TraceEventType::kInvalidate:
+      return "invalidate";
+    case TraceEventType::kReject:
+      return "reject";
+  }
+  return "?";
+}
+
+bool TraceEventTypeFromName(const std::string& name, TraceEventType* out) {
+  for (TraceEventType type :
+       {TraceEventType::kSubmit, TraceEventType::kEnqueue,
+        TraceEventType::kDispatch, TraceEventType::kPreempt,
+        TraceEventType::kRestart, TraceEventType::kCommit,
+        TraceEventType::kDrop, TraceEventType::kInvalidate,
+        TraceEventType::kReject}) {
+    if (ToString(type) == name) {
+      *out = type;
+      return true;
+    }
+  }
+  return false;
+}
+
+namespace {
+
+void AppendEventJson(const TraceEvent& event, std::string* out) {
+  char buffer[160];
+  std::snprintf(buffer, sizeof(buffer),
+                "{\"t\":%" PRId64 ",\"txn\":%" PRIu64
+                ",\"kind\":\"%s\",\"ev\":\"%s\",\"v\":%.6g}\n",
+                event.time, event.txn, event.is_update ? "update" : "query",
+                ToString(event.type).c_str(), event.detail);
+  *out += buffer;
+}
+
+// Extracts the raw token after `"key":` in a single-line JSON object of the
+// fixed schema above; quotes are stripped from string values. Returns false
+// when the key is absent.
+bool ExtractField(const std::string& line, const std::string& key,
+                  std::string* value) {
+  const std::string needle = "\"" + key + "\":";
+  const size_t pos = line.find(needle);
+  if (pos == std::string::npos) return false;
+  size_t begin = pos + needle.size();
+  if (begin >= line.size()) return false;
+  bool quoted = line[begin] == '"';
+  if (quoted) ++begin;
+  size_t end = begin;
+  while (end < line.size()) {
+    const char c = line[end];
+    if (quoted ? c == '"' : (c == ',' || c == '}')) break;
+    ++end;
+  }
+  if (quoted && (end >= line.size() || line[end] != '"')) return false;
+  *value = line.substr(begin, end - begin);
+  return true;
+}
+
+bool ParseEventLine(const std::string& line, TraceEvent* event) {
+  std::string t, txn, kind, ev, v;
+  if (!ExtractField(line, "t", &t) || !ExtractField(line, "txn", &txn) ||
+      !ExtractField(line, "kind", &kind) || !ExtractField(line, "ev", &ev) ||
+      !ExtractField(line, "v", &v)) {
+    return false;
+  }
+  if (kind != "query" && kind != "update") return false;
+  if (!TraceEventTypeFromName(ev, &event->type)) return false;
+  char* end = nullptr;
+  event->time = static_cast<SimTime>(std::strtoll(t.c_str(), &end, 10));
+  if (end == t.c_str() || *end != '\0') return false;
+  event->txn = std::strtoull(txn.c_str(), &end, 10);
+  if (end == txn.c_str() || *end != '\0') return false;
+  event->detail = std::strtod(v.c_str(), &end);
+  if (end == v.c_str() || *end != '\0') return false;
+  event->is_update = kind == "update";
+  return true;
+}
+
+}  // namespace
+
+void Tracer::WriteJsonl(std::ostream& out) const {
+  std::string buffer;
+  buffer.reserve(events_.size() * 64);
+  for (const TraceEvent& event : events_) AppendEventJson(event, &buffer);
+  out << buffer;
+}
+
+void Tracer::WriteCsv(std::ostream& out) const {
+  out << "time_us,txn,kind,event,value\n";
+  char buffer[160];
+  for (const TraceEvent& event : events_) {
+    std::snprintf(buffer, sizeof(buffer),
+                  "%" PRId64 ",%" PRIu64 ",%s,%s,%.6g\n", event.time,
+                  event.txn, event.is_update ? "update" : "query",
+                  ToString(event.type).c_str(), event.detail);
+    out << buffer;
+  }
+}
+
+bool Tracer::WriteJsonlFile(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out.is_open()) return false;
+  WriteJsonl(out);
+  return out.good();
+}
+
+bool Tracer::WriteCsvFile(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out.is_open()) return false;
+  WriteCsv(out);
+  return out.good();
+}
+
+bool ReadTraceEventsJsonl(std::istream& in, std::vector<TraceEvent>* out) {
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    TraceEvent event;
+    if (!ParseEventLine(line, &event)) return false;
+    out->push_back(event);
+  }
+  return true;
+}
+
+bool ReadTraceEventsJsonlFile(const std::string& path,
+                              std::vector<TraceEvent>* out) {
+  std::ifstream in(path);
+  if (!in.is_open()) return false;
+  return ReadTraceEventsJsonl(in, out);
+}
+
+}  // namespace webdb

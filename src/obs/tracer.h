@@ -1,0 +1,61 @@
+// Tracer: append-only recorder of per-transaction lifecycle events, with
+// JSONL and CSV exporters.
+//
+// The server holds a nullable Tracer* (ServerConfig::tracer); every hook is
+// guarded by a null/enabled check, so runs without tracing pay a single
+// predictable branch per lifecycle transition and allocate nothing.
+//
+// JSONL schema (one object per line, documented in DESIGN.md §6):
+//   {"t":<microseconds>,"txn":<id>,"kind":"query"|"update",
+//    "ev":"submit"|...,"v":<detail>}
+
+#ifndef WEBDB_OBS_TRACER_H_
+#define WEBDB_OBS_TRACER_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "obs/trace_event.h"
+
+namespace webdb {
+
+class Tracer {
+ public:
+  explicit Tracer(bool enabled = true) : enabled_(enabled) {}
+
+  bool enabled() const { return enabled_; }
+  void set_enabled(bool enabled) { enabled_ = enabled; }
+
+  void Record(SimTime time, uint64_t txn, bool is_update, TraceEventType type,
+              double detail = 0.0) {
+    if (!enabled_) return;
+    events_.push_back(TraceEvent{time, txn, is_update, type, detail});
+  }
+
+  const std::vector<TraceEvent>& events() const { return events_; }
+  size_t NumEvents() const { return events_.size(); }
+  void Clear() { events_.clear(); }
+
+  // --- exporters -----------------------------------------------------------
+  void WriteJsonl(std::ostream& out) const;
+  void WriteCsv(std::ostream& out) const;  // header + one row per event
+  // Convenience file variants; return false on IO errors.
+  bool WriteJsonlFile(const std::string& path) const;
+  bool WriteCsvFile(const std::string& path) const;
+
+ private:
+  bool enabled_;
+  std::vector<TraceEvent> events_;
+};
+
+// Parses events written by Tracer::WriteJsonl. Stops at the first malformed
+// line and returns false (events parsed so far are kept in `out`). Blank
+// lines are skipped.
+bool ReadTraceEventsJsonl(std::istream& in, std::vector<TraceEvent>* out);
+bool ReadTraceEventsJsonlFile(const std::string& path,
+                              std::vector<TraceEvent>* out);
+
+}  // namespace webdb
+
+#endif  // WEBDB_OBS_TRACER_H_

@@ -1,4 +1,14 @@
 #include "sched/scheduler.h"
 
-// Interface-only translation unit; keeps the header self-contained and gives
-// the vtable a home when compilers want one.
+#include "obs/metric_registry.h"
+
+namespace webdb {
+
+void Scheduler::ExportStats(MetricRegistry& registry) const {
+  registry.GetGauge("scheduler.queue.queries")
+      .Set(static_cast<double>(NumQueuedQueries()));
+  registry.GetGauge("scheduler.queue.updates")
+      .Set(static_cast<double>(NumQueuedUpdates()));
+}
+
+}  // namespace webdb

@@ -22,6 +22,8 @@
 
 namespace webdb {
 
+class MetricRegistry;
+
 class Scheduler {
  public:
   virtual ~Scheduler() = default;
@@ -64,6 +66,13 @@ class Scheduler {
   // invalidation). Implementations with lazy queues only need the epoch
   // bump; exposed virtually so stateful schedulers can adjust accounting.
   virtual void RemoveQueued(Transaction* txn, SimTime now) = 0;
+
+  // Publishes the scheduler's current state into `registry` under
+  // `scheduler.*` names. Idempotent (gauges, last-write-wins): the server
+  // calls it at every periodic snapshot and the experiment harness once at
+  // the end of a run. The default exports the generic queue depths; policies
+  // with internal state (QUTS) override and extend it.
+  virtual void ExportStats(MetricRegistry& registry) const;
 };
 
 }  // namespace webdb

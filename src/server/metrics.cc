@@ -5,8 +5,20 @@
 namespace webdb {
 
 ServerMetrics::ServerMetrics()
-    // 1 ms .. ~9.3 hours in 25 geometric buckets.
-    : response_time_hist(Histogram::Exponential(1.0, 2.0, 25)) {}
+    : queries_submitted(registry_.GetCounter("server.queries.submitted")),
+      queries_committed(registry_.GetCounter("server.queries.committed")),
+      queries_expired(registry_.GetCounter("server.queries.expired")),
+      queries_dropped(registry_.GetCounter("server.queries.dropped")),
+      queries_rejected(registry_.GetCounter("server.queries.rejected")),
+      query_restarts(registry_.GetCounter("txn.restarts.query")),
+      updates_submitted(registry_.GetCounter("server.updates.submitted")),
+      updates_applied(registry_.GetCounter("server.updates.applied")),
+      updates_invalidated(registry_.GetCounter("server.updates.invalidated")),
+      update_restarts(registry_.GetCounter("txn.restarts.update")),
+      preemptions(registry_.GetCounter("txn.preemptions")),
+      // 1 ms .. ~9.3 hours in 25 geometric buckets.
+      response_time_hist(registry_.GetHistogram(
+          "server.response_time_ms", Histogram::Exponential(1.0, 2.0, 25))) {}
 
 void ServerMetrics::OnQueryCommitted(SimDuration response_time,
                                      double staleness_value) {
@@ -18,15 +30,17 @@ void ServerMetrics::OnQueryCommitted(SimDuration response_time,
 
 std::string ServerMetrics::Summary() const {
   std::ostringstream out;
-  out << "queries: submitted=" << queries_submitted
-      << " committed=" << queries_committed << " expired=" << queries_expired
-      << " dropped=" << queries_dropped << " rejected=" << queries_rejected
-      << " restarts=" << query_restarts << '\n';
-  out << "updates: submitted=" << updates_submitted
-      << " applied=" << updates_applied
-      << " invalidated=" << updates_invalidated
-      << " restarts=" << update_restarts << '\n';
-  out << "preemptions=" << preemptions << '\n';
+  out << "queries: submitted=" << queries_submitted.value()
+      << " committed=" << queries_committed.value()
+      << " expired=" << queries_expired.value()
+      << " dropped=" << queries_dropped.value()
+      << " rejected=" << queries_rejected.value()
+      << " restarts=" << query_restarts.value() << '\n';
+  out << "updates: submitted=" << updates_submitted.value()
+      << " applied=" << updates_applied.value()
+      << " invalidated=" << updates_invalidated.value()
+      << " restarts=" << update_restarts.value() << '\n';
+  out << "preemptions=" << preemptions.value() << '\n';
   out << "avg response time = " << response_time_ms.mean() << " ms (p50 "
       << response_time_hist.Quantile(0.5) << ", p99 "
       << response_time_hist.Quantile(0.99) << ")\n";

@@ -1,6 +1,13 @@
 // Server-side performance counters and distributions: everything the
 // experiment harness reports that is not profit (profit lives in
 // qc/ProfitLedger).
+//
+// ServerMetrics is a thin view over an obs::MetricRegistry: every lifecycle
+// counter is a registry-owned metric with a stable `server.*` / `txn.*`
+// name, so the same numbers are reachable both through the familiar field
+// names below (`metrics.queries_committed`) and through registry snapshots
+// (`registry().Snap(now)`), alongside whatever the scheduler exports under
+// `scheduler.*`.
 
 #ifndef WEBDB_SERVER_METRICS_H_
 #define WEBDB_SERVER_METRICS_H_
@@ -9,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/metric_registry.h"
 #include "util/histogram.h"
 #include "util/stats.h"
 #include "util/time.h"
@@ -16,31 +24,41 @@
 namespace webdb {
 
 class ServerMetrics {
+  // Declared first: the counter references below bind into it.
+  MetricRegistry registry_;
+
  public:
   ServerMetrics();
+  ServerMetrics(const ServerMetrics&) = delete;
+  ServerMetrics& operator=(const ServerMetrics&) = delete;
 
-  // --- transaction lifecycle counters -------------------------------------
-  int64_t queries_submitted = 0;
-  int64_t queries_committed = 0;
+  // The registry backing every counter below; the server also feeds it
+  // periodic snapshots and scheduler exports.
+  MetricRegistry& registry() { return registry_; }
+  const MetricRegistry& registry() const { return registry_; }
+
+  // --- transaction lifecycle counters (registry-backed) --------------------
+  Counter& queries_submitted;  // server.queries.submitted
+  Counter& queries_committed;  // server.queries.committed
   // Committed, but after the lifetime deadline: earns zero profit.
-  int64_t queries_expired = 0;
+  Counter& queries_expired;  // server.queries.expired
   // Dropped from the queue at the lifetime deadline.
-  int64_t queries_dropped = 0;
+  Counter& queries_dropped;  // server.queries.dropped
   // Refused by admission control at submission time.
-  int64_t queries_rejected = 0;
-  int64_t query_restarts = 0;
+  Counter& queries_rejected;  // server.queries.rejected
+  Counter& query_restarts;    // txn.restarts.query
 
-  int64_t updates_submitted = 0;
-  int64_t updates_applied = 0;
-  int64_t updates_invalidated = 0;
-  int64_t update_restarts = 0;
+  Counter& updates_submitted;    // server.updates.submitted
+  Counter& updates_applied;      // server.updates.applied
+  Counter& updates_invalidated;  // server.updates.invalidated
+  Counter& update_restarts;      // txn.restarts.update
 
-  int64_t preemptions = 0;
+  Counter& preemptions;  // txn.preemptions
 
   // --- distributions over committed queries --------------------------------
   RunningStats response_time_ms;
   RunningStats staleness;  // in the configured metric's unit
-  Histogram response_time_hist;
+  Histogram& response_time_hist;  // server.response_time_ms (registry-owned)
   // Arrival -> applied lag of committed updates (the freshness pipeline).
   RunningStats update_latency_ms;
 

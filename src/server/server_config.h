@@ -6,6 +6,7 @@
 #define WEBDB_SERVER_SERVER_CONFIG_H_
 
 #include "db/staleness.h"
+#include "obs/tracer.h"
 #include "sched/admission.h"
 #include "util/time.h"
 
@@ -15,6 +16,12 @@ struct ServerConfig {
   // Optional admission controller consulted for every incoming query.
   // Not owned; must outlive the server. nullptr admits everything.
   AdmissionController* admission = nullptr;
+
+  // Optional lifecycle tracer fed one TraceEvent per transaction
+  // transition (submit / enqueue / dispatch / preempt / restart / commit /
+  // drop / invalidate / reject). Not owned; must outlive the server.
+  // nullptr (the default) keeps every hook a single branch.
+  Tracer* tracer = nullptr;
 
   StalenessMetric staleness_metric = StalenessMetric::kUnappliedUpdates;
   StalenessCombiner staleness_combiner = StalenessCombiner::kMax;
@@ -37,6 +44,12 @@ struct ServerConfig {
   // When positive, the server samples the scheduler's queue depths at this
   // period while work is in flight (ServerMetrics::queue_samples).
   SimDuration queue_sample_period = 0;
+
+  // When positive, the server records a full metric-registry snapshot
+  // (server.* / txn.* counters plus the scheduler's ExportStats) at this
+  // period while work is in flight (MetricRegistry::series). This is the
+  // time-series view of e.g. QUTS's rho against the queue depths.
+  SimDuration metric_snapshot_period = 0;
 
   // Fixed CPU cost charged every time a transaction is (re)dispatched onto
   // the CPU — context switch, cache refill, lock table work. Zero keeps the

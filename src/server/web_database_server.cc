@@ -72,6 +72,7 @@ Query* WebDatabaseServer::SubmitQuery(QueryType type,
   query.qc = std::move(qc);
 
   ++metrics_.queries_submitted;
+  Trace(query, TraceEventType::kSubmit);
   // Rejected queries still count against the submitted maximum: turning a
   // user away is not free profit-wise.
   ledger_.OnQuerySubmitted(query.qc, sim_->Now());
@@ -81,6 +82,7 @@ Query* WebDatabaseServer::SubmitQuery(QueryType type,
     if (!config_.admission->Admit(query, context)) {
       query.state = TxnState::kRejected;
       ++metrics_.queries_rejected;
+      Trace(query, TraceEventType::kReject);
       return &query;
     }
   }
@@ -97,6 +99,7 @@ Query* WebDatabaseServer::SubmitQuery(QueryType type,
   }
 
   sched_->OnQueryArrival(&query, sim_->Now());
+  Trace(query, TraceEventType::kEnqueue);
   OnSchedulingEvent();
   return &query;
 }
@@ -118,6 +121,7 @@ Update* WebDatabaseServer::SubmitUpdate(ItemId item, double value,
   update.item_arrival_seq = db_->RecordUpdateArrival(item, value, sim_->Now());
   update.fifo_rank = update.arrival;
   ++metrics_.updates_submitted;
+  Trace(update, TraceEventType::kSubmit);
 
   // Write-write handling (Section 2.1): the new arrival supersedes both a
   // pending (queued) update and an already-dispatched one on the same item —
@@ -138,6 +142,7 @@ Update* WebDatabaseServer::SubmitUpdate(ItemId item, double value,
   }
 
   sched_->OnUpdateArrival(&update, sim_->Now());
+  Trace(update, TraceEventType::kEnqueue);
   OnSchedulingEvent();
   return &update;
 }
@@ -156,6 +161,7 @@ void WebDatabaseServer::InvalidateUpdate(Update& update) {
   register_.Remove(update.item, update.id);
   update.state = TxnState::kInvalidated;
   ++metrics_.updates_invalidated;
+  Trace(update, TraceEventType::kInvalidate);
   db_->RecordInvalidation(update.item);
 }
 
@@ -180,6 +186,7 @@ void WebDatabaseServer::OnSchedulingEvent() {
   in_scheduling_event_ = false;
   ScheduleWake();
   MaybeStartSampling();
+  MaybeStartSnapshots();
 }
 
 void WebDatabaseServer::MaybeStartSampling() {
@@ -200,6 +207,25 @@ void WebDatabaseServer::SampleQueues() {
   }
 }
 
+void WebDatabaseServer::MaybeStartSnapshots() {
+  if (config_.metric_snapshot_period <= 0 || snapshots_active_) return;
+  if (!cpu_.busy() && !sched_->HasWork()) return;
+  snapshots_active_ = true;
+  sim_->ScheduleAfter(config_.metric_snapshot_period,
+                     [this] { SnapshotMetrics(); });
+}
+
+void WebDatabaseServer::SnapshotMetrics() {
+  sched_->ExportStats(metrics_.registry());
+  metrics_.registry().RecordSnapshot(sim_->Now());
+  if (cpu_.busy() || sched_->HasWork()) {
+    sim_->ScheduleAfter(config_.metric_snapshot_period,
+                       [this] { SnapshotMetrics(); });
+  } else {
+    snapshots_active_ = false;
+  }
+}
+
 bool WebDatabaseServer::IsQuiescent() const {
   return !cpu_.busy() && !sched_->HasWork() &&
          locks_.NumLockedItems() == 0 && register_.Size() == 0 &&
@@ -211,7 +237,9 @@ void WebDatabaseServer::PreemptRunning() {
   running->remaining = std::max<SimDuration>(1, cpu_.Preempt());
   running->state = TxnState::kQueued;  // preempt-resume: locks are retained
   ++metrics_.preemptions;
+  Trace(*running, TraceEventType::kPreempt, ToMillis(running->remaining));
   sched_->Requeue(running, sim_->Now());
+  Trace(*running, TraceEventType::kEnqueue);
 }
 
 void WebDatabaseServer::ResolveConflicts(Transaction* txn, LockMode mode,
@@ -230,6 +258,9 @@ void WebDatabaseServer::ResolveConflicts(Transaction* txn, LockMode mode,
 
 void WebDatabaseServer::Restart(Transaction* txn) {
   locks_.ReleaseAll(txn->id);
+  // CPU time already sunk into the discarded attempt (2PL-HP loser cost).
+  Trace(*txn, TraceEventType::kRestart,
+        ToMillis(txn->service_time - txn->remaining));
   txn->remaining = txn->service_time;
   ++txn->restarts;
   if (txn->kind == TxnKind::kQuery) {
@@ -244,6 +275,7 @@ void WebDatabaseServer::Restart(Transaction* txn) {
   }
   txn->state = TxnState::kQueued;
   sched_->Requeue(txn, sim_->Now());
+  Trace(*txn, TraceEventType::kEnqueue);
 }
 
 void WebDatabaseServer::Dispatch(Transaction* txn) {
@@ -266,6 +298,7 @@ void WebDatabaseServer::Dispatch(Transaction* txn) {
   }
   txn->state = TxnState::kRunning;
   txn->remaining = std::max<SimDuration>(1, txn->remaining);
+  Trace(*txn, TraceEventType::kDispatch);
   cpu_.Start(txn->id, txn->remaining + config_.dispatch_overhead,
              [this](TxnId id) { OnTxnComplete(id); });
 }
@@ -299,6 +332,7 @@ void WebDatabaseServer::CommitQuery(Query& query) {
   }
   ++metrics_.queries_committed;
   metrics_.OnQueryCommitted(query.ResponseTime(), query.staleness);
+  Trace(query, TraceEventType::kCommit, query.staleness);
   ledger_.OnQueryCommitted(query.profit, sim_->Now());
 }
 
@@ -310,6 +344,7 @@ void WebDatabaseServer::ApplyUpdate(Update& update) {
   active_updates_.erase(update.item);
   ++metrics_.updates_applied;
   metrics_.update_latency_ms.Add(ToMillis(update.ApplyLatency()));
+  Trace(update, TraceEventType::kCommit, ToMillis(update.ApplyLatency()));
 }
 
 void WebDatabaseServer::OnLifetimeDeadline(TxnId id) {
@@ -319,6 +354,7 @@ void WebDatabaseServer::OnLifetimeDeadline(TxnId id) {
   locks_.ReleaseAll(id);  // it may have been preempted while holding locks
   query.state = TxnState::kDropped;
   ++metrics_.queries_dropped;
+  Trace(query, TraceEventType::kDrop);
   OnSchedulingEvent();
 }
 

@@ -72,6 +72,9 @@ class WebDatabaseServer {
   // --- results ---------------------------------------------------------------
   const ProfitLedger& ledger() const { return ledger_; }
   const ServerMetrics& metrics() const { return metrics_; }
+  // The registry backing the metrics, mutable so callers can pull a final
+  // Scheduler::ExportStats into it and snapshot (see exp/experiment.cc).
+  MetricRegistry& metric_registry() { return metrics_.registry(); }
   const Database& database() const { return *db_; }
   const Scheduler& scheduler() const { return *sched_; }
   const ServerConfig& config() const { return config_; }
@@ -135,9 +138,21 @@ class WebDatabaseServer {
   SimTime wake_time_ = kSimTimeMax;
   bool in_scheduling_event_ = false;
   bool sampling_active_ = false;
+  bool snapshots_active_ = false;
 
   void MaybeStartSampling();
   void SampleQueues();
+  void MaybeStartSnapshots();
+  void SnapshotMetrics();
+
+  // Lifecycle tracing hook; a single branch when tracing is off.
+  void Trace(const Transaction& txn, TraceEventType type,
+             double detail = 0.0) {
+    if (config_.tracer != nullptr) {
+      config_.tracer->Record(sim_->Now(), txn.id,
+                             txn.kind == TxnKind::kUpdate, type, detail);
+    }
+  }
 };
 
 }  // namespace webdb

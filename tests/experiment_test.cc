@@ -13,8 +13,23 @@ TEST(SchedulerFactoryTest, NamesRoundTrip) {
        {SchedulerKind::kFifo, SchedulerKind::kUpdateHigh,
         SchedulerKind::kQueryHigh, SchedulerKind::kFifoUpdateHigh,
         SchedulerKind::kFifoQueryHigh, SchedulerKind::kQuts}) {
-    EXPECT_EQ(SchedulerKindFromName(ToString(kind)), kind);
+    ASSERT_TRUE(SchedulerKindFromName(ToString(kind)).has_value());
+    EXPECT_EQ(*SchedulerKindFromName(ToString(kind)), kind);
     EXPECT_NE(MakeScheduler(kind), nullptr);
+  }
+}
+
+TEST(SchedulerFactoryTest, UnknownNameIsNullopt) {
+  EXPECT_EQ(SchedulerKindFromName("no-such-policy"), std::nullopt);
+  EXPECT_EQ(SchedulerKindFromName(""), std::nullopt);
+  EXPECT_EQ(SchedulerKindFromName("FIFO"), std::nullopt);  // case-sensitive
+}
+
+TEST(SchedulerFactoryTest, ValidSchedulerNamesCoversEveryKind) {
+  const std::vector<std::string> names = ValidSchedulerNames();
+  ASSERT_EQ(names.size(), 6u);
+  for (const std::string& name : names) {
+    EXPECT_TRUE(SchedulerKindFromName(name).has_value()) << name;
   }
 }
 
@@ -29,7 +44,7 @@ TEST(ExperimentTest, FillsResultFields) {
   const Trace trace = GenerateStockTrace(StockTraceConfig::Small(21));
   auto scheduler = MakeScheduler(SchedulerKind::kQuts);
   ExperimentOptions options;
-  options.profile = BalancedProfile(QcShape::kStep);
+  options.qc = BalancedProfile(QcShape::kStep);
   const ExperimentResult result =
       RunExperiment(trace, scheduler.get(), options);
   EXPECT_EQ(result.scheduler, "QUTS");
@@ -41,11 +56,51 @@ TEST(ExperimentTest, FillsResultFields) {
   EXPECT_FALSE(result.rho_series.empty());
 }
 
+TEST(ExperimentTest, RegistrySnapshotMirrorsCountersAndRho) {
+  const Trace trace = GenerateStockTrace(StockTraceConfig::Small(21));
+  auto scheduler = MakeScheduler(SchedulerKind::kQuts);
+  ExperimentOptions options;
+  options.qc = BalancedProfile(QcShape::kStep);
+  const ExperimentResult result =
+      RunExperiment(trace, scheduler.get(), options);
+
+  const double* committed = result.registry.Find("server.queries.committed");
+  ASSERT_NE(committed, nullptr);
+  EXPECT_EQ(static_cast<int64_t>(*committed), result.queries_committed);
+  const double* applied = result.registry.Find("server.updates.applied");
+  ASSERT_NE(applied, nullptr);
+  EXPECT_EQ(static_cast<int64_t>(*applied), result.updates_applied);
+
+  // QUTS exposes its final rho, matching the recorded series.
+  const double* rho = result.registry.Find("scheduler.quts.rho");
+  ASSERT_NE(rho, nullptr);
+  ASSERT_FALSE(result.rho_series.empty());
+  EXPECT_DOUBLE_EQ(*rho, result.rho_series.back().second);
+}
+
+TEST(ExperimentTest, PeriodicRegistrySeriesTracksTheRun) {
+  const Trace trace = GenerateStockTrace(StockTraceConfig::Small(26));
+  auto scheduler = MakeScheduler(SchedulerKind::kQuts);
+  ExperimentOptions options;
+  options.qc = BalancedProfile(QcShape::kStep);
+  options.server.metric_snapshot_period = Seconds(1);
+  const ExperimentResult result =
+      RunExperiment(trace, scheduler.get(), options);
+  ASSERT_GT(result.registry_series.size(), 1u);
+  for (size_t i = 1; i < result.registry_series.size(); ++i) {
+    EXPECT_GT(result.registry_series[i].time,
+              result.registry_series[i - 1].time);
+  }
+  // Every periodic snapshot carries the scheduler's gauges.
+  EXPECT_NE(result.registry_series.front().Find("scheduler.quts.rho"),
+            nullptr);
+}
+
 TEST(ExperimentTest, NonQutsSchedulerHasNoRhoSeries) {
   const Trace trace = GenerateStockTrace(StockTraceConfig::Small(22));
   auto scheduler = MakeScheduler(SchedulerKind::kFifo);
   ExperimentOptions options;
-  options.profile = BalancedProfile(QcShape::kStep);
+  options.qc = BalancedProfile(QcShape::kStep);
   const ExperimentResult result =
       RunExperiment(trace, scheduler.get(), options);
   EXPECT_TRUE(result.rho_series.empty());
@@ -56,7 +111,7 @@ TEST(ExperimentTest, ZeroContractsModeEarnsNothing) {
   const Trace trace = GenerateStockTrace(StockTraceConfig::Small(23));
   auto scheduler = MakeScheduler(SchedulerKind::kFifo);
   ExperimentOptions options;
-  options.zero_contracts = true;
+  options.qc = ZeroContracts{};
   options.server.lifetime_factor = 0.0;
   const ExperimentResult result =
       RunExperiment(trace, scheduler.get(), options);
@@ -73,7 +128,7 @@ TEST(ExperimentTest, ScheduleModeUsesTimeVaryingProfiles) {
       trace.EndTime() + 1, 2, 5.0, QcShape::kStep);
   auto scheduler = MakeScheduler(SchedulerKind::kQuts);
   ExperimentOptions options;
-  options.schedule = &schedule;
+  options.qc = QcSchedule{&schedule};
   const ExperimentResult result =
       RunExperiment(trace, scheduler.get(), options);
   EXPECT_GT(result.total_pct, 0.0);
@@ -93,10 +148,11 @@ TEST(ExperimentTest, ScheduleModeUsesTimeVaryingProfiles) {
   EXPECT_GT(qos_tail, qod_tail);
 }
 
-TEST(ExperimentDeathTest, RequiresAQcSource) {
+TEST(ExperimentDeathTest, ScheduleSourceRequiresAGenerator) {
   const Trace trace = GenerateStockTrace(StockTraceConfig::Small(25));
   auto scheduler = MakeScheduler(SchedulerKind::kFifo);
-  ExperimentOptions options;  // no source configured
+  ExperimentOptions options;
+  options.qc = QcSchedule{};  // null generator
   EXPECT_DEATH(RunExperiment(trace, scheduler.get(), options), "");
 }
 

@@ -34,7 +34,7 @@ class RegressionTest : public ::testing::Test {
     auto scheduler = MakeScheduler(kind);
     ExperimentOptions options;
     options.qc_seed = 99;
-    options.profile = BalancedProfile(QcShape::kStep);
+    options.qc = BalancedProfile(QcShape::kStep);
     return RunExperiment(*trace_, scheduler.get(), options);
   }
 

@@ -29,7 +29,7 @@ ExperimentResult RunOnce(const Trace& trace, SchedulerKind kind,
   auto scheduler = MakeScheduler(kind);
   ExperimentOptions options;
   options.qc_seed = qc_seed;
-  options.profile = BalancedProfile(QcShape::kStep);
+  options.qc = BalancedProfile(QcShape::kStep);
   return RunExperiment(trace, scheduler.get(), options);
 }
 
@@ -101,7 +101,7 @@ TEST(SchedulerOrderingTest, QutsRhoStaysInTheFeasibleBand) {
   const Trace trace = LoadedTrace(5);
   auto scheduler = MakeScheduler(SchedulerKind::kQuts);
   ExperimentOptions options;
-  options.profile = BalancedProfile(QcShape::kStep);
+  options.qc = BalancedProfile(QcShape::kStep);
   const ExperimentResult result =
       RunExperiment(trace, scheduler.get(), options);
   ASSERT_FALSE(result.rho_series.empty());

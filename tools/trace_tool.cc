@@ -5,13 +5,20 @@
 //   trace_tool generate <base> [seed] [duration_s]   write <base>.*.csv
 //   trace_tool stats <base>                          Table-3 style summary
 //   trace_tool head <base> [n]                       first n records per stream
+//   trace_tool summarize-spans <trace.jsonl>         per-phase latency stats
+//                                                    from a lifecycle trace
+//                                                    (bench_micro --trace)
 //
 // Exit status: 0 on success, 1 on usage or IO errors.
 
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <utility>
+#include <vector>
 
+#include "obs/span_summary.h"
+#include "obs/tracer.h"
 #include "trace/stock_trace_generator.h"
 #include "trace/trace_io.h"
 #include "trace/trace_stats.h"
@@ -26,8 +33,21 @@ int Usage() {
                "usage:\n"
                "  trace_tool generate <base> [seed] [duration_s]\n"
                "  trace_tool stats <base>\n"
-               "  trace_tool head <base> [n]\n");
+               "  trace_tool head <base> [n]\n"
+               "  trace_tool summarize-spans <trace.jsonl>\n");
   return 1;
+}
+
+int SummarizeSpansCmd(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  std::vector<TraceEvent> events;
+  if (!ReadTraceEventsJsonlFile(argv[2], &events)) {
+    std::fprintf(stderr, "error: cannot parse trace '%s'\n", argv[2]);
+    return 1;
+  }
+  const SpanSummary summary = SummarizeSpans(std::move(events));
+  std::printf("%s", RenderSpanSummary(summary).c_str());
+  return 0;
 }
 
 int Generate(int argc, char** argv) {
@@ -98,5 +118,6 @@ int main(int argc, char** argv) {
   if (command == "generate") return Generate(argc, argv);
   if (command == "stats") return Stats(argc, argv);
   if (command == "head") return Head(argc, argv);
+  if (command == "summarize-spans") return SummarizeSpansCmd(argc, argv);
   return Usage();
 }
