@@ -26,8 +26,9 @@ void PrintAblation(const char* title,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace webdb;
+  const SweepConfig sweep = bench::BenchSweepConfig(argc, argv);
   const Trace& trace = bench::FullTrace();
   const Trace adapt = bench::AdaptabilityTrace();
 
@@ -35,27 +36,28 @@ int main() {
                      "design choices called out in DESIGN.md (A1-A3)");
 
   PrintAblation("A1: QC combination mode (balanced QCs)",
-                RunCombinationAblation(trace));
+                RunCombinationAblation(trace, 7, sweep));
   PrintAblation("A2: QUTS low-level query policy (balanced QCs)",
-                RunQueryPolicyAblation(trace));
+                RunQueryPolicyAblation(trace, 7, sweep));
   PrintAblation("A3: staleness metric / combiner (QUTS, balanced QCs)",
-                RunStalenessAblation(trace));
+                RunStalenessAblation(trace, 7, sweep));
   PrintAblation("A4: QUTS atom-side selection (QoD-heavy QCs, rho < 1)",
-                RunSlicingAblation(trace));
+                RunSlicingAblation(trace, 7, sweep));
   PrintAblation("A5: admission control (QUTS, balanced QCs)",
-                RunAdmissionAblation(trace));
+                RunAdmissionAblation(trace, 7, sweep));
   PrintAblation("A6: concurrency control (QUTS, balanced QCs)",
-                RunConcurrencyAblation(trace));
+                RunConcurrencyAblation(trace, 7, sweep));
   PrintAblation("A7: QUTS low-level update policy (QoD-heavy QCs)",
-                RunUpdatePolicyAblation(trace));
+                RunUpdatePolicyAblation(trace, 7, sweep));
 
   std::printf("--- alpha sensitivity (Section 5.2 setup) ---\n");
   AsciiTable alpha_table({"alpha", "total profit %"});
   for (const auto& [alpha, pct] :
-       RunAlphaSensitivity(adapt, {0.05, 0.1, 0.2, 0.5, 0.8, 1.0})) {
+       RunAlphaSensitivity(adapt, AlphaSensitivityGrid(), 7, sweep)) {
     alpha_table.AddRow(
         {AsciiTable::Num(alpha, 2), AsciiTable::Num(pct, 3)});
   }
   std::printf("%s", alpha_table.Render().c_str());
+  bench::PrintSweepSummary();
   return 0;
 }

@@ -6,14 +6,18 @@
 
 #include <cstdio>
 #include <memory>
+#include <utility>
+#include <vector>
 
 #include "bench_common.h"
 #include "core/quts_scheduler.h"
 #include "exp/cluster_experiment.h"
+#include "exp/sweep_runner.h"
 #include "util/table.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace webdb;
+  const SweepConfig sweep = bench::BenchSweepConfig(argc, argv);
   const Trace trace = bench::AdaptabilityTrace();
 
   bench::PrintHeader(
@@ -26,8 +30,9 @@ int main() {
     return std::make_unique<QutsScheduler>(QutsScheduler::Options{});
   };
 
-  AsciiTable table({"replicas", "routing", "total%", "avg rt (ms)",
-                    "avg staleness", "committed"});
+  // The (replicas x routing) grid is a sweep of independent cluster
+  // simulations; fan it out like the figure sweeps.
+  std::vector<ClusterConfig> grid;
   for (int replicas : {1, 2, 4}) {
     for (RoutingPolicy policy :
          {RoutingPolicy::kRoundRobin, RoutingPolicy::kLeastLoaded,
@@ -39,15 +44,26 @@ int main() {
       config.num_replicas = replicas;
       config.routing.policy = policy;
       config.server.dispatch_overhead = Micros(20);
-      const ClusterExperimentResult result = RunClusterExperiment(
-          trace, factory, config, BalancedProfile(QcShape::kStep));
-      table.AddRow({std::to_string(replicas), result.routing,
-                    AsciiTable::Num(result.total_pct, 3),
-                    AsciiTable::Num(result.avg_response_ms, 1),
-                    AsciiTable::Num(result.avg_staleness, 3),
-                    std::to_string(result.queries_committed)});
+      grid.push_back(config);
     }
   }
+  const std::vector<ClusterExperimentResult> results =
+      SweepRunner(sweep).Map(grid.size(), [&](size_t i) {
+        return RunClusterExperiment(trace, factory, grid[i],
+                                    BalancedProfile(QcShape::kStep));
+      });
+
+  AsciiTable table({"replicas", "routing", "total%", "avg rt (ms)",
+                    "avg staleness", "committed"});
+  for (size_t i = 0; i < grid.size(); ++i) {
+    const ClusterExperimentResult& result = results[i];
+    table.AddRow({std::to_string(grid[i].num_replicas), result.routing,
+                  AsciiTable::Num(result.total_pct, 3),
+                  AsciiTable::Num(result.avg_response_ms, 1),
+                  AsciiTable::Num(result.avg_staleness, 3),
+                  std::to_string(result.queries_committed)});
+  }
   std::printf("%s", table.Render().c_str());
+  bench::PrintSweepSummary();
   return 0;
 }

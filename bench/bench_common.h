@@ -1,8 +1,14 @@
 // Shared setup for the figure benches: one full-scale synthetic trace,
 // generated once per process (or scaled down via WEBDB_TRACE_SCALE for quick
-// runs), plus small printing helpers.
+// runs), the shared --jobs flag that fans sweeps out over a thread pool,
+// plus small printing helpers.
+//
+// Flags (every figure bench):
+//   --jobs N   run sweep points on N worker threads (N=0: one per core).
+//              Results are bit-identical for any N — see exp/sweep_runner.h.
 //
 // Environment knobs:
+//   WEBDB_JOBS=<n>            default for --jobs (flag wins)
 //   WEBDB_TRACE_SCALE=<0..1>  scale trace duration (default 1.0, full 30 min)
 //   WEBDB_TRACE_SEED=<n>      trace seed (default 2007)
 
@@ -11,14 +17,79 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
 
+#include "exp/sweep_runner.h"
+#include "obs/metric_registry.h"
 #include "trace/stock_trace_generator.h"
 #include "trace/trace.h"
 #include "util/time.h"
 
 namespace webdb {
 namespace bench {
+
+// Process-wide sink for the sweep.* throughput metrics. Only ever touched
+// from the main thread (SweepRunner records after its pool joins).
+inline MetricRegistry& BenchRegistry() {
+  static MetricRegistry* registry = new MetricRegistry();
+  return *registry;
+}
+
+// Parses --jobs N / --jobs=N (falling back to WEBDB_JOBS, then 1). Exits
+// with a usage message on a malformed flag so a typo can't silently run a
+// multi-hour sweep serially.
+inline int ParseJobs(int argc, char** argv) {
+  long jobs = 1;
+  if (const char* env = std::getenv("WEBDB_JOBS")) jobs = std::atol(env);
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    const char* value = nullptr;
+    if (std::strncmp(arg, "--jobs=", 7) == 0) {
+      value = arg + 7;
+    } else if (std::strcmp(arg, "--jobs") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "usage: %s [--jobs N]\n", argv[0]);
+        std::exit(2);
+      }
+      value = argv[++i];
+    } else {
+      std::fprintf(stderr, "%s: unknown argument '%s'\nusage: %s [--jobs N]\n",
+                   argv[0], arg, argv[0]);
+      std::exit(2);
+    }
+    char* end = nullptr;
+    jobs = std::strtol(value, &end, 10);
+    if (end == value || *end != '\0' || jobs < 0) {
+      std::fprintf(stderr, "%s: invalid --jobs value '%s'\n", argv[0], value);
+      std::exit(2);
+    }
+  }
+  return static_cast<int>(jobs);
+}
+
+// The sweep configuration every bench hands to the figure drivers: --jobs
+// fan-out plus the process-wide metric sink.
+inline SweepConfig BenchSweepConfig(int argc, char** argv) {
+  SweepConfig sweep;
+  sweep.jobs = ParseJobs(argc, argv);
+  sweep.registry = &BenchRegistry();
+  std::fprintf(stderr, "[bench] sweep jobs: %d\n", ResolveJobs(sweep.jobs));
+  return sweep;
+}
+
+// Prints the cumulative sweep.* metrics recorded by SweepRunner — the
+// wall-clock / points-per-second line the --jobs comparisons quote. Goes to
+// stderr so stdout stays byte-identical across --jobs values.
+inline void PrintSweepSummary() {
+  const MetricRegistry& registry = BenchRegistry();
+  if (!registry.Has("sweep.runs")) return;
+  const double runs = registry.Value("sweep.runs");
+  const double wall_us = registry.Value("sweep.wall_us");
+  std::fprintf(stderr, "[sweep] %.0f runs in %.2f s wall (%.2f points/s)\n",
+               runs, wall_us / 1e6,
+               wall_us > 0 ? runs * 1e6 / wall_us : 0.0);
+}
 
 inline double TraceScale() {
   const char* env = std::getenv("WEBDB_TRACE_SCALE");

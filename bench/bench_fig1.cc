@@ -11,13 +11,14 @@
 #include "exp/figures.h"
 #include "util/table.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace webdb;
+  const SweepConfig sweep = bench::BenchSweepConfig(argc, argv);
   bench::PrintHeader(
       "Figure 1: staleness vs response time under naive policies",
       "FIFO [322ms, 0.07uu]  FIFO-UH [11591ms, 0uu]  FIFO-QH [23ms, 0.26uu]");
 
-  const auto rows = RunFigure1(bench::FullTrace());
+  const auto rows = RunFigure1(bench::FullTrace(), sweep);
   AsciiTable table({"policy", "avg response time (ms)", "avg staleness (#uu)",
                     "peak queued queries", "peak queued updates"});
   for (const auto& row : rows) {
@@ -30,5 +31,6 @@ int main() {
   std::printf(
       "expected shape: fifo-uh has lowest staleness & worst response time;\n"
       "fifo-qh has lowest response time & worst staleness; fifo in between.\n");
+  bench::PrintSweepSummary();
   return 0;
 }

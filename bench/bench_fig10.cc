@@ -16,16 +16,16 @@
 #include "exp/report.h"
 #include "util/table.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace webdb;
+  const SweepConfig sweep = bench::BenchSweepConfig(argc, argv);
   const Trace trace = bench::AdaptabilityTrace();
 
   bench::PrintHeader("Figure 10a: sensitivity to adaptation period (omega)",
                      "overall performance varies very little for a wide "
                      "range of adaptation periods");
   const auto omega_points =
-      RunOmegaSensitivity(trace, {0.1, 0.2, 0.5, 1.0, 2.0, 5.0, 10.0, 50.0,
-                                  100.0});
+      RunOmegaSensitivity(trace, OmegaSensitivityGrid(), 7, sweep);
   AsciiTable omega_table({"omega (s)", "total profit %"});
   for (const auto& [omega, pct] : omega_points) {
     omega_table.AddRow(
@@ -36,8 +36,7 @@ int main() {
   bench::PrintHeader("Figure 10b: sensitivity to atom time (tau)",
                      "best performance around 10 ms, close to the maximum "
                      "query execution time (5-9 ms)");
-  const auto tau_points =
-      RunTauSensitivity(trace, {1.0, 5.0, 10.0, 50.0, 100.0, 500.0, 1000.0});
+  const auto tau_points = RunTauSensitivity(trace, TauSensitivityGrid(), 7, sweep);
   AsciiTable tau_table({"tau (ms)", "total profit %"});
   for (const auto& [tau, pct] : tau_points) {
     tau_table.AddRow({AsciiTable::Num(tau, 0), AsciiTable::Num(pct, 3)});
@@ -51,5 +50,6 @@ int main() {
     std::printf("[csv] wrote fig10a_omega.csv and fig10b_tau.csv to %s\n",
                 dir.c_str());
   }
+  bench::PrintSweepSummary();
   return 0;
 }

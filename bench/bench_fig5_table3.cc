@@ -3,6 +3,7 @@
 // skew across stocks (5c), and the Table 3 workload summary.
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <vector>
 
@@ -36,10 +37,20 @@ void PrintRateSeries(const char* title, const std::vector<int64_t>& per_s,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace webdb;
+  const int jobs = bench::ParseJobs(argc, argv);
   const Trace& trace = bench::FullTrace();
-  const TraceStats stats = ComputeTraceStats(trace);
+
+  // The characterization pass itself fans out over --jobs workers; the
+  // chunk merge is exact, so any jobs value prints identical tables.
+  const auto start = std::chrono::steady_clock::now();
+  const TraceStats stats = ComputeTraceStats(trace, jobs);
+  const auto wall_us = std::chrono::duration_cast<std::chrono::microseconds>(
+                           std::chrono::steady_clock::now() - start)
+                           .count();
+  std::fprintf(stderr, "[bench] trace stats in %.3f s (%d jobs)\n",
+               static_cast<double>(wall_us) / 1e6, ResolveJobs(jobs));
 
   bench::PrintHeader("Table 3: workload information",
                      "82,129 queries / 496,892 updates / 4,608 stocks / "

@@ -12,8 +12,9 @@
 #include "exp/figures.h"
 #include "util/table.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace webdb;
+  const SweepConfig sweep = bench::BenchSweepConfig(argc, argv);
   const Trace& trace = bench::FullTrace();
 
   for (const QcShape shape : {QcShape::kStep, QcShape::kLinear}) {
@@ -22,7 +23,7 @@ int main() {
             ": profit percentage, " + ToString(shape) + " QCs",
         "QUTS highest total; QH low QoD; UH low QoS; FIFO lowest total "
         "(max QOS% = QOD% = 0.5)");
-    const auto rows = RunFigure6(trace, shape);
+    const auto rows = RunFigure6(trace, shape, /*qc_seed=*/7, sweep);
     AsciiTable table({"policy", "QOS%", "QOD%", "total%"});
     for (const auto& row : rows) {
       table.AddRow({row.policy, AsciiTable::Num(row.qos_pct, 3),
@@ -31,5 +32,6 @@ int main() {
     }
     std::printf("%s", table.Render().c_str());
   }
+  bench::PrintSweepSummary();
   return 0;
 }

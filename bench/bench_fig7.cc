@@ -10,12 +10,14 @@
 #include "exp/figures.h"
 #include "util/table.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace webdb;
+  const SweepConfig sweep = bench::BenchSweepConfig(argc, argv);
   bench::PrintHeader("Figure 7: FIFO across QC sets (Table 4)",
                      "worst QoS% of all policies; decent QoD%; worst total");
 
-  const auto points = RunQcSweep(bench::FullTrace(), SchedulerKind::kFifo);
+  const auto points =
+      RunQcSweep(bench::FullTrace(), SchedulerKind::kFifo, /*qc_seed=*/7, sweep);
   AsciiTable table({"QODmax%", "QOS%", "QOD%", "total%", "QOSmax% (diag)"});
   for (const auto& p : points) {
     table.AddRow({AsciiTable::Num(p.qod_share_pct, 1),
@@ -24,5 +26,6 @@ int main() {
                   AsciiTable::Num(p.qos_max_pct, 3)});
   }
   std::printf("%s", table.Render().c_str());
+  bench::PrintSweepSummary();
   return 0;
 }

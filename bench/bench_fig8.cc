@@ -33,17 +33,18 @@ void PrintSweep(const char* name, const std::vector<webdb::SweepPoint>& points) 
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace webdb;
+  const SweepConfig sweep = bench::BenchSweepConfig(argc, argv);
   const Trace& trace = bench::FullTrace();
 
   bench::PrintHeader("Figure 8: UH / QH / QUTS across QC sets (Table 4)",
                      "QUTS up to 101.3% better than UH, up to 40.1% better "
                      "than QH, never worse than the best of the two");
 
-  const auto uh = RunQcSweep(trace, SchedulerKind::kUpdateHigh);
-  const auto qh = RunQcSweep(trace, SchedulerKind::kQueryHigh);
-  const auto quts = RunQcSweep(trace, SchedulerKind::kQuts);
+  const auto uh = RunQcSweep(trace, SchedulerKind::kUpdateHigh, 7, sweep);
+  const auto qh = RunQcSweep(trace, SchedulerKind::kQueryHigh, 7, sweep);
+  const auto quts = RunQcSweep(trace, SchedulerKind::kQuts, 7, sweep);
   PrintSweep("Figure 8a: Update High (UH)", uh);
   PrintSweep("Figure 8b: Query High (QH)", qh);
   PrintSweep("Figure 8c: QUTS", quts);
@@ -67,5 +68,6 @@ int main() {
                    {totals(uh), totals(qh), totals(quts)});
     std::printf("[csv] wrote fig8_totals.csv to %s\n", dir.c_str());
   }
+  bench::PrintSweepSummary();
   return 0;
 }

@@ -31,8 +31,9 @@ void PrintProfitSeries(const char* title, const std::vector<double>& gained,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace webdb;
+  const SweepConfig sweep = bench::BenchSweepConfig(argc, argv);
   const Trace trace = bench::AdaptabilityTrace();
 
   bench::PrintHeader(
@@ -80,11 +81,12 @@ int main() {
 
   std::printf("--- beyond the paper: all schedulers on this schedule ---\n");
   AsciiTable comparison({"policy", "QOS%", "QOD%", "total%"});
-  for (const auto& row : RunAdaptabilityComparison(trace)) {
+  for (const auto& row : RunAdaptabilityComparison(trace, 7, sweep)) {
     comparison.AddRow({row.variant, AsciiTable::Num(row.qos_pct, 3),
                        AsciiTable::Num(row.qod_pct, 3),
                        AsciiTable::Num(row.total_pct, 3)});
   }
   std::printf("%s", comparison.Render().c_str());
+  bench::PrintSweepSummary();
   return 0;
 }

@@ -12,8 +12,9 @@
 #include "exp/figures.h"
 #include "util/table.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace webdb;
+  const SweepConfig sweep = bench::BenchSweepConfig(argc, argv);
   // Full trace: the QoD cost of high ρ only materializes under the flash
   // crowds, which a short prefix can miss.
   const Trace& trace = bench::FullTrace();
@@ -25,8 +26,8 @@ int main() {
         "measured profit should peak at Eq. 4's rho* and fall on both "
         "sides; model is an approximation, shapes should agree");
     const QcProfile profile = Table4Profile(qod_share, QcShape::kStep);
-    const auto points = RunRhoModelValidation(
-        trace, {0.2, 0.4, 0.5, 0.6, 0.7, 0.85, 1.0}, profile);
+    const auto points =
+        RunRhoModelValidation(trace, RhoValidationGrid(), profile, 7, sweep);
 
     AsciiTable table({"rho", "measured total%", "modeled total%"});
     double best_measured_rho = 0.0, best_measured = -1.0;
@@ -44,5 +45,6 @@ int main() {
     std::printf("Eq. 4 rho* = %.3f; best measured rho = %.1f\n",
                 OptimalRho(qos_share, 1.0 - qos_share), best_measured_rho);
   }
+  bench::PrintSweepSummary();
   return 0;
 }

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "bench_common.h"
+#include "exp/figures.h"
 #include "exp/robustness.h"
 #include "util/table.h"
 
@@ -32,8 +33,9 @@ void PrintRows(const char* knob_name,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace webdb;
+  const SweepConfig sweep = bench::BenchSweepConfig(argc, argv);
   StockTraceConfig base = bench::BenchTraceConfig();
   // A 600 s run per point keeps the 8-point sweep affordable.
   base.duration = std::min<SimDuration>(base.duration, Seconds(600));
@@ -42,11 +44,14 @@ int main() {
       "Robustness: query/update popularity correlation (Fig. 5c knob)",
       "ranking stable; correlation feeds the staleness pressure");
   PrintRows("correlation",
-            RunCorrelationRobustness(base, {0.0, 0.1, 0.5, 1.0}));
+            RunCorrelationRobustness(base, CorrelationRobustnessGrid(), 7,
+                                     sweep));
 
   bench::PrintHeader(
       "Robustness: flash-crowd gain (Fig. 5a knob)",
       "ranking stable; deeper crowds punish fixed priorities");
-  PrintRows("spike gain", RunSpikeRobustness(base, {1.0, 3.0, 4.5, 6.0}));
+  PrintRows("spike gain",
+            RunSpikeRobustness(base, SpikeRobustnessGrid(), 7, sweep));
+  bench::PrintSweepSummary();
   return 0;
 }

@@ -25,16 +25,43 @@ ServerConfig QcServerConfig() {
   return config;
 }
 
-ExperimentResult RunWithProfile(const Trace& trace, SchedulerKind kind,
+// A RunExperiment point drawing contracts from `profile` — the common shape
+// of most figure sweeps.
+SweepRunner::Point ProfilePoint(const Trace& trace, SchedulerKind kind,
                                 const QcProfile& profile, uint64_t qc_seed,
                                 QutsScheduler::Options quts_options =
                                     QutsScheduler::Options()) {
-  std::unique_ptr<Scheduler> scheduler = MakeScheduler(kind, quts_options);
-  ExperimentOptions options;
-  options.server = QcServerConfig();
-  options.qc_seed = qc_seed;
-  options.qc = profile;
-  return RunExperiment(trace, scheduler.get(), options);
+  SweepRunner::Point point;
+  point.trace = &trace;
+  point.scheduler = kind;
+  point.quts = quts_options;
+  point.options.server = QcServerConfig();
+  point.options.qc_seed = qc_seed;
+  point.options.qc = profile;
+  return point;
+}
+
+// A point running QUTS under the Section 5.2 alternating-preference
+// schedule. `schedule` is shared read-only across the sweep and must
+// outlive it.
+SweepRunner::Point SchedulePoint(const Trace& trace,
+                                 const TimeVaryingQcGenerator& schedule,
+                                 SchedulerKind kind, uint64_t qc_seed,
+                                 QutsScheduler::Options quts_options =
+                                     QutsScheduler::Options()) {
+  SweepRunner::Point point;
+  point.trace = &trace;
+  point.scheduler = kind;
+  point.quts = quts_options;
+  point.options.server = QcServerConfig();
+  point.options.qc_seed = qc_seed;
+  point.options.qc = QcSchedule{&schedule};
+  return point;
+}
+
+TimeVaryingQcGenerator Section52Schedule(const Trace& trace) {
+  return TimeVaryingQcGenerator::AlternatingPreference(trace.EndTime() + 1, 4,
+                                                       5.0, QcShape::kStep);
 }
 
 std::vector<double> Smooth(const std::vector<double>& v, size_t w) {
@@ -55,54 +82,101 @@ std::vector<double> Sum(const std::vector<double>& a,
 
 }  // namespace
 
-std::vector<TradeoffRow> RunFigure1(const Trace& trace) {
-  std::vector<TradeoffRow> rows;
-  for (SchedulerKind kind :
-       {SchedulerKind::kFifo, SchedulerKind::kFifoUpdateHigh,
-        SchedulerKind::kFifoQueryHigh}) {
-    std::unique_ptr<Scheduler> scheduler = MakeScheduler(kind);
-    ExperimentOptions options;
-    options.qc = ZeroContracts{};
+std::vector<double> Table4QodShares() {
+  std::vector<double> shares;
+  for (int i = 1; i <= 9; ++i) shares.push_back(static_cast<double>(i) / 10.0);
+  return shares;
+}
+
+std::vector<double> OmegaSensitivityGrid() {
+  return {0.1, 0.2, 0.5, 1.0, 2.0, 5.0, 10.0, 50.0, 100.0};
+}
+
+std::vector<double> TauSensitivityGrid() {
+  return {1.0, 5.0, 10.0, 50.0, 100.0, 500.0, 1000.0};
+}
+
+std::vector<double> AlphaSensitivityGrid() {
+  return {0.05, 0.1, 0.2, 0.5, 0.8, 1.0};
+}
+
+std::vector<double> RhoValidationGrid() {
+  return {0.2, 0.4, 0.5, 0.6, 0.7, 0.85, 1.0};
+}
+
+std::vector<double> CorrelationRobustnessGrid() { return {0.0, 0.1, 0.5, 1.0}; }
+
+std::vector<double> SpikeRobustnessGrid() { return {1.0, 3.0, 4.5, 6.0}; }
+
+std::vector<TradeoffRow> RunFigure1(const Trace& trace,
+                                    const SweepConfig& sweep) {
+  const std::vector<SchedulerKind> kinds = {SchedulerKind::kFifo,
+                                            SchedulerKind::kFifoUpdateHigh,
+                                            SchedulerKind::kFifoQueryHigh};
+  std::vector<SweepRunner::Point> points;
+  for (SchedulerKind kind : kinds) {
+    SweepRunner::Point point;
+    point.trace = &trace;
+    point.scheduler = kind;
+    point.options.qc = ZeroContracts{};
     // The naive Figure 1 policies predate QCs: no lifetime drops, #uu
     // staleness, every query runs to completion.
-    options.server.lifetime_factor = 0.0;
-    options.server.queue_sample_period = Seconds(1);
-    const ExperimentResult result =
-        RunExperiment(trace, scheduler.get(), options);
+    point.options.server.lifetime_factor = 0.0;
+    point.options.server.queue_sample_period = Seconds(1);
+    points.push_back(point);
+  }
+  const std::vector<ExperimentResult> results =
+      SweepRunner(sweep).RunPoints(points);
+  std::vector<TradeoffRow> rows;
+  for (size_t i = 0; i < results.size(); ++i) {
     TradeoffRow row;
-    row.policy = ToString(kind);
-    row.avg_response_ms = result.avg_response_ms;
-    row.avg_staleness_uu = result.avg_staleness;
-    row.peak_queued_queries = result.peak_queued_queries;
-    row.peak_queued_updates = result.peak_queued_updates;
+    row.policy = ToString(kinds[i]);
+    row.avg_response_ms = results[i].avg_response_ms;
+    row.avg_staleness_uu = results[i].avg_staleness;
+    row.peak_queued_queries = results[i].peak_queued_queries;
+    row.peak_queued_updates = results[i].peak_queued_updates;
     rows.push_back(row);
   }
   return rows;
 }
 
 std::vector<ProfitBarRow> RunFigure6(const Trace& trace, QcShape shape,
-                                     uint64_t qc_seed) {
+                                     uint64_t qc_seed,
+                                     const SweepConfig& sweep) {
+  const std::vector<SchedulerKind> kinds = PaperSchedulers();
+  std::vector<SweepRunner::Point> points;
+  for (SchedulerKind kind : kinds) {
+    points.push_back(
+        ProfilePoint(trace, kind, BalancedProfile(shape), qc_seed));
+  }
+  const std::vector<ExperimentResult> results =
+      SweepRunner(sweep).RunPoints(points);
   std::vector<ProfitBarRow> rows;
-  for (SchedulerKind kind : PaperSchedulers()) {
-    const ExperimentResult result =
-        RunWithProfile(trace, kind, BalancedProfile(shape), qc_seed);
-    rows.push_back(
-        ProfitBarRow{ToString(kind), result.qos_pct, result.qod_pct});
+  for (size_t i = 0; i < results.size(); ++i) {
+    rows.push_back(ProfitBarRow{ToString(kinds[i]), results[i].qos_pct,
+                                results[i].qod_pct});
   }
   return rows;
 }
 
 std::vector<SweepPoint> RunQcSweep(const Trace& trace, SchedulerKind kind,
-                                   uint64_t qc_seed) {
-  std::vector<SweepPoint> points;
-  for (int i = 1; i <= 9; ++i) {
-    const double qod_share = static_cast<double>(i) / 10.0;
-    const ExperimentResult result = RunWithProfile(
-        trace, kind, Table4Profile(qod_share, QcShape::kStep), qc_seed);
-    points.push_back(SweepPoint{qod_share, result.qos_pct, result.qod_pct,
-                                result.total_pct, result.qos_max_pct});
+                                   uint64_t qc_seed,
+                                   const SweepConfig& sweep) {
+  const std::vector<double> shares = Table4QodShares();
+  std::vector<SweepRunner::Point> points;
+  for (double qod_share : shares) {
+    points.push_back(ProfilePoint(
+        trace, kind, Table4Profile(qod_share, QcShape::kStep), qc_seed));
   }
-  return points;
+  const std::vector<ExperimentResult> results =
+      SweepRunner(sweep).RunPoints(points);
+  std::vector<SweepPoint> out;
+  for (size_t i = 0; i < results.size(); ++i) {
+    out.push_back(SweepPoint{shares[i], results[i].qos_pct,
+                             results[i].qod_pct, results[i].total_pct,
+                             results[i].qos_max_pct});
+  }
+  return out;
 }
 
 ImprovementSummary SummarizeImprovement(const std::vector<SweepPoint>& uh,
@@ -164,87 +238,98 @@ AdaptabilityResult RunFigure9(const Trace& trace, int intervals, double ratio,
   return out;
 }
 
-namespace {
-
-double RunQutsOnSchedule(const Trace& trace,
-                         const QutsScheduler::Options& quts_options,
-                         uint64_t qc_seed) {
-  const SimDuration duration = trace.EndTime() + 1;
-  const TimeVaryingQcGenerator schedule =
-      TimeVaryingQcGenerator::AlternatingPreference(duration, 4, 5.0,
-                                                    QcShape::kStep);
-  std::unique_ptr<Scheduler> scheduler =
-      MakeScheduler(SchedulerKind::kQuts, quts_options);
-  ExperimentOptions options;
-  options.server = QcServerConfig();
-  options.qc_seed = qc_seed;
-  options.qc = QcSchedule{&schedule};
-  return RunExperiment(trace, scheduler.get(), options).total_pct;
-}
-
-}  // namespace
-
 std::vector<std::pair<double, double>> RunOmegaSensitivity(
-    const Trace& trace, const std::vector<double>& omegas_s,
-    uint64_t qc_seed) {
-  std::vector<std::pair<double, double>> out;
+    const Trace& trace, const std::vector<double>& omegas_s, uint64_t qc_seed,
+    const SweepConfig& sweep) {
+  const TimeVaryingQcGenerator schedule = Section52Schedule(trace);
+  std::vector<SweepRunner::Point> points;
   for (double omega_s : omegas_s) {
     QutsScheduler::Options quts_options;
     quts_options.adaptation_period = SecondsF(omega_s);
-    out.emplace_back(omega_s, RunQutsOnSchedule(trace, quts_options, qc_seed));
+    points.push_back(SchedulePoint(trace, schedule, SchedulerKind::kQuts,
+                                   qc_seed, quts_options));
+  }
+  const std::vector<ExperimentResult> results =
+      SweepRunner(sweep).RunPoints(points);
+  std::vector<std::pair<double, double>> out;
+  for (size_t i = 0; i < results.size(); ++i) {
+    out.emplace_back(omegas_s[i], results[i].total_pct);
   }
   return out;
 }
 
 std::vector<std::pair<double, double>> RunTauSensitivity(
-    const Trace& trace, const std::vector<double>& taus_ms,
-    uint64_t qc_seed) {
-  std::vector<std::pair<double, double>> out;
+    const Trace& trace, const std::vector<double>& taus_ms, uint64_t qc_seed,
+    const SweepConfig& sweep) {
+  const TimeVaryingQcGenerator schedule = Section52Schedule(trace);
+  std::vector<SweepRunner::Point> points;
   for (double tau_ms : taus_ms) {
     QutsScheduler::Options quts_options;
     quts_options.atom_time = static_cast<SimDuration>(tau_ms * 1000.0);
-    out.emplace_back(tau_ms, RunQutsOnSchedule(trace, quts_options, qc_seed));
+    points.push_back(SchedulePoint(trace, schedule, SchedulerKind::kQuts,
+                                   qc_seed, quts_options));
+  }
+  const std::vector<ExperimentResult> results =
+      SweepRunner(sweep).RunPoints(points);
+  std::vector<std::pair<double, double>> out;
+  for (size_t i = 0; i < results.size(); ++i) {
+    out.emplace_back(taus_ms[i], results[i].total_pct);
   }
   return out;
 }
 
 std::vector<AblationRow> RunCombinationAblation(const Trace& trace,
-                                                uint64_t qc_seed) {
-  std::vector<AblationRow> rows;
+                                                uint64_t qc_seed,
+                                                const SweepConfig& sweep) {
+  std::vector<SweepRunner::Point> points;
+  std::vector<std::string> names;
   for (SchedulerKind kind : {SchedulerKind::kQuts, SchedulerKind::kQueryHigh}) {
     for (QcCombination combination :
          {QcCombination::kQosIndependent, QcCombination::kQosDependent}) {
       QcProfile profile = BalancedProfile(QcShape::kStep);
       profile.combination = combination;
-      const ExperimentResult result =
-          RunWithProfile(trace, kind, profile, qc_seed);
-      rows.push_back(AblationRow{
-          ToString(kind) + "/" + ToString(combination), result.qos_pct,
-          result.qod_pct, result.total_pct});
+      points.push_back(ProfilePoint(trace, kind, profile, qc_seed));
+      names.push_back(ToString(kind) + "/" + ToString(combination));
     }
+  }
+  const std::vector<ExperimentResult> results =
+      SweepRunner(sweep).RunPoints(points);
+  std::vector<AblationRow> rows;
+  for (size_t i = 0; i < results.size(); ++i) {
+    rows.push_back(AblationRow{names[i], results[i].qos_pct,
+                               results[i].qod_pct, results[i].total_pct});
   }
   return rows;
 }
 
 std::vector<AblationRow> RunQueryPolicyAblation(const Trace& trace,
-                                                uint64_t qc_seed) {
-  std::vector<AblationRow> rows;
+                                                uint64_t qc_seed,
+                                                const SweepConfig& sweep) {
+  std::vector<SweepRunner::Point> points;
+  std::vector<std::string> names;
   for (QueryPolicy policy :
        {QueryPolicy::kVrd, QueryPolicy::kFifo, QueryPolicy::kEdf,
         QueryPolicy::kProfitDensity}) {
     QutsScheduler::Options quts_options;
     quts_options.query_policy = policy;
-    const ExperimentResult result =
-        RunWithProfile(trace, SchedulerKind::kQuts,
-                       BalancedProfile(QcShape::kStep), qc_seed, quts_options);
-    rows.push_back(AblationRow{"quts/" + ToString(policy), result.qos_pct,
-                               result.qod_pct, result.total_pct});
+    points.push_back(ProfilePoint(trace, SchedulerKind::kQuts,
+                                  BalancedProfile(QcShape::kStep), qc_seed,
+                                  quts_options));
+    names.push_back("quts/" + ToString(policy));
+  }
+  const std::vector<ExperimentResult> results =
+      SweepRunner(sweep).RunPoints(points);
+  std::vector<AblationRow> rows;
+  for (size_t i = 0; i < results.size(); ++i) {
+    rows.push_back(AblationRow{names[i], results[i].qos_pct,
+                               results[i].qod_pct, results[i].total_pct});
   }
   return rows;
 }
 
 std::vector<AblationRow> RunStalenessAblation(const Trace& trace,
-                                              uint64_t qc_seed) {
+                                              uint64_t qc_seed,
+                                              const SweepConfig& sweep) {
   struct Variant {
     StalenessMetric metric;
     StalenessCombiner combiner;
@@ -259,64 +344,88 @@ std::vector<AblationRow> RunStalenessAblation(const Trace& trace,
       {StalenessMetric::kUnappliedArrivals, StalenessCombiner::kMax, 3.0},
       {StalenessMetric::kTimeDifferential, StalenessCombiner::kMax, 500.0},
   };
-  std::vector<AblationRow> rows;
+  std::vector<SweepRunner::Point> points;
+  std::vector<std::string> names;
   for (const Variant& variant : variants) {
-    std::unique_ptr<Scheduler> scheduler =
-        MakeScheduler(SchedulerKind::kQuts);
-    ExperimentOptions options;
-    options.server = QcServerConfig();
-    options.server.staleness_metric = variant.metric;
-    options.server.staleness_combiner = variant.combiner;
-    options.qc_seed = qc_seed;
+    SweepRunner::Point point;
+    point.trace = &trace;
+    point.scheduler = SchedulerKind::kQuts;
+    point.options.server = QcServerConfig();
+    point.options.server.staleness_metric = variant.metric;
+    point.options.server.staleness_combiner = variant.combiner;
+    point.options.qc_seed = qc_seed;
     QcProfile profile = BalancedProfile(QcShape::kStep);
     profile.uu_max = variant.uu_max;
-    options.qc = profile;
-    const ExperimentResult result =
-        RunExperiment(trace, scheduler.get(), options);
-    rows.push_back(AblationRow{
-        ToString(variant.metric) + "/" + ToString(variant.combiner),
-        result.qos_pct, result.qod_pct, result.total_pct});
+    point.options.qc = profile;
+    points.push_back(point);
+    names.push_back(ToString(variant.metric) + "/" +
+                    ToString(variant.combiner));
+  }
+  const std::vector<ExperimentResult> results =
+      SweepRunner(sweep).RunPoints(points);
+  std::vector<AblationRow> rows;
+  for (size_t i = 0; i < results.size(); ++i) {
+    rows.push_back(AblationRow{names[i], results[i].qos_pct,
+                               results[i].qod_pct, results[i].total_pct});
   }
   return rows;
 }
 
 std::vector<std::pair<double, double>> RunAlphaSensitivity(
-    const Trace& trace, const std::vector<double>& alphas, uint64_t qc_seed) {
-  std::vector<std::pair<double, double>> out;
+    const Trace& trace, const std::vector<double>& alphas, uint64_t qc_seed,
+    const SweepConfig& sweep) {
+  const TimeVaryingQcGenerator schedule = Section52Schedule(trace);
+  std::vector<SweepRunner::Point> points;
   for (double alpha : alphas) {
     QutsScheduler::Options quts_options;
     quts_options.alpha = alpha;
-    out.emplace_back(alpha, RunQutsOnSchedule(trace, quts_options, qc_seed));
+    points.push_back(SchedulePoint(trace, schedule, SchedulerKind::kQuts,
+                                   qc_seed, quts_options));
+  }
+  const std::vector<ExperimentResult> results =
+      SweepRunner(sweep).RunPoints(points);
+  std::vector<std::pair<double, double>> out;
+  for (size_t i = 0; i < results.size(); ++i) {
+    out.emplace_back(alphas[i], results[i].total_pct);
   }
   return out;
 }
 
 std::vector<AblationRow> RunSlicingAblation(const Trace& trace,
-                                            uint64_t qc_seed) {
-  std::vector<AblationRow> rows;
+                                            uint64_t qc_seed,
+                                            const SweepConfig& sweep) {
+  std::vector<SweepRunner::Point> points;
+  std::vector<std::string> names;
   for (QutsSlicing slicing :
        {QutsSlicing::kRandom, QutsSlicing::kDeterministic}) {
     QutsScheduler::Options quts_options;
     quts_options.slicing = slicing;
     // The QoD-heavy Table 4 point keeps rho well below 1, so the slicing
     // scheme actually matters.
-    const ExperimentResult result =
-        RunWithProfile(trace, SchedulerKind::kQuts, Table4Profile(0.8),
-                       qc_seed, quts_options);
-    rows.push_back(AblationRow{
-        slicing == QutsSlicing::kRandom ? "quts/random" : "quts/deterministic",
-        result.qos_pct, result.qod_pct, result.total_pct});
+    points.push_back(ProfilePoint(trace, SchedulerKind::kQuts,
+                                  Table4Profile(0.8), qc_seed, quts_options));
+    names.push_back(slicing == QutsSlicing::kRandom ? "quts/random"
+                                                    : "quts/deterministic");
+  }
+  const std::vector<ExperimentResult> results =
+      SweepRunner(sweep).RunPoints(points);
+  std::vector<AblationRow> rows;
+  for (size_t i = 0; i < results.size(); ++i) {
+    rows.push_back(AblationRow{names[i], results[i].qos_pct,
+                               results[i].qod_pct, results[i].total_pct});
   }
   return rows;
 }
 
 std::vector<AblationRow> RunAdmissionAblation(const Trace& trace,
-                                              uint64_t qc_seed) {
-  std::vector<AblationRow> rows;
+                                              uint64_t qc_seed,
+                                              const SweepConfig& sweep) {
   struct Variant {
     std::string name;
     std::unique_ptr<AdmissionController> controller;  // null = admit all
   };
+  // Controllers are stateful (rejection counters), so each one belongs to
+  // exactly one point; the vector outlives the sweep.
   std::vector<Variant> variants;
   variants.push_back(Variant{"admit-all", nullptr});
   variants.push_back(Variant{"queue-cap(64)",
@@ -324,29 +433,38 @@ std::vector<AblationRow> RunAdmissionAblation(const Trace& trace,
   variants.push_back(
       Variant{"expected-profit",
               std::make_unique<ExpectedProfitAdmission>(Millis(7), 1.0)});
+  std::vector<SweepRunner::Point> points;
   for (Variant& variant : variants) {
-    std::unique_ptr<Scheduler> scheduler = MakeScheduler(SchedulerKind::kQuts);
-    ExperimentOptions options;
-    options.server = QcServerConfig();
-    options.server.admission = variant.controller.get();
-    options.qc_seed = qc_seed;
-    options.qc = BalancedProfile(QcShape::kStep);
-    const ExperimentResult result =
-        RunExperiment(trace, scheduler.get(), options);
-    rows.push_back(AblationRow{variant.name, result.qos_pct, result.qod_pct,
-                               result.total_pct});
+    SweepRunner::Point point;
+    point.trace = &trace;
+    point.scheduler = SchedulerKind::kQuts;
+    point.options.server = QcServerConfig();
+    point.options.server.admission = variant.controller.get();
+    point.options.qc_seed = qc_seed;
+    point.options.qc = BalancedProfile(QcShape::kStep);
+    points.push_back(point);
+  }
+  const std::vector<ExperimentResult> results =
+      SweepRunner(sweep).RunPoints(points);
+  std::vector<AblationRow> rows;
+  for (size_t i = 0; i < results.size(); ++i) {
+    rows.push_back(AblationRow{variants[i].name, results[i].qos_pct,
+                               results[i].qod_pct, results[i].total_pct});
   }
   return rows;
 }
 
 std::vector<AblationRow> RunUpdatePolicyAblation(const Trace& trace,
-                                                 uint64_t qc_seed) {
-  // Demand weights: how often each item is queried in this trace.
+                                                 uint64_t qc_seed,
+                                                 const SweepConfig& sweep) {
+  // Demand weights: how often each item is queried in this trace. Shared
+  // read-only by the runs that use them.
   std::vector<double> weights(static_cast<size_t>(trace.num_items), 0.0);
   for (const QueryRecord& q : trace.queries) {
     for (ItemId item : q.items) weights[static_cast<size_t>(item)] += 1.0;
   }
-  std::vector<AblationRow> rows;
+  std::vector<SweepRunner::Point> points;
+  std::vector<std::string> names;
   for (UpdatePolicy policy :
        {UpdatePolicy::kFifo, UpdatePolicy::kDemandWeighted}) {
     QutsScheduler::Options quts_options;
@@ -354,71 +472,87 @@ std::vector<AblationRow> RunUpdatePolicyAblation(const Trace& trace,
     if (policy == UpdatePolicy::kDemandWeighted) {
       quts_options.item_weights = &weights;
     }
-    const ExperimentResult result =
-        RunWithProfile(trace, SchedulerKind::kQuts,
-                       Table4Profile(0.8), qc_seed, quts_options);
-    rows.push_back(AblationRow{"quts/" + ToString(policy), result.qos_pct,
-                               result.qod_pct, result.total_pct});
+    points.push_back(ProfilePoint(trace, SchedulerKind::kQuts,
+                                  Table4Profile(0.8), qc_seed, quts_options));
+    names.push_back("quts/" + ToString(policy));
+  }
+  const std::vector<ExperimentResult> results =
+      SweepRunner(sweep).RunPoints(points);
+  std::vector<AblationRow> rows;
+  for (size_t i = 0; i < results.size(); ++i) {
+    rows.push_back(AblationRow{names[i], results[i].qos_pct,
+                               results[i].qod_pct, results[i].total_pct});
   }
   return rows;
 }
 
 std::vector<AblationRow> RunAdaptabilityComparison(const Trace& trace,
-                                                   uint64_t qc_seed) {
-  const SimDuration duration = trace.EndTime() + 1;
-  const TimeVaryingQcGenerator schedule =
-      TimeVaryingQcGenerator::AlternatingPreference(duration, 4, 5.0,
-                                                    QcShape::kStep);
+                                                   uint64_t qc_seed,
+                                                   const SweepConfig& sweep) {
+  const TimeVaryingQcGenerator schedule = Section52Schedule(trace);
+  const std::vector<SchedulerKind> kinds = PaperSchedulers();
+  std::vector<SweepRunner::Point> points;
+  for (SchedulerKind kind : kinds) {
+    points.push_back(SchedulePoint(trace, schedule, kind, qc_seed));
+  }
+  const std::vector<ExperimentResult> results =
+      SweepRunner(sweep).RunPoints(points);
   std::vector<AblationRow> rows;
-  for (SchedulerKind kind : PaperSchedulers()) {
-    std::unique_ptr<Scheduler> scheduler = MakeScheduler(kind);
-    ExperimentOptions options;
-    options.server = QcServerConfig();
-    options.qc_seed = qc_seed;
-    options.qc = QcSchedule{&schedule};
-    const ExperimentResult result =
-        RunExperiment(trace, scheduler.get(), options);
-    rows.push_back(AblationRow{ToString(kind), result.qos_pct,
-                               result.qod_pct, result.total_pct});
+  for (size_t i = 0; i < results.size(); ++i) {
+    rows.push_back(AblationRow{ToString(kinds[i]), results[i].qos_pct,
+                               results[i].qod_pct, results[i].total_pct});
   }
   return rows;
 }
 
 std::vector<RhoModelPoint> RunRhoModelValidation(
     const Trace& trace, const std::vector<double>& rhos,
-    const QcProfile& profile, uint64_t qc_seed) {
+    const QcProfile& profile, uint64_t qc_seed, const SweepConfig& sweep) {
   const double qos_share = profile.ExpectedQosSharePct();
-  std::vector<RhoModelPoint> points;
+  std::vector<SweepRunner::Point> points;
   for (double rho : rhos) {
     QutsScheduler::Options quts_options;
     quts_options.freeze_rho = true;
     quts_options.initial_rho = rho;
-    const ExperimentResult result = RunWithProfile(
-        trace, SchedulerKind::kQuts, profile, qc_seed, quts_options);
-    RhoModelPoint point;
-    point.rho = rho;
-    point.measured_total_pct = result.total_pct;
-    point.modeled_total_pct =
-        ModeledTotalProfit(qos_share, 1.0 - qos_share, rho);
-    points.push_back(point);
+    points.push_back(ProfilePoint(trace, SchedulerKind::kQuts, profile,
+                                  qc_seed, quts_options));
   }
-  return points;
+  const std::vector<ExperimentResult> results =
+      SweepRunner(sweep).RunPoints(points);
+  std::vector<RhoModelPoint> out;
+  for (size_t i = 0; i < results.size(); ++i) {
+    RhoModelPoint point;
+    point.rho = rhos[i];
+    point.measured_total_pct = results[i].total_pct;
+    point.modeled_total_pct =
+        ModeledTotalProfit(qos_share, 1.0 - qos_share, rhos[i]);
+    out.push_back(point);
+  }
+  return out;
 }
 
 std::vector<AblationRow> RunConcurrencyAblation(const Trace& trace,
-                                                uint64_t qc_seed) {
-  std::vector<AblationRow> rows;
+                                                uint64_t qc_seed,
+                                                const SweepConfig& sweep) {
+  std::vector<SweepRunner::Point> points;
+  std::vector<std::string> names;
   for (bool enable : {true, false}) {
-    std::unique_ptr<Scheduler> scheduler = MakeScheduler(SchedulerKind::kQuts);
-    ExperimentOptions options;
-    options.server = QcServerConfig();
-    options.server.enable_2plhp = enable;
-    options.qc_seed = qc_seed;
-    options.qc = BalancedProfile(QcShape::kStep);
-    const ExperimentResult result =
-        RunExperiment(trace, scheduler.get(), options);
-    rows.push_back(AblationRow{enable ? "2pl-hp" : "no-cc", result.qos_pct,
-                               result.qod_pct, result.total_pct});
+    SweepRunner::Point point;
+    point.trace = &trace;
+    point.scheduler = SchedulerKind::kQuts;
+    point.options.server = QcServerConfig();
+    point.options.server.enable_2plhp = enable;
+    point.options.qc_seed = qc_seed;
+    point.options.qc = BalancedProfile(QcShape::kStep);
+    points.push_back(point);
+    names.push_back(enable ? "2pl-hp" : "no-cc");
+  }
+  const std::vector<ExperimentResult> results =
+      SweepRunner(sweep).RunPoints(points);
+  std::vector<AblationRow> rows;
+  for (size_t i = 0; i < results.size(); ++i) {
+    rows.push_back(AblationRow{names[i], results[i].qos_pct,
+                               results[i].qod_pct, results[i].total_pct});
   }
   return rows;
 }

@@ -1,7 +1,9 @@
 #include "exp/robustness.h"
 
 #include <algorithm>
+#include <functional>
 #include <memory>
+#include <utility>
 
 #include "exp/experiment.h"
 #include "exp/scheduler_factory.h"
@@ -11,34 +13,57 @@ namespace webdb {
 
 namespace {
 
-RobustnessRow CompareSchedulers(const Trace& trace, double knob,
-                                uint64_t qc_seed) {
-  RobustnessRow row;
-  row.knob = knob;
-  for (SchedulerKind kind : PaperSchedulers()) {
-    std::unique_ptr<Scheduler> scheduler = MakeScheduler(kind);
-    ExperimentOptions options;
-    options.server.dispatch_overhead = Micros(20);
-    options.qc_seed = qc_seed;
-    options.qc = BalancedProfile(QcShape::kStep);
-    const double total =
-        RunExperiment(trace, scheduler.get(), options).total_pct;
-    switch (kind) {
-      case SchedulerKind::kFifo:
-        row.fifo = total;
-        break;
-      case SchedulerKind::kUpdateHigh:
-        row.uh = total;
-        break;
-      case SchedulerKind::kQueryHigh:
-        row.qh = total;
-        break;
-      default:
-        row.quts = total;
-        break;
+// Each knob value regenerates the trace and replays the Figure 6
+// comparison. Both levels fan out through the same SweepRunner: first one
+// trace-generation task per knob, then one experiment per (knob, scheduler)
+// pair — 4x as many runs as knobs, all independent.
+std::vector<RobustnessRow> SweepKnob(
+    const std::vector<double>& knobs,
+    const std::function<Trace(double)>& make_trace, uint64_t qc_seed,
+    const SweepConfig& sweep) {
+  const SweepRunner runner(sweep);
+  const std::vector<Trace> traces =
+      runner.Map(knobs.size(), [&](size_t i) { return make_trace(knobs[i]); });
+
+  const std::vector<SchedulerKind> kinds = PaperSchedulers();
+  std::vector<SweepRunner::Point> points;
+  for (const Trace& trace : traces) {
+    for (SchedulerKind kind : kinds) {
+      SweepRunner::Point point;
+      point.trace = &trace;
+      point.scheduler = kind;
+      point.options.server.dispatch_overhead = Micros(20);
+      point.options.qc_seed = qc_seed;
+      point.options.qc = BalancedProfile(QcShape::kStep);
+      points.push_back(point);
     }
   }
-  return row;
+  const std::vector<ExperimentResult> results = runner.RunPoints(points);
+
+  std::vector<RobustnessRow> rows;
+  for (size_t k = 0; k < knobs.size(); ++k) {
+    RobustnessRow row;
+    row.knob = knobs[k];
+    for (size_t s = 0; s < kinds.size(); ++s) {
+      const double total = results[k * kinds.size() + s].total_pct;
+      switch (kinds[s]) {
+        case SchedulerKind::kFifo:
+          row.fifo = total;
+          break;
+        case SchedulerKind::kUpdateHigh:
+          row.uh = total;
+          break;
+        case SchedulerKind::kQueryHigh:
+          row.qh = total;
+          break;
+        default:
+          row.quts = total;
+          break;
+      }
+    }
+    rows.push_back(row);
+  }
+  return rows;
 }
 
 }  // namespace
@@ -49,28 +74,28 @@ double RobustnessRow::QutsVsBestFixed() const {
 
 std::vector<RobustnessRow> RunCorrelationRobustness(
     StockTraceConfig base, const std::vector<double>& correlations,
-    uint64_t qc_seed) {
-  std::vector<RobustnessRow> rows;
-  for (double correlation : correlations) {
-    StockTraceConfig config = base;
-    config.popularity_correlation = correlation;
-    const Trace trace = GenerateStockTrace(config);
-    rows.push_back(CompareSchedulers(trace, correlation, qc_seed));
-  }
-  return rows;
+    uint64_t qc_seed, const SweepConfig& sweep) {
+  return SweepKnob(
+      correlations,
+      [&base](double correlation) {
+        StockTraceConfig config = base;
+        config.popularity_correlation = correlation;
+        return GenerateStockTrace(config);
+      },
+      qc_seed, sweep);
 }
 
 std::vector<RobustnessRow> RunSpikeRobustness(
-    StockTraceConfig base, const std::vector<double>& gains,
-    uint64_t qc_seed) {
-  std::vector<RobustnessRow> rows;
-  for (double gain : gains) {
-    StockTraceConfig config = base;
-    config.query_spike_gain = std::max(1.0, gain);
-    const Trace trace = GenerateStockTrace(config);
-    rows.push_back(CompareSchedulers(trace, gain, qc_seed));
-  }
-  return rows;
+    StockTraceConfig base, const std::vector<double>& gains, uint64_t qc_seed,
+    const SweepConfig& sweep) {
+  return SweepKnob(
+      gains,
+      [&base](double gain) {
+        StockTraceConfig config = base;
+        config.query_spike_gain = std::max(1.0, gain);
+        return GenerateStockTrace(config);
+      },
+      qc_seed, sweep);
 }
 
 }  // namespace webdb

@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "exp/sweep_runner.h"
 #include "trace/stock_trace_generator.h"
 
 namespace webdb {
@@ -33,13 +34,13 @@ struct RobustnessRow {
 // as-is, so pass a shortened config for quick runs.
 std::vector<RobustnessRow> RunCorrelationRobustness(
     StockTraceConfig base, const std::vector<double>& correlations,
-    uint64_t qc_seed = 7);
+    uint64_t qc_seed = 7, const SweepConfig& sweep = SweepConfig());
 
 // Sweeps the flash-crowd gain (1 = no spikes ... higher = deeper query
 // overload during episodes).
 std::vector<RobustnessRow> RunSpikeRobustness(
     StockTraceConfig base, const std::vector<double>& gains,
-    uint64_t qc_seed = 7);
+    uint64_t qc_seed = 7, const SweepConfig& sweep = SweepConfig());
 
 }  // namespace webdb
 

@@ -1,0 +1,41 @@
+#include "exp/sweep_runner.h"
+
+#include <memory>
+
+#include "util/logging.h"
+
+namespace webdb {
+
+int ResolveJobs(int jobs) {
+  if (jobs >= 1) return jobs;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+SweepRunner::SweepRunner(SweepConfig config)
+    : config_(config), jobs_(ResolveJobs(config.jobs)) {}
+
+std::vector<ExperimentResult> SweepRunner::RunPoints(
+    const std::vector<Point>& points) const {
+  return Map(points.size(), [&points](size_t i) {
+    const Point& point = points[i];
+    WEBDB_CHECK(point.trace != nullptr);
+    std::unique_ptr<Scheduler> scheduler =
+        MakeScheduler(point.scheduler, point.quts);
+    return RunExperiment(*point.trace, scheduler.get(), point.options);
+  });
+}
+
+void SweepRunner::RecordSweepMetrics(size_t runs, int64_t wall_us) const {
+  if (config_.registry == nullptr) return;
+  MetricRegistry& registry = *config_.registry;
+  registry.GetCounter("sweep.runs").Increment(static_cast<int64_t>(runs));
+  ++registry.GetCounter("sweep.sweeps");
+  registry.GetCounter("sweep.wall_us").Increment(wall_us);
+  if (wall_us > 0) {
+    registry.GetGauge("sweep.points_per_s")
+        .Set(static_cast<double>(runs) * 1e6 / static_cast<double>(wall_us));
+  }
+}
+
+}  // namespace webdb

@@ -1,0 +1,158 @@
+// SweepRunner: fans independent experiment runs out over a std::thread
+// pool, with results bit-identical at any --jobs value.
+//
+// Every figure and table in the paper's evaluation is a sweep of mutually
+// independent simulation runs, so the whole evaluation parallelizes at the
+// run level. The determinism contract that makes this safe to rely on:
+//
+//   * A sweep is a list of run points indexed by run id 0..n-1. Everything
+//     a run depends on — its options, its scheduler, and (when it wants a
+//     fresh stream) its RNG seed via SeedFor(run_id) = DeriveSeed(
+//     base_seed, run_id) — is a pure function of the run id, fixed at
+//     submission time. No run reads another run's output or any
+//     thread-local state.
+//   * Results are collected into a vector indexed by run id (submission
+//     order), so the output layout is independent of completion order.
+//   * Each run builds its own Database / WebDatabaseServer / Scheduler and
+//     therefore its own MetricRegistry and (if configured) Tracer; the
+//     obs layer is single-threaded per instance (see metric_registry.h)
+//     and is never shared across workers. The optional sweep-level
+//     registry (sweep.runs / sweep.wall_us / sweep.points_per_s) is
+//     touched only on the submitting thread, after the pool has joined.
+//
+// Consequently `jobs = 1` and `jobs = N` produce byte-identical results
+// for any N and any interleaving — tests/sweep_runner_test.cc pins this.
+//
+// Shared inputs (the Trace, a TimeVaryingQcGenerator, QcProfile grids) are
+// captured by const reference and must be treated as read-only for the
+// duration of the sweep. Anything mutable (an AdmissionController, a
+// Tracer) must be owned by exactly one run point.
+
+#ifndef WEBDB_EXP_SWEEP_RUNNER_H_
+#define WEBDB_EXP_SWEEP_RUNNER_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+#include "exp/experiment.h"
+#include "exp/scheduler_factory.h"
+#include "obs/metric_registry.h"
+#include "util/seed.h"
+
+namespace webdb {
+
+// Resolves a --jobs value: n >= 1 is taken as-is, anything else (0 or
+// negative) means "one worker per hardware thread".
+int ResolveJobs(int jobs);
+
+struct SweepConfig {
+  // Worker threads. 1 (the default) runs inline on the calling thread;
+  // <= 0 resolves to the hardware concurrency.
+  int jobs = 1;
+  // Root of the per-run seed derivation (SeedFor below).
+  uint64_t base_seed = 0;
+  // Optional sweep-level metrics sink, written only from the submitting
+  // thread after each sweep completes:
+  //   sweep.runs         counter  total runs executed
+  //   sweep.sweeps       counter  completed Map/RunPoints calls
+  //   sweep.wall_us      counter  cumulative wall-clock across sweeps
+  //   sweep.points_per_s gauge    throughput of the last sweep
+  MetricRegistry* registry = nullptr;
+};
+
+class SweepRunner {
+ public:
+  explicit SweepRunner(SweepConfig config = SweepConfig());
+
+  int jobs() const { return jobs_; }
+  const SweepConfig& config() const { return config_; }
+
+  // The per-run seed contract: pure in (base_seed, run_id), collision-free
+  // across run ids (see util/seed.h).
+  uint64_t SeedFor(uint64_t run_id) const {
+    return DeriveSeed(config_.base_seed, run_id);
+  }
+
+  // One experiment point: RunPoints() constructs the scheduler from
+  // (scheduler, quts) per run — schedulers are single-run objects — and
+  // feeds `options` to RunExperiment on `*trace`.
+  struct Point {
+    const Trace* trace = nullptr;  // required; shared read-only
+    SchedulerKind scheduler = SchedulerKind::kQuts;
+    QutsScheduler::Options quts;
+    ExperimentOptions options;
+  };
+
+  // Runs every point, fanning out over the pool; result i corresponds to
+  // points[i] regardless of jobs. Points keep the qc_seed they carry —
+  // sweeps that want per-run streams set options.qc_seed = SeedFor(i)
+  // while building the vector.
+  std::vector<ExperimentResult> RunPoints(
+      const std::vector<Point>& points) const;
+
+  // Generic fan-out: invokes fn(run_id) for run_id in [0, n) and returns
+  // the results in run-id order. fn must be safe to call concurrently from
+  // multiple threads (capture shared state by const reference only) and
+  // its result type must be default-constructible and movable.
+  //
+  // If any run throws, the remaining queued runs are abandoned, the pool
+  // drains, and the first exception (by completion order) is rethrown on
+  // the calling thread.
+  template <typename Fn>
+  auto Map(size_t n, Fn&& fn) const {
+    using Result = std::invoke_result_t<Fn&, size_t>;
+    static_assert(std::is_default_constructible_v<Result>,
+                  "SweepRunner::Map needs a default-constructible result");
+    const auto start = std::chrono::steady_clock::now();
+    std::vector<Result> results(n);
+    const int workers =
+        static_cast<int>(std::min<size_t>(n, static_cast<size_t>(jobs_)));
+    if (workers <= 1) {
+      for (size_t i = 0; i < n; ++i) results[i] = fn(i);
+    } else {
+      std::atomic<size_t> next{0};
+      std::atomic<bool> failed{false};
+      std::mutex error_mutex;
+      std::exception_ptr error;
+      auto worker = [&] {
+        while (!failed.load(std::memory_order_relaxed)) {
+          const size_t i = next.fetch_add(1, std::memory_order_relaxed);
+          if (i >= n) return;
+          try {
+            results[i] = fn(i);
+          } catch (...) {
+            std::lock_guard<std::mutex> lock(error_mutex);
+            if (error == nullptr) error = std::current_exception();
+            failed.store(true, std::memory_order_relaxed);
+          }
+        }
+      };
+      std::vector<std::thread> pool;
+      pool.reserve(static_cast<size_t>(workers));
+      for (int w = 0; w < workers; ++w) pool.emplace_back(worker);
+      for (std::thread& t : pool) t.join();
+      if (error != nullptr) std::rethrow_exception(error);
+    }
+    RecordSweepMetrics(n, std::chrono::duration_cast<std::chrono::microseconds>(
+                              std::chrono::steady_clock::now() - start)
+                              .count());
+    return results;
+  }
+
+ private:
+  // Submitting-thread-only (the registry is not thread-safe).
+  void RecordSweepMetrics(size_t runs, int64_t wall_us) const;
+
+  SweepConfig config_;
+  int jobs_;
+};
+
+}  // namespace webdb
+
+#endif  // WEBDB_EXP_SWEEP_RUNNER_H_

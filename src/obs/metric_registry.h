@@ -10,6 +10,14 @@
 // A name is bound to exactly one metric kind for the registry's lifetime;
 // re-registering the same name with a different kind is a CHECK failure.
 // Handles returned by Get* stay valid for the registry's lifetime.
+//
+// Threading contract: a MetricRegistry is single-threaded — no locking,
+// by design, because the simulator is single-threaded and parallelism
+// happens at the run level (exp/sweep_runner.h). Each experiment run owns
+// its own registry (RunExperiment builds one per server), so sweep workers
+// never share an instance. A sweep-level registry (SweepConfig::registry)
+// must only be touched from the submitting thread after the pool joins.
+// Sharing one instance across concurrently running threads is a data race.
 
 #ifndef WEBDB_OBS_METRIC_REGISTRY_H_
 #define WEBDB_OBS_METRIC_REGISTRY_H_

@@ -8,6 +8,11 @@
 // JSONL schema (one object per line, documented in DESIGN.md §6):
 //   {"t":<microseconds>,"txn":<id>,"kind":"query"|"update",
 //    "ev":"submit"|...,"v":<detail>}
+//
+// Threading contract: like MetricRegistry, a Tracer is single-threaded and
+// unlocked. Parallel sweeps (exp/sweep_runner.h) require each run point to
+// own its Tracer — never point two concurrently running experiments'
+// ServerConfig::tracer at the same instance.
 
 #ifndef WEBDB_OBS_TRACER_H_
 #define WEBDB_OBS_TRACER_H_

@@ -2,51 +2,113 @@
 
 #include <algorithm>
 #include <sstream>
+#include <thread>
+#include <vector>
 
 #include "util/logging.h"
 
 namespace webdb {
 
-TraceStats ComputeTraceStats(const Trace& trace) {
+namespace {
+
+// Partial aggregates over a [begin, end) slice of the query and update
+// records. All fields are exact (integer) aggregates, so merging partials
+// in any grouping reproduces the serial pass bit for bit.
+struct PartialStats {
+  std::vector<int64_t> queries_per_second;
+  std::vector<int64_t> updates_per_second;
+  std::vector<PerItemCounts> per_item;
+  SimDuration total_demand = 0;
+  bool any_query = false;
+  bool any_update = false;
+  SimDuration query_exec_min = 0, query_exec_max = 0;
+  SimDuration update_exec_min = 0, update_exec_max = 0;
+};
+
+PartialStats ComputePartial(const Trace& trace, size_t seconds,
+                            size_t query_begin, size_t query_end,
+                            size_t update_begin, size_t update_end) {
+  PartialStats partial;
+  partial.queries_per_second.assign(seconds, 0);
+  partial.updates_per_second.assign(seconds, 0);
+  partial.per_item.resize(static_cast<size_t>(trace.num_items));
+  for (size_t i = query_begin; i < query_end; ++i) {
+    const QueryRecord& q = trace.queries[i];
+    partial.queries_per_second[static_cast<size_t>(q.arrival / Seconds(1))]++;
+    for (ItemId item : q.items) {
+      partial.per_item[static_cast<size_t>(item)].queries++;
+    }
+    partial.total_demand += q.exec_time;
+    if (!partial.any_query) {
+      partial.query_exec_min = partial.query_exec_max = q.exec_time;
+      partial.any_query = true;
+    } else {
+      partial.query_exec_min = std::min(partial.query_exec_min, q.exec_time);
+      partial.query_exec_max = std::max(partial.query_exec_max, q.exec_time);
+    }
+  }
+  for (size_t i = update_begin; i < update_end; ++i) {
+    const UpdateRecord& u = trace.updates[i];
+    partial.updates_per_second[static_cast<size_t>(u.arrival / Seconds(1))]++;
+    partial.per_item[static_cast<size_t>(u.item)].updates++;
+    partial.total_demand += u.exec_time;
+    if (!partial.any_update) {
+      partial.update_exec_min = partial.update_exec_max = u.exec_time;
+      partial.any_update = true;
+    } else {
+      partial.update_exec_min = std::min(partial.update_exec_min, u.exec_time);
+      partial.update_exec_max = std::max(partial.update_exec_max, u.exec_time);
+    }
+  }
+  return partial;
+}
+
+TraceStats MergePartials(const Trace& trace, size_t seconds,
+                         std::vector<PartialStats>& partials) {
   TraceStats stats;
   stats.num_queries = static_cast<int64_t>(trace.queries.size());
   stats.num_updates = static_cast<int64_t>(trace.updates.size());
   stats.num_items = trace.num_items;
   stats.duration = trace.EndTime();
-  stats.per_item.resize(static_cast<size_t>(trace.num_items));
-
-  const size_t seconds =
-      static_cast<size_t>(stats.duration / Seconds(1)) + 1;
   stats.queries_per_second.assign(seconds, 0);
   stats.updates_per_second.assign(seconds, 0);
+  stats.per_item.resize(static_cast<size_t>(trace.num_items));
 
   SimDuration total_demand = 0;
-  bool first = true;
-  for (const QueryRecord& q : trace.queries) {
-    stats.queries_per_second[static_cast<size_t>(q.arrival / Seconds(1))]++;
-    for (ItemId item : q.items) {
-      stats.per_item[static_cast<size_t>(item)].queries++;
+  bool any_query = false, any_update = false;
+  for (const PartialStats& partial : partials) {
+    for (size_t s = 0; s < seconds; ++s) {
+      stats.queries_per_second[s] += partial.queries_per_second[s];
+      stats.updates_per_second[s] += partial.updates_per_second[s];
     }
-    total_demand += q.exec_time;
-    if (first) {
-      stats.query_exec_min = stats.query_exec_max = q.exec_time;
-      first = false;
-    } else {
-      stats.query_exec_min = std::min(stats.query_exec_min, q.exec_time);
-      stats.query_exec_max = std::max(stats.query_exec_max, q.exec_time);
+    for (size_t i = 0; i < stats.per_item.size(); ++i) {
+      stats.per_item[i].queries += partial.per_item[i].queries;
+      stats.per_item[i].updates += partial.per_item[i].updates;
     }
-  }
-  first = true;
-  for (const UpdateRecord& u : trace.updates) {
-    stats.updates_per_second[static_cast<size_t>(u.arrival / Seconds(1))]++;
-    stats.per_item[static_cast<size_t>(u.item)].updates++;
-    total_demand += u.exec_time;
-    if (first) {
-      stats.update_exec_min = stats.update_exec_max = u.exec_time;
-      first = false;
-    } else {
-      stats.update_exec_min = std::min(stats.update_exec_min, u.exec_time);
-      stats.update_exec_max = std::max(stats.update_exec_max, u.exec_time);
+    total_demand += partial.total_demand;
+    if (partial.any_query) {
+      if (!any_query) {
+        stats.query_exec_min = partial.query_exec_min;
+        stats.query_exec_max = partial.query_exec_max;
+        any_query = true;
+      } else {
+        stats.query_exec_min =
+            std::min(stats.query_exec_min, partial.query_exec_min);
+        stats.query_exec_max =
+            std::max(stats.query_exec_max, partial.query_exec_max);
+      }
+    }
+    if (partial.any_update) {
+      if (!any_update) {
+        stats.update_exec_min = partial.update_exec_min;
+        stats.update_exec_max = partial.update_exec_max;
+        any_update = true;
+      } else {
+        stats.update_exec_min =
+            std::min(stats.update_exec_min, partial.update_exec_min);
+        stats.update_exec_max =
+            std::max(stats.update_exec_max, partial.update_exec_max);
+      }
     }
   }
 
@@ -59,6 +121,44 @@ TraceStats ComputeTraceStats(const Trace& trace) {
                                 static_cast<double>(stats.duration);
   }
   return stats;
+}
+
+}  // namespace
+
+TraceStats ComputeTraceStats(const Trace& trace) {
+  return ComputeTraceStats(trace, 1);
+}
+
+TraceStats ComputeTraceStats(const Trace& trace, int jobs) {
+  if (jobs <= 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    jobs = hw == 0 ? 1 : static_cast<int>(hw);
+  }
+  const size_t seconds =
+      static_cast<size_t>(trace.EndTime() / Seconds(1)) + 1;
+  const size_t workers = std::max<size_t>(
+      1, std::min<size_t>(static_cast<size_t>(jobs),
+                          std::max(trace.queries.size(), size_t{1})));
+
+  std::vector<PartialStats> partials(workers);
+  if (workers == 1) {
+    partials[0] = ComputePartial(trace, seconds, 0, trace.queries.size(), 0,
+                                 trace.updates.size());
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (size_t w = 0; w < workers; ++w) {
+      pool.emplace_back([&trace, &partials, seconds, workers, w] {
+        const size_t nq = trace.queries.size();
+        const size_t nu = trace.updates.size();
+        partials[w] = ComputePartial(trace, seconds, nq * w / workers,
+                                     nq * (w + 1) / workers, nu * w / workers,
+                                     nu * (w + 1) / workers);
+      });
+    }
+    for (std::thread& t : pool) t.join();
+  }
+  return MergePartials(trace, seconds, partials);
 }
 
 double TraceStats::FractionUpdateDominated() const {

@@ -44,7 +44,14 @@ struct TraceStats {
   std::string Summary() const;
 };
 
+// Single-threaded characterization pass.
 TraceStats ComputeTraceStats(const Trace& trace);
+
+// Same result, computed by `jobs` workers over disjoint record ranges and
+// merged (jobs <= 0: one per hardware thread). Every aggregate is an exact
+// integer sum / min / max, so the output is bit-identical to the serial
+// pass for any jobs value.
+TraceStats ComputeTraceStats(const Trace& trace, int jobs);
 
 }  // namespace webdb
 

@@ -1,0 +1,20 @@
+#include "util/seed.h"
+
+namespace webdb {
+
+uint64_t SplitMix64Next(uint64_t& state) {
+  state += 0x9E3779B97F4A7C15ULL;
+  uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t DeriveSeed(uint64_t base_seed, uint64_t run_id) {
+  uint64_t state = base_seed;
+  const uint64_t base_hash = SplitMix64Next(state);
+  state ^= run_id * 0xBF58476D1CE4E5B9ULL;
+  return SplitMix64Next(state) ^ (base_hash >> 32);
+}
+
+}  // namespace webdb

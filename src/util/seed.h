@@ -1,0 +1,41 @@
+// Deterministic seed derivation for parallel experiment sweeps.
+//
+// A sweep of independent runs must give every run its own RNG stream, and
+// that stream must depend only on (base_seed, run_id) — never on which
+// worker thread picks the run up or in what order runs finish. Otherwise
+// the "same" sweep produces different figures at different --jobs values.
+//
+// DeriveSeed is the single contract: it is a pure function, stable across
+// platforms and releases (golden-pinned by tests/seed_derivation_test.cc),
+// and injective in run_id for a fixed base seed, so no two runs of a sweep
+// can ever collide onto the same stream.
+
+#ifndef WEBDB_UTIL_SEED_H_
+#define WEBDB_UTIL_SEED_H_
+
+#include <cstdint>
+
+namespace webdb {
+
+// One step of Sebastiano Vigna's SplitMix64: advances `state` by the golden
+// gamma and returns the mixed output. This is the same mixer Rng uses for
+// seeding, shared here so every seeding path in the repo agrees.
+uint64_t SplitMix64Next(uint64_t& state);
+
+// Derives the RNG seed for run `run_id` of a sweep seeded with `base_seed`.
+//
+// Definition (frozen — changing it silently re-rolls every figure):
+//   state  = base_seed
+//   h      = SplitMix64Next(state)         // decorrelate small bases
+//   state ^= run_id * 0xBF58476D1CE4E5B9   // odd multiplier: injective
+//   return SplitMix64Next(state) ^ (h >> 32)
+//
+// For a fixed base seed the map run_id -> seed is injective (every step is
+// a bijection of the 64-bit state), so distinct runs always get distinct
+// seeds; the final xor folds the base hash back in so related bases do not
+// produce aligned streams.
+uint64_t DeriveSeed(uint64_t base_seed, uint64_t run_id);
+
+}  // namespace webdb
+
+#endif  // WEBDB_UTIL_SEED_H_

@@ -1,5 +1,7 @@
 // Smoke tests for every figure driver on a small trace: shapes, ranges and
-// structural invariants, not absolute values.
+// structural invariants, not absolute values. Drivers run through the same
+// SweepRunner path the benches use, at jobs=4, so these tests double as
+// smoke coverage of the parallel fan-out.
 
 #include "exp/figures.h"
 
@@ -25,13 +27,18 @@ class FiguresTest : public ::testing::Test {
     delete trace_;
     trace_ = nullptr;
   }
+  static SweepConfig Par() {
+    SweepConfig config;
+    config.jobs = 4;
+    return config;
+  }
   static Trace* trace_;
 };
 
 Trace* FiguresTest::trace_ = nullptr;
 
 TEST_F(FiguresTest, Figure1HasThreePoliciesWithSaneValues) {
-  const auto rows = RunFigure1(*trace_);
+  const auto rows = RunFigure1(*trace_, Par());
   ASSERT_EQ(rows.size(), 3u);
   EXPECT_EQ(rows[0].policy, "fifo");
   EXPECT_EQ(rows[1].policy, "fifo-uh");
@@ -47,7 +54,7 @@ TEST_F(FiguresTest, Figure1HasThreePoliciesWithSaneValues) {
 
 TEST_F(FiguresTest, Figure6CoversFourSchedulersBothShapes) {
   for (QcShape shape : {QcShape::kStep, QcShape::kLinear}) {
-    const auto rows = RunFigure6(*trace_, shape);
+    const auto rows = RunFigure6(*trace_, shape, 7, Par());
     ASSERT_EQ(rows.size(), 4u);
     for (const auto& row : rows) {
       EXPECT_GE(row.qos_pct, 0.0);
@@ -58,7 +65,7 @@ TEST_F(FiguresTest, Figure6CoversFourSchedulersBothShapes) {
 }
 
 TEST_F(FiguresTest, QcSweepHasNinePointsWithMatchingDiagonal) {
-  const auto points = RunQcSweep(*trace_, SchedulerKind::kQuts);
+  const auto points = RunQcSweep(*trace_, SchedulerKind::kQuts, 7, Par());
   ASSERT_EQ(points.size(), 9u);
   for (size_t i = 0; i < points.size(); ++i) {
     EXPECT_NEAR(points[i].qod_share_pct, 0.1 * (i + 1), 1e-9);
@@ -99,7 +106,7 @@ TEST_F(FiguresTest, Figure9SeriesSmoothedAndRhoInBand) {
 }
 
 TEST_F(FiguresTest, OmegaSensitivityReturnsOnePointPerOmega) {
-  const auto points = RunOmegaSensitivity(*trace_, {0.5, 1.0, 5.0});
+  const auto points = RunOmegaSensitivity(*trace_, {0.5, 1.0, 5.0}, 7, Par());
   ASSERT_EQ(points.size(), 3u);
   for (const auto& [omega, pct] : points) {
     EXPECT_GT(pct, 0.0);
@@ -108,7 +115,7 @@ TEST_F(FiguresTest, OmegaSensitivityReturnsOnePointPerOmega) {
 }
 
 TEST_F(FiguresTest, TauSensitivityReturnsOnePointPerTau) {
-  const auto points = RunTauSensitivity(*trace_, {1.0, 10.0, 100.0});
+  const auto points = RunTauSensitivity(*trace_, {1.0, 10.0, 100.0}, 7, Par());
   ASSERT_EQ(points.size(), 3u);
   for (const auto& [tau, pct] : points) {
     EXPECT_GT(pct, 0.0);
@@ -117,7 +124,7 @@ TEST_F(FiguresTest, TauSensitivityReturnsOnePointPerTau) {
 }
 
 TEST_F(FiguresTest, CombinationAblationCoversBothModes) {
-  const auto rows = RunCombinationAblation(*trace_);
+  const auto rows = RunCombinationAblation(*trace_, 7, Par());
   ASSERT_EQ(rows.size(), 4u);
   EXPECT_NE(rows[0].variant.find("qos-independent"), std::string::npos);
   EXPECT_NE(rows[1].variant.find("qos-dependent"), std::string::npos);
@@ -126,7 +133,7 @@ TEST_F(FiguresTest, CombinationAblationCoversBothModes) {
 }
 
 TEST_F(FiguresTest, QueryPolicyAblationCoversFourPolicies) {
-  const auto rows = RunQueryPolicyAblation(*trace_);
+  const auto rows = RunQueryPolicyAblation(*trace_, 7, Par());
   ASSERT_EQ(rows.size(), 4u);
   for (const auto& row : rows) {
     EXPECT_LE(row.total_pct, 1.0 + 1e-9);
@@ -135,14 +142,14 @@ TEST_F(FiguresTest, QueryPolicyAblationCoversFourPolicies) {
 }
 
 TEST_F(FiguresTest, StalenessAblationCoversVariants) {
-  const auto rows = RunStalenessAblation(*trace_);
+  const auto rows = RunStalenessAblation(*trace_, 7, Par());
   ASSERT_EQ(rows.size(), 4u);
   EXPECT_NE(rows[0].variant.find("uu/max"), std::string::npos);
   EXPECT_NE(rows[3].variant.find("td"), std::string::npos);
 }
 
 TEST_F(FiguresTest, SlicingAblationCoversBothSchemes) {
-  const auto rows = RunSlicingAblation(*trace_);
+  const auto rows = RunSlicingAblation(*trace_, 7, Par());
   ASSERT_EQ(rows.size(), 2u);
   EXPECT_EQ(rows[0].variant, "quts/random");
   EXPECT_EQ(rows[1].variant, "quts/deterministic");
@@ -151,7 +158,7 @@ TEST_F(FiguresTest, SlicingAblationCoversBothSchemes) {
 }
 
 TEST_F(FiguresTest, AdmissionAblationCoversControllers) {
-  const auto rows = RunAdmissionAblation(*trace_);
+  const auto rows = RunAdmissionAblation(*trace_, 7, Par());
   ASSERT_EQ(rows.size(), 3u);
   EXPECT_EQ(rows[0].variant, "admit-all");
   EXPECT_EQ(rows[1].variant, "queue-cap(64)");
@@ -163,14 +170,14 @@ TEST_F(FiguresTest, AdmissionAblationCoversControllers) {
 }
 
 TEST_F(FiguresTest, ConcurrencyAblationCoversBothModes) {
-  const auto rows = RunConcurrencyAblation(*trace_);
+  const auto rows = RunConcurrencyAblation(*trace_, 7, Par());
   ASSERT_EQ(rows.size(), 2u);
   EXPECT_EQ(rows[0].variant, "2pl-hp");
   EXPECT_EQ(rows[1].variant, "no-cc");
 }
 
 TEST_F(FiguresTest, UpdatePolicyAblationCoversBothPolicies) {
-  const auto rows = RunUpdatePolicyAblation(*trace_);
+  const auto rows = RunUpdatePolicyAblation(*trace_, 7, Par());
   ASSERT_EQ(rows.size(), 2u);
   EXPECT_EQ(rows[0].variant, "quts/fifo");
   EXPECT_EQ(rows[1].variant, "quts/demand-weighted");
@@ -178,7 +185,7 @@ TEST_F(FiguresTest, UpdatePolicyAblationCoversBothPolicies) {
 }
 
 TEST_F(FiguresTest, AdaptabilityComparisonRanksQutsAtTop) {
-  const auto rows = RunAdaptabilityComparison(*trace_);
+  const auto rows = RunAdaptabilityComparison(*trace_, 7, Par());
   ASSERT_EQ(rows.size(), 4u);
   double quts_total = 0.0, best_other = 0.0;
   for (const auto& row : rows) {
@@ -193,7 +200,7 @@ TEST_F(FiguresTest, AdaptabilityComparisonRanksQutsAtTop) {
 
 TEST_F(FiguresTest, RhoModelValidationProducesBothCurves) {
   const auto points = RunRhoModelValidation(
-      *trace_, {0.2, 0.5, 0.8, 1.0}, Table4Profile(0.8));
+      *trace_, {0.2, 0.5, 0.8, 1.0}, Table4Profile(0.8), 7, Par());
   ASSERT_EQ(points.size(), 4u);
   for (const auto& point : points) {
     EXPECT_GE(point.measured_total_pct, 0.0);
@@ -206,8 +213,48 @@ TEST_F(FiguresTest, RhoModelValidationProducesBothCurves) {
   EXPECT_GT(points[1].modeled_total_pct, points[0].modeled_total_pct);
 }
 
+TEST_F(FiguresTest, CanonicalGridsMatchPaperShapes) {
+  // The bench grids are now shared declarations; pin their shapes so a
+  // bench and the paper can't silently drift apart.
+  EXPECT_EQ(Table4QodShares().size(), 9u);
+  EXPECT_DOUBLE_EQ(Table4QodShares().front(), 0.1);
+  EXPECT_DOUBLE_EQ(Table4QodShares().back(), 0.9);
+  EXPECT_EQ(OmegaSensitivityGrid().size(), 9u);
+  EXPECT_DOUBLE_EQ(OmegaSensitivityGrid().front(), 0.1);
+  EXPECT_DOUBLE_EQ(OmegaSensitivityGrid().back(), 100.0);
+  EXPECT_EQ(TauSensitivityGrid().size(), 7u);
+  EXPECT_DOUBLE_EQ(TauSensitivityGrid().front(), 1.0);
+  EXPECT_DOUBLE_EQ(TauSensitivityGrid().back(), 1000.0);
+  EXPECT_EQ(AlphaSensitivityGrid().size(), 6u);
+  EXPECT_EQ(RhoValidationGrid().size(), 7u);
+  EXPECT_EQ(CorrelationRobustnessGrid().size(), 4u);
+  EXPECT_EQ(SpikeRobustnessGrid().size(), 4u);
+}
+
+TEST_F(FiguresTest, DriversIdenticalSerialAndParallel) {
+  // The same driver at jobs=1 and jobs=4 must produce bit-identical rows —
+  // the figure-level version of the SweepRunner determinism contract.
+  const auto serial = RunFigure6(*trace_, QcShape::kStep, 7, SweepConfig());
+  const auto par = RunFigure6(*trace_, QcShape::kStep, 7, Par());
+  ASSERT_EQ(serial.size(), par.size());
+  for (size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].policy, par[i].policy);
+    EXPECT_EQ(serial[i].qos_pct, par[i].qos_pct);
+    EXPECT_EQ(serial[i].qod_pct, par[i].qod_pct);
+  }
+  const auto sweep_serial =
+      RunQcSweep(*trace_, SchedulerKind::kUpdateHigh, 7, SweepConfig());
+  const auto sweep_par =
+      RunQcSweep(*trace_, SchedulerKind::kUpdateHigh, 7, Par());
+  ASSERT_EQ(sweep_serial.size(), sweep_par.size());
+  for (size_t i = 0; i < sweep_serial.size(); ++i) {
+    EXPECT_EQ(sweep_serial[i].total_pct, sweep_par[i].total_pct);
+    EXPECT_EQ(sweep_serial[i].qos_max_pct, sweep_par[i].qos_max_pct);
+  }
+}
+
 TEST_F(FiguresTest, AlphaSensitivityFlat) {
-  const auto points = RunAlphaSensitivity(*trace_, {0.1, 0.5, 0.9});
+  const auto points = RunAlphaSensitivity(*trace_, {0.1, 0.5, 0.9}, 7, Par());
   ASSERT_EQ(points.size(), 3u);
   // "The exact α does not matter much": within a few points of each other.
   double lo = 1.0, hi = 0.0;

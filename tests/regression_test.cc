@@ -7,11 +7,18 @@
 // If a change is *intended* to alter scheduling behavior, update these
 // constants and say so in the commit message.
 
+#include <cstdlib>
+#include <string>
+#include <vector>
+
 #include <gtest/gtest.h>
 
 #include "exp/experiment.h"
+#include "exp/report.h"
 #include "exp/scheduler_factory.h"
+#include "exp/sweep_runner.h"
 #include "trace/stock_trace_generator.h"
+#include "util/csv.h"
 
 namespace webdb {
 namespace {
@@ -77,6 +84,82 @@ TEST_F(RegressionTest, SchedulerTotalsPinned) {
   for (double v : {fifo, uh, qh, quts}) {
     EXPECT_GT(v, 0.2);
     EXPECT_LT(v, 1.0 + 1e-9);
+  }
+}
+
+// Reads every row of a headline-results CSV (see WriteExperimentCsv).
+std::vector<std::vector<std::string>> ReadCsv(const std::string& path) {
+  CsvReader reader(path);
+  EXPECT_TRUE(reader.ok()) << "cannot open " << path;
+  std::vector<std::vector<std::string>> rows;
+  std::vector<std::string> fields;
+  while (reader.ReadRow(fields)) rows.push_back(fields);
+  return rows;
+}
+
+TEST_F(RegressionTest, ParallelSweepMatchesGoldenSnapshot) {
+  // A coarse Figure-5-style grid (3 QoD shares x the 4 paper schedulers)
+  // run through SweepRunner at jobs=4, snapshotted as a committed CSV.
+  // Counters compare exactly; doubles with a tolerance wide enough for
+  // cross-compiler floating-point noise. SweepRunner guarantees the rows
+  // are independent of thread count, so the snapshot doubles as an
+  // end-to-end determinism check for the parallel path.
+  //
+  // To regenerate after an *intended* behavior change:
+  //   WEBDB_REGEN_GOLDEN=1 ./regression_test
+  //       --gtest_filter='*ParallelSweepMatchesGoldenSnapshot'
+  const std::string golden_path =
+      std::string(WEBDB_TEST_DATA_DIR) + "/golden_sweep.csv";
+
+  const std::vector<SchedulerKind> kinds = PaperSchedulers();
+  std::vector<SweepRunner::Point> points;
+  for (double qod_share : {0.2, 0.5, 0.8}) {
+    for (SchedulerKind kind : kinds) {
+      SweepRunner::Point point;
+      point.trace = trace_;
+      point.scheduler = kind;
+      point.options.qc_seed = 99;
+      point.options.qc = Table4Profile(qod_share, QcShape::kStep);
+      points.push_back(point);
+    }
+  }
+
+  SweepConfig config;
+  config.jobs = 4;
+  config.base_seed = 1234;
+  const std::vector<ExperimentResult> results =
+      SweepRunner(config).RunPoints(points);
+  ASSERT_EQ(results.size(), points.size());
+
+  if (std::getenv("WEBDB_REGEN_GOLDEN") != nullptr) {
+    ASSERT_TRUE(WriteExperimentCsv(golden_path, results));
+    GTEST_SKIP() << "regenerated " << golden_path;
+  }
+
+  const std::string actual_path =
+      ::testing::TempDir() + "regression_sweep.csv";
+  ASSERT_TRUE(WriteExperimentCsv(actual_path, results));
+
+  const auto expected = ReadCsv(golden_path);
+  const auto actual = ReadCsv(actual_path);
+  ASSERT_EQ(actual.size(), expected.size());
+  ASSERT_FALSE(expected.empty());
+  EXPECT_EQ(actual[0], expected[0]);  // header
+  // Columns 1..7 are doubles, everything else (scheduler name, lifecycle
+  // counters) must match exactly.
+  for (size_t r = 1; r < expected.size(); ++r) {
+    ASSERT_EQ(actual[r].size(), expected[r].size()) << "row " << r;
+    for (size_t c = 0; c < expected[r].size(); ++c) {
+      if (c >= 1 && c <= 7) {
+        const double want = std::stod(expected[r][c]);
+        const double got = std::stod(actual[r][c]);
+        EXPECT_NEAR(got, want, std::max(1e-6, 1e-3 * std::abs(want)))
+            << "row " << r << " col " << c << " (" << expected[0][c] << ")";
+      } else {
+        EXPECT_EQ(actual[r][c], expected[r][c])
+            << "row " << r << " col " << c << " (" << expected[0][c] << ")";
+      }
+    }
   }
 }
 
