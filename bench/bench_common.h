@@ -36,25 +36,37 @@ inline MetricRegistry& BenchRegistry() {
   return *registry;
 }
 
-// Parses --jobs N / --jobs=N (falling back to WEBDB_JOBS, then 1). Exits
-// with a usage message on a malformed flag so a typo can't silently run a
-// multi-hour sweep serially.
-inline int ParseJobs(int argc, char** argv) {
+// The flags every figure bench accepts.
+struct BenchFlags {
+  int jobs = 1;            // --jobs N / --jobs=N (WEBDB_JOBS fallback)
+  bool audit_hash = false; // --audit-hash: print combined end-state hash
+};
+
+// Parses the shared bench flags. Exits with a usage message on a malformed
+// or unknown flag so a typo can't silently run a multi-hour sweep serially.
+inline BenchFlags ParseBenchFlags(int argc, char** argv) {
+  BenchFlags flags;
   long jobs = 1;
   if (const char* env = std::getenv("WEBDB_JOBS")) jobs = std::atol(env);
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
     const char* value = nullptr;
+    if (std::strcmp(arg, "--audit-hash") == 0) {
+      flags.audit_hash = true;
+      continue;
+    }
     if (std::strncmp(arg, "--jobs=", 7) == 0) {
       value = arg + 7;
     } else if (std::strcmp(arg, "--jobs") == 0) {
       if (i + 1 >= argc) {
-        std::fprintf(stderr, "usage: %s [--jobs N]\n", argv[0]);
+        std::fprintf(stderr, "usage: %s [--jobs N] [--audit-hash]\n", argv[0]);
         std::exit(2);
       }
       value = argv[++i];
     } else {
-      std::fprintf(stderr, "%s: unknown argument '%s'\nusage: %s [--jobs N]\n",
+      std::fprintf(stderr,
+                   "%s: unknown argument '%s'\n"
+                   "usage: %s [--jobs N] [--audit-hash]\n",
                    argv[0], arg, argv[0]);
       std::exit(2);
     }
@@ -65,14 +77,23 @@ inline int ParseJobs(int argc, char** argv) {
       std::exit(2);
     }
   }
-  return static_cast<int>(jobs);
+  flags.jobs = static_cast<int>(jobs);
+  return flags;
+}
+
+// Back-compat shim for benches that only fan out (no sweep config).
+inline int ParseJobs(int argc, char** argv) {
+  return ParseBenchFlags(argc, argv).jobs;
 }
 
 // The sweep configuration every bench hands to the figure drivers: --jobs
-// fan-out plus the process-wide metric sink.
+// fan-out, the optional --audit-hash end-state line, plus the process-wide
+// metric sink.
 inline SweepConfig BenchSweepConfig(int argc, char** argv) {
+  const BenchFlags flags = ParseBenchFlags(argc, argv);
   SweepConfig sweep;
-  sweep.jobs = ParseJobs(argc, argv);
+  sweep.jobs = flags.jobs;
+  sweep.print_audit_hash = flags.audit_hash;
   sweep.registry = &BenchRegistry();
   std::fprintf(stderr, "[bench] sweep jobs: %d\n", ResolveJobs(sweep.jobs));
   return sweep;

@@ -44,9 +44,11 @@ int main(int argc, char** argv) {
 
   // The characterization pass itself fans out over --jobs workers; the
   // chunk merge is exact, so any jobs value prints identical tables.
+  // lint:allow(wall-clock) stderr timing line only; tables are unaffected
   const auto start = std::chrono::steady_clock::now();
   const TraceStats stats = ComputeTraceStats(trace, jobs);
   const auto wall_us = std::chrono::duration_cast<std::chrono::microseconds>(
+                           // lint:allow(wall-clock) stderr timing line only
                            std::chrono::steady_clock::now() - start)
                            .count();
   std::fprintf(stderr, "[bench] trace stats in %.3f s (%d jobs)\n",

@@ -1,0 +1,91 @@
+#include "audit/invariant_auditor.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace webdb {
+namespace audit {
+
+namespace {
+
+constexpr size_t kNumInvariants = static_cast<size_t>(Invariant::kCount);
+
+std::atomic<uint64_t>& CounterFor(Invariant invariant) {
+  static std::atomic<uint64_t> counters[kNumInvariants];
+  return counters[static_cast<size_t>(invariant)];
+}
+
+}  // namespace
+
+const char* InvariantName(Invariant invariant) {
+  switch (invariant) {
+    case Invariant::kSimTimeMonotonic:
+      return "sim-time-monotonic";
+    case Invariant::kLockTableConsistent:
+      return "lock-table-consistent";
+    case Invariant::kConflictFree:
+      return "conflict-free";
+    case Invariant::kDualQueueConservation:
+      return "dual-queue-conservation";
+    case Invariant::kRegisterNewestWins:
+      return "register-newest-wins";
+    case Invariant::kLedgerConservation:
+      return "ledger-conservation";
+    case Invariant::kCount:
+      break;
+  }
+  return "unknown";
+}
+
+uint64_t ChecksPerformed(Invariant invariant) {
+  return CounterFor(invariant).load(std::memory_order_relaxed);
+}
+
+uint64_t TotalChecksPerformed() {
+  uint64_t total = 0;
+  for (size_t i = 0; i < kNumInvariants; ++i) {
+    total += CounterFor(static_cast<Invariant>(i))
+                 .load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+void ResetCounters() {
+  for (size_t i = 0; i < kNumInvariants; ++i) {
+    CounterFor(static_cast<Invariant>(i)).store(0, std::memory_order_relaxed);
+  }
+}
+
+void Count(Invariant invariant) {
+  CounterFor(invariant).fetch_add(1, std::memory_order_relaxed);
+}
+
+void Fail(Invariant invariant, const char* file, int line,
+          const std::string& detail) {
+  std::fprintf(stderr, "AUDIT failed at %s:%d: invariant [%s] violated: %s\n",
+               file, line, InvariantName(invariant), detail.c_str());
+  std::abort();
+}
+
+void Fnv1aHasher::MixBytes(const void* data, size_t size) {
+  const auto* bytes = static_cast<const uint8_t*>(data);
+  for (size_t i = 0; i < size; ++i) MixByte(bytes[i]);
+}
+
+void Fnv1aHasher::MixU64(uint64_t value) {
+  for (int shift = 0; shift < 64; shift += 8) {
+    MixByte(static_cast<uint8_t>(value >> shift));
+  }
+}
+
+void Fnv1aHasher::MixDouble(double value) {
+  if (value == 0.0) value = 0.0;  // collapse -0.0 and +0.0
+  uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(value));
+  std::memcpy(&bits, &value, sizeof(bits));
+  MixU64(bits);
+}
+
+}  // namespace audit
+}  // namespace webdb

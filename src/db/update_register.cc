@@ -1,5 +1,7 @@
 #include "db/update_register.h"
 
+#include <algorithm>
+
 #include "util/logging.h"
 
 namespace webdb {
@@ -24,6 +26,14 @@ bool UpdateRegister::Remove(ItemId item, uint64_t txn_id) {
 uint64_t UpdateRegister::PendingFor(ItemId item) const {
   auto it = pending_.find(item);
   return it == pending_.end() ? 0 : it->second;
+}
+
+std::vector<std::pair<ItemId, uint64_t>> UpdateRegister::PendingEntries()
+    const {
+  std::vector<std::pair<ItemId, uint64_t>> entries(pending_.begin(),
+                                                   pending_.end());
+  std::sort(entries.begin(), entries.end());
+  return entries;
 }
 
 }  // namespace webdb

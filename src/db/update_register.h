@@ -11,6 +11,8 @@
 #include <cstddef>
 #include <cstdint>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "db/data_item.h"
 
@@ -35,6 +37,10 @@ class UpdateRegister {
 
   size_t Size() const { return pending_.size(); }
   uint64_t TotalInvalidated() const { return total_invalidated_; }
+
+  // Every (item, pending txn) entry, sorted by item id so callers iterate
+  // deterministically. For the invariant auditor and tests; O(n log n).
+  std::vector<std::pair<ItemId, uint64_t>> PendingEntries() const;
 
  private:
   std::unordered_map<ItemId, uint64_t> pending_;

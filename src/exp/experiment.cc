@@ -4,6 +4,7 @@
 #include <memory>
 #include <optional>
 
+#include "audit/invariant_auditor.h"
 #include "core/quts_scheduler.h"
 #include "db/database.h"
 #include "exp/trace_feeder.h"
@@ -52,6 +53,9 @@ ExperimentResult RunExperiment(const Trace& trace, Scheduler* scheduler,
   feeder.Start();
   server.Run();
   WEBDB_CHECK(feeder.Done());
+  // The drained end state is the cheapest point for a full audit: every
+  // queue is empty, so the conservation sums cover the whole trace.
+  if constexpr (audit::kEnabled) server.AuditInvariants();
 
   ExperimentResult result;
   result.scheduler = scheduler->Name();
@@ -93,6 +97,10 @@ ExperimentResult RunExperiment(const Trace& trace, Scheduler* scheduler,
 
   if (auto* quts = dynamic_cast<QutsScheduler*>(scheduler)) {
     result.rho_series = quts->rho_series();
+  }
+
+  if (options.compute_end_state_hash) {
+    result.end_state_hash = server.EndStateHash();
   }
 
   // Pull the scheduler's final state into the registry, then capture it.

@@ -41,6 +41,10 @@ struct ExperimentOptions {
   ServerConfig server;
   uint64_t qc_seed = 7;
   QcSource qc = ZeroContracts{};
+  // Fill ExperimentResult::end_state_hash after the run drains. Off by
+  // default: the hash walks every transaction and data item, a measurable
+  // cost on short runs. The regression tests and --audit-hash turn it on.
+  bool compute_end_state_hash = false;
 };
 
 struct ExperimentResult {
@@ -83,6 +87,12 @@ struct ExperimentResult {
   // (time, ρ) per adaptation period — only populated when the scheduler is
   // QUTS (Figure 9d).
   std::vector<std::pair<SimTime, double>> rho_series;
+
+  // FNV-1a hash of the server's end state (WebDatabaseServer::EndStateHash):
+  // two runs agree on it iff they took the same schedule. Pinned by
+  // tests/regression_test.cc; printed by the benches under --audit-hash.
+  // Zero unless ExperimentOptions::compute_end_state_hash was set.
+  uint64_t end_state_hash = 0;
 
   // Final metric-registry snapshot taken after the run drained: server.* /
   // txn.* lifecycle counters plus whatever the scheduler exports under

@@ -29,7 +29,7 @@ ServerConfig QcServerConfig() {
 // of most figure sweeps.
 SweepRunner::Point ProfilePoint(const Trace& trace, SchedulerKind kind,
                                 const QcProfile& profile, uint64_t qc_seed,
-                                QutsScheduler::Options quts_options =
+                                const QutsScheduler::Options& quts_options =
                                     QutsScheduler::Options()) {
   SweepRunner::Point point;
   point.trace = &trace;
@@ -47,7 +47,7 @@ SweepRunner::Point ProfilePoint(const Trace& trace, SchedulerKind kind,
 SweepRunner::Point SchedulePoint(const Trace& trace,
                                  const TimeVaryingQcGenerator& schedule,
                                  SchedulerKind kind, uint64_t qc_seed,
-                                 QutsScheduler::Options quts_options =
+                                 const QutsScheduler::Options& quts_options =
                                      QutsScheduler::Options()) {
   SweepRunner::Point point;
   point.trace = &trace;

@@ -1,7 +1,10 @@
 #include "exp/sweep_runner.h"
 
+#include <cinttypes>
+#include <cstdio>
 #include <memory>
 
+#include "audit/invariant_auditor.h"
 #include "util/logging.h"
 
 namespace webdb {
@@ -17,13 +20,28 @@ SweepRunner::SweepRunner(SweepConfig config)
 
 std::vector<ExperimentResult> SweepRunner::RunPoints(
     const std::vector<Point>& points) const {
-  return Map(points.size(), [&points](size_t i) {
-    const Point& point = points[i];
-    WEBDB_CHECK(point.trace != nullptr);
-    std::unique_ptr<Scheduler> scheduler =
-        MakeScheduler(point.scheduler, point.quts);
-    return RunExperiment(*point.trace, scheduler.get(), point.options);
-  });
+  const bool want_hash = config_.print_audit_hash;
+  std::vector<ExperimentResult> results =
+      Map(points.size(), [&points, want_hash](size_t i) {
+        const Point& point = points[i];
+        WEBDB_CHECK(point.trace != nullptr);
+        std::unique_ptr<Scheduler> scheduler =
+            MakeScheduler(point.scheduler, point.quts);
+        ExperimentOptions options = point.options;
+        options.compute_end_state_hash |= want_hash;
+        return RunExperiment(*point.trace, scheduler.get(), options);
+      });
+  if (config_.print_audit_hash) {
+    // Combined in run-id (submission) order, so the line is byte-identical
+    // at any --jobs value — same contract as the result vector itself.
+    audit::Fnv1aHasher combined;
+    for (const ExperimentResult& result : results) {
+      combined.MixU64(result.end_state_hash);
+    }
+    std::fprintf(stderr, "[audit] end-state hash: %016" PRIx64 " (%zu runs)\n",
+                 combined.hash(), results.size());
+  }
+  return results;
 }
 
 void SweepRunner::RecordSweepMetrics(size_t runs, int64_t wall_us) const {

@@ -64,6 +64,10 @@ struct SweepConfig {
   //   sweep.wall_us      counter  cumulative wall-clock across sweeps
   //   sweep.points_per_s gauge    throughput of the last sweep
   MetricRegistry* registry = nullptr;
+  // After each RunPoints, print the FNV-1a combination of the per-run
+  // end-state hashes to stderr (run-id order, so independent of --jobs).
+  // Benches expose this as --audit-hash; tests pin the per-run values.
+  bool print_audit_hash = false;
 };
 
 class SweepRunner {
@@ -109,6 +113,8 @@ class SweepRunner {
     using Result = std::invoke_result_t<Fn&, size_t>;
     static_assert(std::is_default_constructible_v<Result>,
                   "SweepRunner::Map needs a default-constructible result");
+    // Wall time feeds only the sweep.* stderr metrics, never results.
+    // lint:allow(wall-clock) sweep throughput metrics only
     const auto start = std::chrono::steady_clock::now();
     std::vector<Result> results(n);
     const int workers =
@@ -140,6 +146,7 @@ class SweepRunner {
       if (error != nullptr) std::rethrow_exception(error);
     }
     RecordSweepMetrics(n, std::chrono::duration_cast<std::chrono::microseconds>(
+                              // lint:allow(wall-clock) sweep.* metrics only
                               std::chrono::steady_clock::now() - start)
                               .count());
     return results;

@@ -9,6 +9,7 @@ ProfitLedger::ProfitLedger()
       qod_gained_series_(Seconds(1)) {}
 
 void ProfitLedger::OnQuerySubmitted(const QualityContract& qc, SimTime now) {
+  ++queries_submitted_;
   qos_max_ += qc.qos_max();
   qod_max_ += qc.qod_max();
   qos_max_series_.Add(now, qc.qos_max());
@@ -17,6 +18,7 @@ void ProfitLedger::OnQuerySubmitted(const QualityContract& qc, SimTime now) {
 
 void ProfitLedger::OnQueryCommitted(const QualityContract::Evaluation& eval,
                                     SimTime now) {
+  ++queries_committed_;
   qos_gained_ += eval.qos;
   qod_gained_ += eval.qod;
   qos_gained_series_.Add(now, eval.qos);

@@ -27,6 +27,13 @@ class ProfitLedger {
   // they simply never reach this).
   void OnQueryCommitted(const QualityContract::Evaluation& eval, SimTime now);
 
+  // --- conservation counters ----------------------------------------------
+  // One OnQuerySubmitted / OnQueryCommitted call per query, so these must
+  // equal the server.queries.submitted / server.queries.committed registry
+  // counters — the invariant auditor cross-checks them (DESIGN.md §8).
+  uint64_t queries_submitted() const { return queries_submitted_; }
+  uint64_t queries_committed() const { return queries_committed_; }
+
   // --- global totals (symbols of Table 1) ---------------------------------
   double qos_gained() const { return qos_gained_; }
   double qod_gained() const { return qod_gained_; }
@@ -52,6 +59,8 @@ class ProfitLedger {
   const TimeSeries& qod_gained_series() const { return qod_gained_series_; }
 
  private:
+  uint64_t queries_submitted_ = 0;
+  uint64_t queries_committed_ = 0;
   double qos_gained_ = 0.0;
   double qod_gained_ = 0.0;
   double qos_max_ = 0.0;

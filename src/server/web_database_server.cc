@@ -1,12 +1,22 @@
 #include "server/web_database_server.h"
 
 #include <algorithm>
+#include <cmath>
 #include <memory>
+#include <string>
 #include <utility>
 
+#include "audit/invariant_auditor.h"
 #include "util/logging.h"
 
 namespace webdb {
+
+namespace {
+
+// Every 2^k-th scheduling event runs the deep audit in WEBDB_AUDIT builds.
+constexpr uint64_t kAuditStrideMask = 63;
+
+}  // namespace
 
 WebDatabaseServer::WebDatabaseServer(Database* database, Scheduler* scheduler,
                                      ServerConfig config)
@@ -129,6 +139,22 @@ Update* WebDatabaseServer::SubmitUpdate(ItemId item, double value,
   // item, so the new update inherits the dropped one's queue position
   // (fifo_rank) instead of starting over at the tail.
   const uint64_t superseded = register_.Register(item, update.id);
+  if constexpr (audit::kEnabled) {
+    // Newest-wins at the registration boundary: the register must now hold
+    // this update, and anything it displaced must be a strictly older
+    // arrival on the same item.
+    WEBDB_AUDIT_THAT(audit::Invariant::kRegisterNewestWins,
+                     register_.PendingFor(item) == update.id,
+                     "register did not retain the newest update");
+    if (superseded != 0) {
+      const Update& old = UpdateFor(superseded);
+      WEBDB_AUDIT_THAT(audit::Invariant::kRegisterNewestWins,
+                       old.item == item &&
+                           old.item_arrival_seq < update.item_arrival_seq,
+                       "superseded update is not an older arrival on item " +
+                           std::to_string(item));
+    }
+  }
   if (superseded != 0) {
     Update& old = UpdateFor(superseded);
     update.fifo_rank = old.fifo_rank;
@@ -187,6 +213,9 @@ void WebDatabaseServer::OnSchedulingEvent() {
   ScheduleWake();
   MaybeStartSampling();
   MaybeStartSnapshots();
+  if constexpr (audit::kEnabled) {
+    if ((++audit_tick_ & kAuditStrideMask) == 0) AuditInvariants();
+  }
 }
 
 void WebDatabaseServer::MaybeStartSampling() {
@@ -258,6 +287,10 @@ void WebDatabaseServer::ResolveConflicts(Transaction* txn, LockMode mode,
 
 void WebDatabaseServer::Restart(Transaction* txn) {
   locks_.ReleaseAll(txn->id);
+  // The loser was preempted mid-execution, so it still has a live entry in
+  // its scheduler queue; drop it before requeueing or the queue's O(1)
+  // depth counter overcounts (Push assumes no live entry).
+  sched_->RemoveQueued(txn, sim_->Now());
   // CPU time already sunk into the discarded attempt (2PL-HP loser cost).
   Trace(*txn, TraceEventType::kRestart,
         ToMillis(txn->service_time - txn->remaining));
@@ -379,6 +412,243 @@ double WebDatabaseServer::CpuUtilization() const {
   const SimTime now = sim_->Now();
   if (now <= 0) return 0.0;
   return static_cast<double>(cpu_.TotalBusyTime()) / static_cast<double>(now);
+}
+
+void WebDatabaseServer::AuditInvariants() const {
+  using audit::Invariant;
+
+  // --- dual-queue conservation: queries ------------------------------------
+  int64_t queued_queries = 0;
+  int64_t running = 0;
+  int64_t committed = 0;
+  int64_t dropped = 0;
+  int64_t rejected = 0;
+  for (const Query& query : queries_) {
+    switch (query.state) {
+      case TxnState::kQueued:
+        ++queued_queries;
+        break;
+      case TxnState::kRunning:
+        ++running;
+        break;
+      case TxnState::kCommitted:
+        ++committed;
+        break;
+      case TxnState::kDropped:
+        ++dropped;
+        break;
+      case TxnState::kRejected:
+        ++rejected;
+        break;
+      case TxnState::kPending:
+      case TxnState::kPreempted:
+      case TxnState::kInvalidated:
+        audit::Fail(Invariant::kDualQueueConservation, __FILE__, __LINE__,
+                    "query " + std::to_string(query.id) +
+                        " in impossible state " + ToString(query.state));
+    }
+  }
+  WEBDB_AUDIT_THAT(Invariant::kDualQueueConservation,
+                   metrics_.queries_submitted ==
+                       static_cast<int64_t>(queries_.size()),
+                   "queries_submitted counter disagrees with storage");
+  WEBDB_AUDIT_THAT(
+      Invariant::kDualQueueConservation,
+      metrics_.queries_committed == committed &&
+          metrics_.queries_dropped == dropped &&
+          metrics_.queries_rejected == rejected,
+      "query lifecycle counters disagree with per-transaction states");
+  WEBDB_AUDIT_THAT(Invariant::kDualQueueConservation,
+                   queued_queries == sched_->NumQueuedQueries(),
+                   std::to_string(queued_queries) +
+                       " queries in state queued but scheduler reports " +
+                       std::to_string(sched_->NumQueuedQueries()));
+
+  // --- dual-queue conservation: updates ------------------------------------
+  int64_t queued_updates = 0;
+  int64_t applied = 0;
+  int64_t invalidated = 0;
+  for (const Update& update : updates_) {
+    switch (update.state) {
+      case TxnState::kQueued:
+        ++queued_updates;
+        break;
+      case TxnState::kRunning:
+        ++running;
+        break;
+      case TxnState::kCommitted:
+        ++applied;
+        break;
+      case TxnState::kInvalidated:
+        ++invalidated;
+        break;
+      case TxnState::kPending:
+      case TxnState::kPreempted:
+      case TxnState::kDropped:
+      case TxnState::kRejected:
+        audit::Fail(Invariant::kDualQueueConservation, __FILE__, __LINE__,
+                    "update " + std::to_string(update.id) +
+                        " in impossible state " + ToString(update.state));
+    }
+  }
+  WEBDB_AUDIT_THAT(Invariant::kDualQueueConservation,
+                   metrics_.updates_submitted ==
+                       static_cast<int64_t>(updates_.size()),
+                   "updates_submitted counter disagrees with storage");
+  WEBDB_AUDIT_THAT(
+      Invariant::kDualQueueConservation,
+      metrics_.updates_applied == applied &&
+          metrics_.updates_invalidated == invalidated,
+      "update lifecycle counters disagree with per-transaction states");
+  // A dispatched-then-preempted update is state kQueued *and* still in the
+  // scheduler queue, so queue depths match exactly as for queries.
+  WEBDB_AUDIT_THAT(Invariant::kDualQueueConservation,
+                   queued_updates == sched_->NumQueuedUpdates(),
+                   std::to_string(queued_updates) +
+                       " updates in state queued but scheduler reports " +
+                       std::to_string(sched_->NumQueuedUpdates()));
+
+  // --- single CPU --------------------------------------------------------
+  WEBDB_AUDIT_THAT(Invariant::kDualQueueConservation,
+                   running == (cpu_.busy() ? 1 : 0),
+                   std::to_string(running) +
+                       " transactions in state running; cpu busy=" +
+                       std::to_string(cpu_.busy() ? 1 : 0));
+  if (cpu_.busy()) {
+    const Transaction* on_cpu =
+        const_cast<WebDatabaseServer*>(this)->Lookup(cpu_.current_task());
+    WEBDB_AUDIT_THAT(Invariant::kDualQueueConservation,
+                     on_cpu->state == TxnState::kRunning,
+                     "CPU occupant is not in state running");
+  }
+
+  // --- update-register newest-wins ----------------------------------------
+  auto* self = const_cast<WebDatabaseServer*>(this);
+  for (const auto& [item, txn_id] : register_.PendingEntries()) {
+    const Update& pending = self->UpdateFor(txn_id);
+    WEBDB_AUDIT_THAT(Invariant::kRegisterNewestWins,
+                     pending.item == item &&
+                         pending.state == TxnState::kQueued,
+                     "register entry for item " + std::to_string(item) +
+                         " is not a queued update on that item");
+    // Any newer arrival would have superseded this entry at submission, so
+    // the pending update must carry the item's newest arrival sequence.
+    WEBDB_AUDIT_THAT(Invariant::kRegisterNewestWins,
+                     pending.item_arrival_seq == db_->Item(item).arrival_seq,
+                     "register entry for item " + std::to_string(item) +
+                         " is not the newest arrival");
+  }
+  for (const auto& [item, update] : active_updates_) {
+    WEBDB_AUDIT_THAT(Invariant::kRegisterNewestWins,
+                     update->item == item &&
+                         (update->state == TxnState::kQueued ||
+                          update->state == TxnState::kRunning),
+                     "active update on item " + std::to_string(item) +
+                         " is neither running nor preempted");
+  }
+
+  // --- lock table ---------------------------------------------------------
+  locks_.AuditConsistency();
+  for (const Query& query : queries_) {
+    if (query.state == TxnState::kCommitted ||
+        query.state == TxnState::kDropped ||
+        query.state == TxnState::kRejected) {
+      WEBDB_AUDIT_THAT(Invariant::kLockTableConsistent,
+                       !locks_.HoldsAny(query.id),
+                       "finished query " + std::to_string(query.id) +
+                           " leaked locks");
+    }
+  }
+  for (const Update& update : updates_) {
+    if (update.state == TxnState::kCommitted ||
+        update.state == TxnState::kInvalidated) {
+      WEBDB_AUDIT_THAT(Invariant::kLockTableConsistent,
+                       !locks_.HoldsAny(update.id),
+                       "finished update " + std::to_string(update.id) +
+                           " leaked locks");
+    }
+  }
+
+  // --- profit-ledger conservation against the metric registry -------------
+  WEBDB_AUDIT_THAT(Invariant::kLedgerConservation,
+                   static_cast<int64_t>(ledger_.queries_submitted()) ==
+                       metrics_.queries_submitted,
+                   "ledger submissions disagree with registry counter");
+  WEBDB_AUDIT_THAT(Invariant::kLedgerConservation,
+                   static_cast<int64_t>(ledger_.queries_committed()) ==
+                       metrics_.queries_committed,
+                   "ledger commits disagree with registry counter");
+  // Gained profit can never exceed the submitted maximum (per query the
+  // evaluation is clamped to [0, max]; totals inherit it). The series are
+  // bucket sums of the same samples, so they must re-add to the totals.
+  const auto series_total = [](const TimeSeries& series) {
+    double sum = 0.0;
+    for (size_t i = 0; i < series.NumBuckets(); ++i) {
+      sum += series.BucketSum(i);
+    }
+    return sum;
+  };
+  const double tolerance =
+      1e-6 * (1.0 + ledger_.total_max());  // FP re-association slack
+  WEBDB_AUDIT_THAT(Invariant::kLedgerConservation,
+                   ledger_.qos_gained() <= ledger_.qos_max() + tolerance &&
+                       ledger_.qod_gained() <= ledger_.qod_max() + tolerance,
+                   "gained profit exceeds the submitted maximum");
+  WEBDB_AUDIT_THAT(
+      Invariant::kLedgerConservation,
+      std::abs(series_total(ledger_.qos_gained_series()) -
+               ledger_.qos_gained()) <= tolerance &&
+          std::abs(series_total(ledger_.qod_gained_series()) -
+                   ledger_.qod_gained()) <= tolerance &&
+          std::abs(series_total(ledger_.qos_max_series()) -
+                   ledger_.qos_max()) <= tolerance &&
+          std::abs(series_total(ledger_.qod_max_series()) -
+                   ledger_.qod_max()) <= tolerance,
+      "profit time series do not re-add to the ledger totals");
+}
+
+uint64_t WebDatabaseServer::EndStateHash() const {
+  audit::Fnv1aHasher hasher;
+  hasher.MixU64(queries_.size());
+  for (const Query& query : queries_) {
+    hasher.MixByte(static_cast<uint8_t>(query.state));
+    hasher.MixI64(query.arrival);
+    hasher.MixI64(query.state == TxnState::kCommitted ? query.commit_time
+                                                      : 0);
+    hasher.MixU64(static_cast<uint64_t>(query.restarts));
+  }
+  hasher.MixU64(updates_.size());
+  for (const Update& update : updates_) {
+    hasher.MixByte(static_cast<uint8_t>(update.state));
+    hasher.MixI64(update.arrival);
+    hasher.MixI64(update.state == TxnState::kCommitted ? update.commit_time
+                                                       : 0);
+    hasher.MixU64(static_cast<uint64_t>(update.item));
+    hasher.MixU64(update.item_arrival_seq);
+  }
+  const int32_t num_items = db_->NumItems();
+  hasher.MixU64(static_cast<uint64_t>(num_items));
+  for (ItemId item = 0; item < num_items; ++item) {
+    const DataItem& data = db_->Item(item);
+    hasher.MixU64(data.arrival_seq);
+    hasher.MixU64(data.applied_seq);
+    hasher.MixU64(data.applied_count);
+    hasher.MixU64(data.invalidated_count);
+    // Installed verbatim from the trace (never computed), so the bit
+    // pattern is compiler-independent.
+    hasher.MixDouble(data.value);
+  }
+  hasher.MixI64(metrics_.queries_committed);
+  hasher.MixI64(metrics_.queries_dropped);
+  hasher.MixI64(metrics_.queries_expired);
+  hasher.MixI64(metrics_.queries_rejected);
+  hasher.MixI64(metrics_.query_restarts);
+  hasher.MixI64(metrics_.updates_applied);
+  hasher.MixI64(metrics_.updates_invalidated);
+  hasher.MixI64(metrics_.update_restarts);
+  hasher.MixI64(metrics_.preemptions);
+  hasher.MixI64(sim_->Now());
+  return hasher.hash();
 }
 
 }  // namespace webdb

@@ -90,6 +90,33 @@ class WebDatabaseServer {
   // True while a transaction occupies the CPU.
   bool IsCpuBusy() const { return cpu_.busy(); }
 
+  // --- invariant auditing (DESIGN.md §8) -----------------------------------
+  // Deep whole-server audit, O(submitted transactions + locks). Checks, and
+  // aborts on violation of:
+  //   * dual-queue conservation — every admitted transaction is in exactly
+  //     one lifecycle state, the per-state populations match the scheduler
+  //     queue depths / CPU occupancy, and the lifecycle counters add up to
+  //     the submissions;
+  //   * update-register newest-wins — each pending register entry points at
+  //     a queued update carrying its item's newest arrival sequence;
+  //   * lock-table consistency (LockManager::AuditConsistency), and that
+  //     every lock holder is still queued (preempted) or running;
+  //   * profit-ledger conservation — the ledger's per-query counters and
+  //     series totals agree with the obs::MetricRegistry lifecycle counters.
+  // Compiled in every build and callable from tests; runs automatically
+  // (strided on scheduling events, and at every submission boundary) when
+  // configured with -DWEBDB_AUDIT=ON.
+  void AuditInvariants() const;
+
+  // FNV-1a hash over the server's end state: every transaction outcome
+  // (state, commit time, restarts), every data item's sequence numbers and
+  // value, the lifecycle counters and the simulation clock. Two runs agree
+  // on this hash iff they took the same schedule — the regression suite
+  // pins it (tests/regression_test.cc) and the benches expose it through
+  // --audit-hash. Only integer state and moved (never computed) doubles are
+  // mixed, so the hash is stable across compilers and libm versions.
+  uint64_t EndStateHash() const;
+
  private:
   Transaction* Lookup(TxnId id);
   Query& QueryFor(TxnId id);
@@ -139,6 +166,9 @@ class WebDatabaseServer {
   bool in_scheduling_event_ = false;
   bool sampling_active_ = false;
   bool snapshots_active_ = false;
+  // Strides the O(n) AuditInvariants pass across scheduling events so audit
+  // builds stay usable on full traces. Mutated only under WEBDB_AUDIT.
+  mutable uint64_t audit_tick_ = 0;
 
   void MaybeStartSampling();
   void SampleQueues();

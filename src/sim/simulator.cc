@@ -1,13 +1,16 @@
 #include "sim/simulator.h"
 
+#include <string>
 #include <utility>
 
+#include "audit/invariant_auditor.h"
 #include "util/logging.h"
 
 namespace webdb {
 
 EventId Simulator::ScheduleAt(SimTime t, std::function<void()> fn) {
-  WEBDB_CHECK_MSG(t >= now_, "cannot schedule into the past");
+  // Hot path (every arrival, completion and wake-up): debug tier.
+  WEBDB_DCHECK_MSG(t >= now_, "cannot schedule into the past");
   const uint64_t seq = next_seq_++;
   const EventId id = seq;  // seq doubles as the id; both are unique
   heap_.push(HeapEntry{t, seq, id});
@@ -16,7 +19,7 @@ EventId Simulator::ScheduleAt(SimTime t, std::function<void()> fn) {
 }
 
 EventId Simulator::ScheduleAfter(SimDuration delay, std::function<void()> fn) {
-  WEBDB_CHECK(delay >= 0);
+  WEBDB_DCHECK(delay >= 0);
   return ScheduleAt(now_ + delay, std::move(fn));
 }
 
@@ -32,6 +35,17 @@ bool Simulator::Step() {
     heap_.pop();
     auto it = callbacks_.find(top.id);
     if (it == callbacks_.end()) continue;  // cancelled
+    if constexpr (audit::kEnabled) {
+      // Event-queue time monotonicity: the heap order (time, seq) must
+      // never hand us an event behind the clock — if it does, every
+      // response time and staleness sample afterwards is garbage.
+      WEBDB_AUDIT_THAT(audit::Invariant::kSimTimeMonotonic, top.time >= now_,
+                       "event at t=" + std::to_string(top.time) +
+                           " popped behind clock t=" + std::to_string(now_));
+      WEBDB_AUDIT_THAT(audit::Invariant::kSimTimeMonotonic,
+                       callbacks_.size() <= next_seq_,
+                       "more pending callbacks than issued ids");
+    }
     std::function<void()> fn = std::move(it->second);
     callbacks_.erase(it);
     now_ = top.time;

@@ -1,7 +1,9 @@
 #include "txn/lock_manager.h"
 
 #include <algorithm>
+#include <string>
 
+#include "audit/invariant_auditor.h"
 #include "util/logging.h"
 
 namespace webdb {
@@ -29,9 +31,19 @@ std::vector<TxnId> LockManager::Conflicts(
 
 void LockManager::Acquire(TxnId txn, LockMode mode,
                           const std::vector<ItemId>& items) {
-  WEBDB_CHECK(txn != 0);
-  WEBDB_CHECK_MSG(Conflicts(txn, mode, items).empty(),
-                  "Acquire with unresolved conflicts");
+  // Lock-table probe on every dispatch: the conflict re-scan is O(items)
+  // and the server has just resolved conflicts itself, so this whole
+  // precondition block is debug-tier (2PL-HP conflict-freedom).
+  WEBDB_DCHECK(txn != 0);
+  if constexpr (audit::kEnabled) {
+    WEBDB_AUDIT_THAT(audit::Invariant::kConflictFree,
+                     Conflicts(txn, mode, items).empty(),
+                     "Acquire with unresolved conflicts by txn " +
+                         std::to_string(txn));
+  } else {
+    WEBDB_DCHECK_MSG(Conflicts(txn, mode, items).empty(),
+                     "Acquire with unresolved conflicts");
+  }
   auto& held = held_[txn];
   for (ItemId item : items) {
     ItemLocks& entry = locks_[item];
@@ -50,7 +62,7 @@ void LockManager::ReleaseAll(TxnId txn) {
   if (it == held_.end()) return;
   for (ItemId item : it->second) {
     auto lit = locks_.find(item);
-    WEBDB_CHECK(lit != locks_.end());
+    WEBDB_DCHECK(lit != locks_.end());
     ItemLocks& entry = lit->second;
     if (entry.exclusive == txn) entry.exclusive = 0;
     entry.shared.erase(txn);
@@ -71,6 +83,46 @@ std::vector<TxnId> LockManager::SharedHolders(ItemId item) const {
   if (it == locks_.end()) return {};
   return std::vector<TxnId>(it->second.shared.begin(),
                             it->second.shared.end());
+}
+
+void LockManager::AuditConsistency() const {
+  using audit::Invariant;
+  // Count how many (txn, item) lock grants the table side describes; the
+  // held_ side must describe exactly the same number, and every held item
+  // must be found in the table — together that proves the two indexes are
+  // the same relation (no leaked and no phantom locks).
+  size_t table_grants = 0;
+  for (const auto& [item, entry] : locks_) {
+    WEBDB_AUDIT_THAT(Invariant::kLockTableConsistent, !entry.Empty(),
+                     "empty lock entry lingers for item " +
+                         std::to_string(item));
+    WEBDB_AUDIT_THAT(
+        Invariant::kLockTableConsistent,
+        entry.exclusive == 0 || entry.shared.empty(),
+        "item " + std::to_string(item) + " has shared and exclusive holders");
+    table_grants += entry.shared.size() + (entry.exclusive != 0 ? 1 : 0);
+  }
+  size_t held_grants = 0;
+  for (const auto& [txn, items] : held_) {
+    WEBDB_AUDIT_THAT(Invariant::kLockTableConsistent, !items.empty(),
+                     "txn " + std::to_string(txn) + " holds an empty set");
+    held_grants += items.size();
+    for (ItemId item : items) {
+      auto it = locks_.find(item);
+      const bool granted =
+          it != locks_.end() && (it->second.exclusive == txn ||
+                                 it->second.shared.count(txn) > 0);
+      WEBDB_AUDIT_THAT(Invariant::kLockTableConsistent, granted,
+                       "txn " + std::to_string(txn) + " lists item " +
+                           std::to_string(item) +
+                           " but the lock table does not grant it");
+    }
+  }
+  WEBDB_AUDIT_THAT(Invariant::kLockTableConsistent,
+                   table_grants == held_grants,
+                   "lock table describes " + std::to_string(table_grants) +
+                       " grants but held index describes " +
+                       std::to_string(held_grants));
 }
 
 }  // namespace webdb

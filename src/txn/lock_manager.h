@@ -49,6 +49,15 @@ class LockManager {
 
   size_t NumLockedItems() const { return locks_.size(); }
 
+  // Deep consistency audit (invariant [lock-table-consistent], DESIGN.md
+  // §8): the per-item lock table and the per-transaction held-items index
+  // must describe the same set of locks, no item may carry shared and
+  // exclusive holders simultaneously (2PL-HP resolves every conflict before
+  // Acquire), and no empty entry may linger. Aborts on violation. O(locks);
+  // compiled in every build, called automatically under -DWEBDB_AUDIT=ON
+  // and directly by tests.
+  void AuditConsistency() const;
+
  private:
   struct ItemLocks {
     TxnId exclusive = 0;

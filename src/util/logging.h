@@ -1,8 +1,21 @@
 // Minimal assertion / logging macros used throughout the library.
 //
-// WEBDB_CHECK(cond) aborts with a message when `cond` is false. Checks are
-// kept in release builds: the library is a research artifact where silent
-// invariant violations are far more expensive than the branch.
+// Two tiers (policy in DESIGN.md §8):
+//
+//   WEBDB_CHECK(cond)   always on, every build. For cheap checks guarding
+//                       externally-observable corruption (API misuse,
+//                       impossible lifecycle transitions): the library is a
+//                       research artifact where silent invariant violations
+//                       are far more expensive than the branch.
+//   WEBDB_DCHECK(cond)  debug tier: compiled out in optimized builds
+//                       (NDEBUG) unless the invariant auditor is enabled
+//                       (-DWEBDB_AUDIT=ON). For hot-loop checks — the
+//                       simulator pop loop, lock-table probes — whose cost
+//                       is measurable at full trace scale, and for O(n)
+//                       verification passes.
+//
+// In a WEBDB_DCHECK-disabled build the condition is not evaluated but stays
+// inside an unevaluated operand, so it cannot bit-rot.
 
 #ifndef WEBDB_UTIL_LOGGING_H_
 #define WEBDB_UTIL_LOGGING_H_
@@ -27,5 +40,26 @@
       std::abort();                                                        \
     }                                                                      \
   } while (0)
+
+#if !defined(NDEBUG) || defined(WEBDB_AUDIT)
+#define WEBDB_DCHECK_ENABLED 1
+#else
+#define WEBDB_DCHECK_ENABLED 0
+#endif
+
+#if WEBDB_DCHECK_ENABLED
+#define WEBDB_DCHECK(cond) WEBDB_CHECK(cond)
+#define WEBDB_DCHECK_MSG(cond, msg) WEBDB_CHECK_MSG(cond, msg)
+#else
+#define WEBDB_DCHECK(cond) \
+  do {                     \
+    (void)sizeof(cond);    \
+  } while (0)
+#define WEBDB_DCHECK_MSG(cond, msg) \
+  do {                              \
+    (void)sizeof(cond);             \
+    (void)sizeof(msg);              \
+  } while (0)
+#endif
 
 #endif  // WEBDB_UTIL_LOGGING_H_

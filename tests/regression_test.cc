@@ -42,6 +42,7 @@ class RegressionTest : public ::testing::Test {
     ExperimentOptions options;
     options.qc_seed = 99;
     options.qc = BalancedProfile(QcShape::kStep);
+    options.compute_end_state_hash = true;
     return RunExperiment(*trace_, scheduler.get(), options);
   }
 
@@ -85,6 +86,25 @@ TEST_F(RegressionTest, SchedulerTotalsPinned) {
     EXPECT_GT(v, 0.2);
     EXPECT_LT(v, 1.0 + 1e-9);
   }
+}
+
+TEST_F(RegressionTest, EndStateHashPinned) {
+  // The FNV-1a end-state hash (WebDatabaseServer::EndStateHash) reduces the
+  // whole schedule — every transaction outcome, every item's sequence
+  // numbers, the lifecycle counters, the final clock — to one number. Only
+  // integer state and moved (never computed) doubles are mixed, so the
+  // pinned values hold across compilers and libm versions. If a change
+  // *intends* to alter scheduling, update these constants and say so in the
+  // commit message; the failure message prints the new values.
+  const ExperimentResult fifo = Run(SchedulerKind::kFifo);
+  const ExperimentResult quts = Run(SchedulerKind::kQuts);
+  EXPECT_EQ(fifo.end_state_hash, 0x810cf025907877e9ULL)
+      << "fifo end-state hash changed: 0x" << std::hex << fifo.end_state_hash;
+  EXPECT_EQ(quts.end_state_hash, 0x5e1646423eff98efULL)
+      << "quts end-state hash changed: 0x" << std::hex << quts.end_state_hash;
+  // Same run twice -> same hash, and different policies must not collide.
+  EXPECT_EQ(Run(SchedulerKind::kFifo).end_state_hash, fifo.end_state_hash);
+  EXPECT_NE(fifo.end_state_hash, quts.end_state_hash);
 }
 
 // Reads every row of a headline-results CSV (see WriteExperimentCsv).

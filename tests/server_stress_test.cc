@@ -11,6 +11,7 @@
 
 #include <gtest/gtest.h>
 
+#include "audit/invariant_auditor.h"
 #include "core/quts_scheduler.h"
 #include "db/database.h"
 #include "exp/scheduler_factory.h"
@@ -68,6 +69,14 @@ void RunStress(SchedulerKind kind, uint64_t seed, const StressConfig& cfg) {
   server.Run();
 
   // --- invariants -----------------------------------------------------------
+  // Deep structural audit of the drained end state (DESIGN.md §8); aborts
+  // on violation. Under -DWEBDB_AUDIT=ON it also ran throughout the run,
+  // strided across scheduling events.
+  server.AuditInvariants();
+  if constexpr (audit::kEnabled) {
+    EXPECT_GT(audit::TotalChecksPerformed(), 0u)
+        << "audit build ran without exercising any invariant check";
+  }
   EXPECT_TRUE(server.IsQuiescent());
   const ServerMetrics& metrics = server.metrics();
   EXPECT_EQ(metrics.queries_committed + metrics.queries_dropped,

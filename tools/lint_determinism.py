@@ -1,0 +1,213 @@
+#!/usr/bin/env python3
+"""Determinism linter for the qcsched tree.
+
+PR 2 made every experiment sweep parallel-yet-bit-identical; this linter is
+the mechanical enforcement of the contract that makes that true. It scans
+src/ and bench/ for constructs that silently break reproduction of the
+paper's figures:
+
+  ambient-randomness      rand()/srand()/random()/drand48(),
+                          std::random_device - any RNG whose stream is not
+                          derived from util/rng.h + util/seed.h.
+  wall-clock              std::chrono::{system,steady,high_resolution}_clock,
+                          time(nullptr), gettimeofday, clock_gettime,
+                          clock() - wall-clock reads anywhere outside
+                          src/obs/ (observability may timestamp; simulation
+                          logic must use SimTime).
+  unordered-serialization iteration over a std::unordered_map/set declared
+                          in the same file. Unordered iteration order is
+                          implementation-defined, so any loop over one that
+                          feeds CSV/stdout serialization reorders output
+                          between standard libraries. Keyed access is fine;
+                          loops must either use an ordered container or be
+                          annotated.
+  seed-arithmetic         arithmetic on identifiers containing `seed`
+                          (base_seed + i, seed ^ x, ...) outside
+                          util/seed.h|cc. All derived streams must go
+                          through DeriveSeed(), whose injectivity is
+                          golden-pinned by tests/seed_derivation_test.cc.
+
+Escape hatch - same line or the immediately preceding line:
+
+    std::chrono::steady_clock::now();  // lint:allow(wall-clock) reason...
+    // lint:allow(unordered-serialization) sorted before serialization
+    for (const auto& [k, v] : index_) ...
+
+Exit status: 0 clean, 1 findings, 2 usage error. Wired into ctest as the
+`lint_determinism` test, so tier-1 runs it.
+"""
+
+import argparse
+import os
+import re
+import sys
+
+SCAN_DIRS = ("src", "bench")
+EXTENSIONS = (".h", ".cc")
+
+ALLOW_RE = re.compile(r"lint:allow\(([a-z0-9_,\- ]+)\)")
+
+# Matches string/char literals and comments. Literals are matched first so a
+# comment marker inside a string does not start a comment.
+_STRIP_RE = re.compile(
+    r'"(?:\\.|[^"\\])*"'      # string literal
+    r"|'(?:\\.|[^'\\])*'"     # char literal
+    r"|//[^\n]*"              # line comment
+    r"|/\*.*?\*/",            # block comment (single line after splitting)
+    re.DOTALL,
+)
+
+
+def strip_code(line):
+    """Removes literals and comments so rule regexes see only code."""
+    return _STRIP_RE.sub(" ", line)
+
+
+RULES = {
+    "ambient-randomness": re.compile(
+        r"\b(?:std\s*::\s*)?random_device\b"
+        r"|(?<![\w:])(?:std\s*::\s*)?s?rand\s*\("
+        r"|(?<![\w:])(?:std\s*::\s*)?random\s*\("
+        r"|\bd?rand48\s*\("
+    ),
+    "wall-clock": re.compile(
+        r"\b(?:system_clock|steady_clock|high_resolution_clock)\b"
+        r"|(?<![\w:])time\s*\(\s*(?:nullptr|NULL|0)\s*\)"
+        r"|\bgettimeofday\s*\("
+        r"|\bclock_gettime\s*\("
+        r"|(?<![\w:_])clock\s*\(\s*\)"
+    ),
+    "seed-arithmetic": re.compile(
+        # <something>seed<something> combined with an arithmetic/bitwise
+        # operator on either side. Pure assignment, comparison and
+        # passing-as-argument are fine.
+        r"\w*seed\w*\s*(?:\+|-|\*|\^|%|<<|>>|\|(?!\|)|&(?!&))(?!=\s*$)[^=]"
+        r"|[^=(,<\s](?:\+|-|\*|\^|%|<<|>>|\|)\s*\w*seed\w*\b"
+    ),
+}
+
+UNORDERED_DECL_RE = re.compile(
+    r"\bunordered_(?:map|set|multimap|multiset)\s*<[^;{]*>\s+(\w+)\s*[;={(]"
+)
+RANGE_FOR_RE = re.compile(r"\bfor\s*\([^;)]*:\s*([\w.\->]+)\s*\)")
+ITERATOR_LOOP_RE = re.compile(r"\bfor\s*\([^)]*=\s*([\w.\->]+)\.begin\(\)")
+
+
+def find_unordered_names(stripped_lines):
+    names = set()
+    for line in stripped_lines:
+        for match in UNORDERED_DECL_RE.finditer(line):
+            names.add(match.group(1))
+    return names
+
+
+def allowed_rules(raw_lines, index):
+    """Rules allowed on line `index` (same line or the line above)."""
+    rules = set()
+    for i in (index, index - 1):
+        if 0 <= i < len(raw_lines):
+            match = ALLOW_RE.search(raw_lines[i])
+            if match:
+                rules.update(r.strip() for r in match.group(1).split(","))
+    return rules
+
+
+def lint_file(path, rel):
+    findings = []
+    try:
+        with open(path, encoding="utf-8") as f:
+            raw = f.read()
+    except OSError as err:
+        return [(rel, 0, "io", str(err))]
+
+    raw_lines = raw.split("\n")
+    # Collapse block comments spanning lines before per-line stripping.
+    no_blocks = re.sub(
+        r"/\*.*?\*/", lambda m: "\n" * m.group(0).count("\n"), raw, flags=re.DOTALL
+    )
+    stripped = [strip_code(line) for line in no_blocks.split("\n")]
+
+    in_obs = rel.replace(os.sep, "/").startswith("src/obs/")
+    in_seed_impl = os.path.basename(rel) in ("seed.h", "seed.cc") and "util" in rel
+
+    unordered_names = find_unordered_names(stripped)
+
+    for i, line in enumerate(stripped):
+        here = allowed_rules(raw_lines, i)
+
+        for rule, pattern in RULES.items():
+            if rule == "wall-clock" and in_obs:
+                continue
+            if rule == "seed-arithmetic" and in_seed_impl:
+                continue
+            if rule in here:
+                continue
+            if pattern.search(line):
+                findings.append(
+                    (rel, i + 1, rule, raw_lines[i].strip()[:100])
+                )
+
+        if unordered_names and "unordered-serialization" not in here:
+            targets = [m.group(1) for m in RANGE_FOR_RE.finditer(line)]
+            targets += [m.group(1) for m in ITERATOR_LOOP_RE.finditer(line)]
+            for target in targets:
+                base = target.split(".")[-1].split("->")[-1]
+                if base in unordered_names:
+                    findings.append(
+                        (
+                            rel,
+                            i + 1,
+                            "unordered-serialization",
+                            raw_lines[i].strip()[:100],
+                        )
+                    )
+    return findings
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--root", default=".", help="repository root")
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print rule names and exit"
+    )
+    parser.add_argument("paths", nargs="*", help="extra files to scan")
+    args = parser.parse_args()
+
+    if args.list_rules:
+        for rule in sorted(list(RULES) + ["unordered-serialization"]):
+            print(rule)
+        return 0
+
+    root = os.path.abspath(args.root)
+    files = []
+    for scan_dir in SCAN_DIRS:
+        base = os.path.join(root, scan_dir)
+        if not os.path.isdir(base):
+            print(f"lint_determinism: missing directory {base}", file=sys.stderr)
+            return 2
+        for dirpath, _, filenames in os.walk(base):
+            for name in sorted(filenames):
+                if name.endswith(EXTENSIONS):
+                    files.append(os.path.join(dirpath, name))
+    files.extend(os.path.abspath(p) for p in args.paths)
+
+    findings = []
+    for path in sorted(files):
+        rel = os.path.relpath(path, root)
+        findings.extend(lint_file(path, rel))
+
+    for rel, line, rule, snippet in findings:
+        print(f"{rel}:{line}: [{rule}] {snippet}")
+    if findings:
+        print(
+            f"lint_determinism: {len(findings)} finding(s). Fix them or "
+            "annotate with // lint:allow(<rule>) and a reason.",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"lint_determinism: {len(files)} files clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
