@@ -32,6 +32,10 @@ const char* InvariantName(Invariant invariant) {
       return "register-newest-wins";
     case Invariant::kLedgerConservation:
       return "ledger-conservation";
+    case Invariant::kEventArenaConsistent:
+      return "event-arena-consistent";
+    case Invariant::kTxnQueueConsistent:
+      return "txn-queue-consistent";
     case Invariant::kCount:
       break;
   }

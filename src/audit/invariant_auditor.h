@@ -46,6 +46,8 @@ enum class Invariant {
   kDualQueueConservation,   // admitted txn is exactly one lifecycle state
   kRegisterNewestWins,      // pending register entry is the newest arrival
   kLedgerConservation,      // profit ledger totals match obs registry
+  kEventArenaConsistent,    // simulator slot arena / heap bookkeeping agrees
+  kTxnQueueConsistent,      // TxnQueue live_ matches the non-stale heap count
   kCount,                   // sentinel
 };
 

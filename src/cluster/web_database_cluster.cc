@@ -66,6 +66,13 @@ void WebDatabaseCluster::SubmitUpdate(ItemId item, double value,
   }
 }
 
+void WebDatabaseCluster::ReserveCapacity(size_t num_queries,
+                                         size_t num_updates) {
+  for (Replica& replica : replicas_) {
+    replica.server->ReserveCapacity(num_queries, num_updates);
+  }
+}
+
 const WebDatabaseServer& WebDatabaseCluster::replica(size_t i) const {
   WEBDB_CHECK(i < replicas_.size());
   return *replicas_[i].server;

@@ -73,6 +73,7 @@ ClusterExperimentResult RunClusterExperiment(
     uint64_t qc_seed) {
   trace.CheckValid();
   WebDatabaseCluster cluster(trace.num_items, factory, config);
+  cluster.ReserveCapacity(trace.queries.size(), trace.updates.size());
   ClusterFeeder feeder(&cluster, &trace, profile, qc_seed);
   feeder.Start();
   cluster.Run();

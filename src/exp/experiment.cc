@@ -32,6 +32,9 @@ ExperimentResult RunExperiment(const Trace& trace, Scheduler* scheduler,
 
   Database db(trace.num_items);
   WebDatabaseServer server(&db, scheduler, options.server);
+  // The trace shape is known up front: pre-size the transaction pools and
+  // the event arena so the run itself is allocation-free on the hot path.
+  server.ReserveCapacity(trace.queries.size(), trace.updates.size());
 
   Rng qc_rng(options.qc_seed);
   std::optional<QcGenerator> generator;

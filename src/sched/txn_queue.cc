@@ -1,52 +1,88 @@
 #include "sched/txn_queue.h"
 
+#include <algorithm>
+#include <string>
+
+#include "audit/invariant_auditor.h"
 #include "util/logging.h"
 
 namespace webdb {
 
 void TxnQueue::Push(Transaction* txn, double priority) {
   WEBDB_CHECK(txn != nullptr);
+  WEBDB_DCHECK_MSG(txn->live_queue == nullptr,
+                   "Push on a transaction that is still live in a queue");
   ++txn->enqueue_epoch;
-  heap_.push(Entry{priority, txn->arrival, txn->id, txn->enqueue_epoch, txn});
+  txn->live_queue = this;
+  heap_.push_back(
+      Entry{priority, txn->arrival, txn->id, txn->enqueue_epoch, txn});
+  std::push_heap(heap_.begin(), heap_.end());
   ++live_;
 }
 
-void TxnQueue::DropStale() {
-  while (!heap_.empty() && !IsLive(heap_.top())) heap_.pop();
+void TxnQueue::DropStale() const {
+  while (!heap_.empty() && !IsLive(heap_.front())) {
+    std::pop_heap(heap_.begin(), heap_.end());
+    heap_.pop_back();
+  }
 }
 
 Transaction* TxnQueue::Peek() const {
-  const_cast<TxnQueue*>(this)->DropStale();
-  return heap_.empty() ? nullptr : heap_.top().txn;
+  DropStale();
+  return heap_.empty() ? nullptr : heap_.front().txn;
 }
 
 Transaction* TxnQueue::Pop() {
   DropStale();
   if (heap_.empty()) return nullptr;
-  Transaction* txn = heap_.top().txn;
-  heap_.pop();
+  Transaction* txn = heap_.front().txn;
+  std::pop_heap(heap_.begin(), heap_.end());
+  heap_.pop_back();
   WEBDB_CHECK(live_ > 0);
+  WEBDB_DCHECK(txn->live_queue == this);
+  txn->live_queue = nullptr;
   --live_;
   return txn;
 }
 
 bool TxnQueue::Remove(Transaction* txn) {
   WEBDB_CHECK(txn != nullptr);
-  // The entry itself is invisible from here; the precondition (the caller
-  // only removes transactions it knows are queued here) keeps the depth
-  // math exact.
+  // The entry itself stays in the heap as a tombstone; the backpointer
+  // proves the live entry is here, which keeps the O(1) depth math exact.
+  WEBDB_DCHECK_MSG(txn->live_queue == this,
+                   "Remove on a transaction with no live entry in this queue");
   ++txn->enqueue_epoch;
+  txn->live_queue = nullptr;
   WEBDB_CHECK_MSG(live_ > 0, "Remove on a transaction with no live entry");
   --live_;
+  MaybeCompact();
   return true;
 }
 
+void TxnQueue::MaybeCompact() {
+  WEBDB_DCHECK(heap_.size() >= live_);
+  const size_t stale = heap_.size() - live_;
+  if (stale <= kCompactMinStale || stale <= live_) return;
+  auto dead = std::remove_if(heap_.begin(), heap_.end(),
+                             [this](const Entry& e) { return !IsLive(e); });
+  heap_.erase(dead, heap_.end());
+  std::make_heap(heap_.begin(), heap_.end());
+  if constexpr (audit::kEnabled) {
+    // After a rebuild every surviving entry is live, so the heap size must
+    // equal the O(1) depth counter exactly — this is the conservation law
+    // the old static Invalidate() path used to break.
+    WEBDB_AUDIT_THAT(audit::Invariant::kTxnQueueConsistent,
+                     heap_.size() == live_,
+                     "compacted heap holds " + std::to_string(heap_.size()) +
+                         " entries but live count is " +
+                         std::to_string(live_));
+  }
+}
+
 size_t TxnQueue::SlowSize() const {
-  auto copy = heap_;
   size_t n = 0;
-  while (!copy.empty()) {
-    if (IsLive(copy.top())) ++n;
-    copy.pop();
+  for (const Entry& e : heap_) {
+    if (IsLive(e)) ++n;
   }
   return n;
 }

@@ -1,16 +1,24 @@
-// Priority queue of transactions with lazy deletion.
+// Priority queue of transactions with lazy deletion and stale compaction.
 //
 // Entries carry the priority computed at enqueue time plus the transaction's
 // enqueue epoch; Pop/Peek skip entries whose epoch no longer matches (the
 // transaction was removed, restarted or re-enqueued since). Higher priority
 // pops first; ties break on earlier arrival, then lower id, so ordering is
 // fully deterministic.
+//
+// Removal is lazy (the heap entry turns into a tombstone) but no longer
+// unbounded: whenever the tombstone count exceeds max(kCompactMinStale,
+// live count), the heap is rebuilt with only live entries, so the heap
+// never holds more than 2*Size() + kCompactMinStale entries even under
+// 2PL-HP restart storms. Size() is exact — every removal goes through
+// Pop()/Remove(), both of which maintain the transaction's live_queue
+// backpointer, so a transaction can be in at most one queue and Remove()
+// can assert it is this one.
 
 #ifndef WEBDB_SCHED_TXN_QUEUE_H_
 #define WEBDB_SCHED_TXN_QUEUE_H_
 
 #include <cstddef>
-#include <queue>
 #include <vector>
 
 #include "txn/transaction.h"
@@ -19,14 +27,19 @@ namespace webdb {
 
 class TxnQueue {
  public:
+  // Tombstone slack tolerated before a rebuild; keeps tiny queues from
+  // compacting on every removal.
+  static constexpr size_t kCompactMinStale = 64;
+
   TxnQueue() = default;
 
-  // Enqueues `txn` with the given priority and bumps its enqueue epoch,
-  // invalidating any stale entries for it in any queue. Precondition: `txn`
-  // has no live entry in this queue (the caller pops or Removes first).
+  // Enqueues `txn` with the given priority and bumps its enqueue epoch.
+  // Precondition: `txn` has no live entry in any queue (the caller pops or
+  // Removes first).
   void Push(Transaction* txn, double priority);
 
-  // Highest-priority live entry, or nullptr when empty.
+  // Highest-priority live entry, or nullptr when empty. Logically const:
+  // only sheds stale tombstones from the mutable heap.
   Transaction* Peek() const;
 
   // Pops and returns the highest-priority live entry, or nullptr.
@@ -37,16 +50,13 @@ class TxnQueue {
   // this queue.
   bool Remove(Transaction* txn);
 
-  // Logically removes `txn` without depth bookkeeping — only for callers
-  // that do not know which queue holds the entry. Prefer Remove().
-  static void Invalidate(Transaction* txn) { ++txn->enqueue_epoch; }
-
-  bool Empty() const { return Peek() == nullptr; }
-  // Number of live entries, O(1). Accurate as long as removals go through
-  // Pop()/Remove() rather than the static Invalidate().
+  bool Empty() const { return live_ == 0; }
+  // Number of live entries, O(1) and exact.
   size_t Size() const { return live_; }
   // Exact live-entry count by heap scan; for tests.
   size_t SlowSize() const;
+  // Total heap entries including tombstones; for the compaction tests.
+  size_t HeapEntries() const { return heap_.size(); }
 
  private:
   struct Entry {
@@ -55,7 +65,7 @@ class TxnQueue {
     TxnId id;
     uint64_t epoch;
     Transaction* txn;
-    // std::priority_queue is a max-heap on operator<.
+    // Max-heap on operator< (std::push_heap and friends).
     bool operator<(const Entry& o) const {
       if (priority != o.priority) return priority < o.priority;
       if (arrival != o.arrival) return arrival > o.arrival;
@@ -64,10 +74,12 @@ class TxnQueue {
   };
 
   bool IsLive(const Entry& e) const { return e.epoch == e.txn->enqueue_epoch; }
-  void DropStale();
+  void DropStale() const;
+  void MaybeCompact();
 
-  // Mutable so Peek() can shed stale heads.
-  mutable std::priority_queue<Entry> heap_;
+  // Mutable so Peek() can shed stale heads without breaking its const
+  // contract; live_ never changes on the const path.
+  mutable std::vector<Entry> heap_;
   size_t live_ = 0;
 };
 

@@ -40,6 +40,15 @@ WebDatabaseServer::WebDatabaseServer(Simulator* simulator, Database* database,
   WEBDB_CHECK(database != nullptr && scheduler != nullptr);
 }
 
+void WebDatabaseServer::ReserveCapacity(size_t num_queries,
+                                        size_t num_updates) {
+  queries_.reserve(num_queries);
+  updates_.reserve(num_updates);
+  // Concurrently pending events are bounded by one lifetime-deadline per
+  // in-flight query plus a completion and a wake-up; queries dominate.
+  sim_->Reserve(num_queries + 16);
+}
+
 Transaction* WebDatabaseServer::Lookup(TxnId id) {
   WEBDB_CHECK(id != 0);
   const uint64_t index = TxnIndex(id);

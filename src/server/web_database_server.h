@@ -18,7 +18,6 @@
 #ifndef WEBDB_SERVER_WEB_DATABASE_SERVER_H_
 #define WEBDB_SERVER_WEB_DATABASE_SERVER_H_
 
-#include <deque>
 #include <memory>
 #include <unordered_map>
 #include <vector>
@@ -35,6 +34,7 @@
 #include "sim/simulator.h"
 #include "txn/lock_manager.h"
 #include "txn/transaction.h"
+#include "util/stable_vector.h"
 
 namespace webdb {
 
@@ -61,6 +61,11 @@ class WebDatabaseServer {
 
   Update* SubmitUpdate(ItemId item, double value, SimDuration exec_time);
 
+  // Pre-sizes the transaction pools and the event arena for a run of known
+  // shape (e.g. a generated trace), so the submission/commit hot path never
+  // grows storage mid-flight. Purely a performance hint.
+  void ReserveCapacity(size_t num_queries, size_t num_updates);
+
   // --- simulation control ---------------------------------------------------
   Simulator& sim() { return *sim_; }
   SimTime Now() const { return sim_->Now(); }
@@ -78,8 +83,8 @@ class WebDatabaseServer {
   const Database& database() const { return *db_; }
   const Scheduler& scheduler() const { return *sched_; }
   const ServerConfig& config() const { return config_; }
-  const std::deque<Query>& queries() const { return queries_; }
-  const std::deque<Update>& updates() const { return updates_; }
+  const StableVector<Query>& queries() const { return queries_; }
+  const StableVector<Update>& updates() const { return updates_; }
   double CpuUtilization() const;
 
   // True when no transaction is in flight and no resource is held: CPU
@@ -152,9 +157,10 @@ class WebDatabaseServer {
   ProfitLedger ledger_;
   ServerMetrics metrics_;
 
-  // Owned transaction storage; std::deque gives stable addresses.
-  std::deque<Query> queries_;
-  std::deque<Update> updates_;
+  // Owned transaction storage; chunked pool with stable addresses
+  // (util/stable_vector.h), reservable via ReserveCapacity.
+  StableVector<Query> queries_;
+  StableVector<Update> updates_;
 
   // Updates that were dispatched at least once and are still alive (running
   // or preempted); at most one per item. Needed for write-write drops of

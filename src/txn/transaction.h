@@ -14,6 +14,8 @@
 
 namespace webdb {
 
+class TxnQueue;
+
 // Globally unique transaction id; 0 is reserved as "no transaction".
 using TxnId = uint64_t;
 
@@ -58,6 +60,9 @@ struct Transaction {
   // Bumped on every scheduler enqueue; lets queues with lazy deletion tell
   // live entries from stale ones (see TxnQueue).
   uint64_t enqueue_epoch = 0;
+  // The queue currently holding this transaction's live entry, or nullptr.
+  // Maintained by TxnQueue; a transaction is live in at most one queue.
+  TxnQueue* live_queue = nullptr;
 };
 
 struct Query : Transaction {

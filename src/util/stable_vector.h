@@ -1,0 +1,122 @@
+// Chunked pool with stable element addresses and std-style surface.
+//
+// The server hands out Query*/Update* pointers that must survive every
+// later submission, so its transaction storage needs address stability
+// under growth. std::deque provides that but allocates a fixed small block
+// size chosen by the library (512 bytes in libstdc++ — a handful of
+// transactions per allocation) and cannot pre-size itself: a full-trace run
+// performs thousands of node allocations on the submission path.
+// StableVector keeps the deque's guarantee — elements never move — but
+// allocates power-of-two chunks of kChunkSize elements and supports
+// reserve(), so a run of known shape performs a handful of allocations up
+// front and none after.
+//
+// Deliberately minimal: append-only (emplace_back), indexed access,
+// forward iteration. No erase, no insert — the server never removes a
+// transaction once submitted.
+
+#ifndef WEBDB_UTIL_STABLE_VECTOR_H_
+#define WEBDB_UTIL_STABLE_VECTOR_H_
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <utility>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace webdb {
+
+template <typename T, size_t kChunkSize = 1024>
+class StableVector {
+  static_assert((kChunkSize & (kChunkSize - 1)) == 0,
+                "chunk size must be a power of two");
+
+ public:
+  StableVector() = default;
+
+  StableVector(const StableVector&) = delete;
+  StableVector& operator=(const StableVector&) = delete;
+
+  ~StableVector() {
+    for (size_t i = 0; i < size_; ++i) std::destroy_at(&(*this)[i]);
+    for (T* chunk : chunks_) {
+      std::allocator<T>().deallocate(chunk, kChunkSize);
+    }
+  }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  T& operator[](size_t i) {
+    return chunks_[i >> kShift][i & (kChunkSize - 1)];
+  }
+  const T& operator[](size_t i) const {
+    return chunks_[i >> kShift][i & (kChunkSize - 1)];
+  }
+
+  T& back() {
+    WEBDB_DCHECK(size_ > 0);
+    return (*this)[size_ - 1];
+  }
+  const T& back() const {
+    WEBDB_DCHECK(size_ > 0);
+    return (*this)[size_ - 1];
+  }
+
+  template <typename... Args>
+  T& emplace_back(Args&&... args) {
+    const size_t i = size_;
+    if ((i >> kShift) == chunks_.size()) AddChunk();
+    T* slot = &chunks_[i >> kShift][i & (kChunkSize - 1)];
+    ::new (static_cast<void*>(slot)) T(std::forward<Args>(args)...);
+    ++size_;
+    return *slot;
+  }
+
+  // Pre-allocates chunks for at least `n` elements. Never shrinks; element
+  // addresses are unaffected (they always are).
+  void reserve(size_t n) {
+    while (chunks_.size() * kChunkSize < n) AddChunk();
+  }
+
+  template <typename V>
+  class Iterator {
+   public:
+    Iterator(V* vec, size_t i) : vec_(vec), i_(i) {}
+    auto& operator*() const { return (*vec_)[i_]; }
+    auto* operator->() const { return &(*vec_)[i_]; }
+    Iterator& operator++() {
+      ++i_;
+      return *this;
+    }
+    bool operator==(const Iterator& o) const { return i_ == o.i_; }
+    bool operator!=(const Iterator& o) const { return i_ != o.i_; }
+
+   private:
+    V* vec_;
+    size_t i_;
+  };
+
+  Iterator<StableVector> begin() { return {this, 0}; }
+  Iterator<StableVector> end() { return {this, size_}; }
+  Iterator<const StableVector> begin() const { return {this, 0}; }
+  Iterator<const StableVector> end() const { return {this, size_}; }
+
+ private:
+  static constexpr size_t kShift = [] {
+    size_t shift = 0;
+    while ((size_t{1} << shift) < kChunkSize) ++shift;
+    return shift;
+  }();
+
+  void AddChunk() { chunks_.push_back(std::allocator<T>().allocate(kChunkSize)); }
+
+  std::vector<T*> chunks_;
+  size_t size_ = 0;
+};
+
+}  // namespace webdb
+
+#endif  // WEBDB_UTIL_STABLE_VECTOR_H_

@@ -81,6 +81,10 @@ TEST(InvariantCountersTest, NamesAreStableKebabCase) {
                "register-newest-wins");
   EXPECT_STREQ(audit::InvariantName(audit::Invariant::kLedgerConservation),
                "ledger-conservation");
+  EXPECT_STREQ(audit::InvariantName(audit::Invariant::kEventArenaConsistent),
+               "event-arena-consistent");
+  EXPECT_STREQ(audit::InvariantName(audit::Invariant::kTxnQueueConsistent),
+               "txn-queue-consistent");
 }
 
 TEST(InvariantCountersTest, CountAccumulatesPerInvariant) {

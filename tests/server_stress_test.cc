@@ -151,6 +151,54 @@ INSTANTIATE_TEST_SUITE_P(
                                          SchedulerKind::kQuts),
                        ::testing::Values<uint64_t>(11, 22)));
 
+TEST(RestartStormTest, HeavyPreemptionKeepsQueueAccountingExact) {
+  // Adversarial 2PL-HP restart storm: one hot item, long-running updates,
+  // and a stream of short queries under the query-favoring scheduler. Every
+  // dispatched query preempts the running update and then restarts it at
+  // lock acquisition (write-lock conflict), so the update queue sees a
+  // continuous Remove+Requeue churn — the exact pattern that builds
+  // tombstones in TxnQueue. Auditing at every step checks that the O(1)
+  // queue depths still match the per-state transaction populations (the
+  // dual-queue conservation law), i.e. that compaction and the Remove()
+  // bookkeeping never drift.
+  auto scheduler = MakeScheduler(SchedulerKind::kQueryHigh);
+  Database db(2);
+  WebDatabaseServer server(&db, scheduler.get(), ServerConfig());
+  Rng rng(7);
+
+  SimTime t = 0;
+  for (int round = 0; round < 400; ++round) {
+    t += rng.UniformInt(Millis(1), Millis(3));
+    const bool is_query = (round % 4) != 0;  // 3 queries per update
+    server.sim().ScheduleAt(t, [&server, is_query] {
+      if (is_query) {
+        server.SubmitQuery(QueryType::kLookup, {0}, QualityContract(),
+                           Millis(1));
+      } else {
+        server.SubmitUpdate(0, 1.0, Millis(20));  // long: preemption target
+      }
+    });
+  }
+
+  // Drive the run in slices, deep-auditing between slices so queue-depth
+  // drift is caught while the storm is raging, not just after the drain.
+  for (SimTime cut = Millis(50); cut <= t + Millis(100); cut += Millis(50)) {
+    server.RunUntil(cut);
+    server.AuditInvariants();
+  }
+  server.Run();
+  server.AuditInvariants();
+
+  const ServerMetrics& metrics = server.metrics();
+  EXPECT_GT(metrics.preemptions, 50);
+  EXPECT_GT(metrics.update_restarts, 50);
+  EXPECT_TRUE(server.IsQuiescent());
+  EXPECT_EQ(metrics.queries_committed + metrics.queries_dropped,
+            metrics.queries_submitted);
+  EXPECT_EQ(metrics.updates_applied + metrics.updates_invalidated,
+            metrics.updates_submitted);
+}
+
 TEST(QueueSamplingTest, SamplesRecordedWhileBusy) {
   auto scheduler = MakeScheduler(SchedulerKind::kFifo);
   Database db(8);

@@ -1,5 +1,7 @@
 #include "sim/simulator.h"
 
+#include <array>
+#include <functional>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -108,6 +110,110 @@ TEST(SimulatorTest, EventsCanScheduleMoreEvents) {
   sim.Run();
   EXPECT_EQ(count, 100);
   EXPECT_EQ(sim.Now(), 99);
+}
+
+// --- slot-arena specifics ---------------------------------------------------
+
+TEST(SimulatorTest, StaleIdCannotTouchRecycledSlot) {
+  Simulator sim;
+  int first = 0, second = 0;
+  const EventId a = sim.ScheduleAt(10, [&] { ++first; });
+  ASSERT_TRUE(sim.Step());  // fires `a`; its slot returns to the free list
+  const EventId b = sim.ScheduleAt(20, [&] { ++second; });
+  // The recycled slot has a new generation: the old handle is dead.
+  EXPECT_NE(a, b);
+  EXPECT_FALSE(sim.IsPending(a));
+  EXPECT_FALSE(sim.Cancel(a));
+  EXPECT_TRUE(sim.IsPending(b));
+  sim.Run();
+  EXPECT_EQ(first, 1);
+  EXPECT_EQ(second, 1);
+}
+
+TEST(SimulatorTest, EventIdsAreNeverZero) {
+  Simulator sim;
+  for (int i = 0; i < 100; ++i) {
+    const EventId id = sim.ScheduleAt(i, [] {});
+    EXPECT_NE(id, 0u);
+    if (i % 2 == 0) sim.Cancel(id);
+  }
+  sim.Run();
+}
+
+TEST(SimulatorTest, ArenaReusesSlotsInsteadOfGrowing) {
+  Simulator sim;
+  // A ping-pong chain keeps at most two events pending; a run of thousands
+  // of events must not grow the arena past that.
+  int count = 0;
+  std::function<void()> chain = [&] {
+    ++count;
+    if (count < 5000) sim.ScheduleAfter(1, chain);
+  };
+  sim.ScheduleAt(0, chain);
+  sim.Run();
+  EXPECT_EQ(count, 5000);
+  EXPECT_LE(sim.stats().slots_allocated, 2u);
+  EXPECT_EQ(sim.stats().scheduled, 5000u);
+}
+
+TEST(SimulatorTest, ReserveDoesNotChangeBehavior) {
+  // Two identical runs, one through Reserve: same ids, same order.
+  std::vector<EventId> plain_ids, reserved_ids;
+  std::vector<int> plain_order, reserved_order;
+  for (bool reserve : {false, true}) {
+    Simulator sim;
+    if (reserve) sim.Reserve(64);
+    auto& ids = reserve ? reserved_ids : plain_ids;
+    auto& order = reserve ? reserved_order : plain_order;
+    for (int i = 0; i < 10; ++i) {
+      ids.push_back(sim.ScheduleAt(10 - i, [&order, i] { order.push_back(i); }));
+    }
+    sim.Cancel(ids[3]);
+    sim.Run();
+  }
+  EXPECT_EQ(plain_ids, reserved_ids);
+  EXPECT_EQ(plain_order, reserved_order);
+}
+
+TEST(SimulatorTest, SmallCallbacksStayOffTheHeap) {
+  Simulator sim;
+  int fired = 0;
+  int* counter = &fired;
+  for (int i = 0; i < 50; ++i) {
+    sim.ScheduleAt(i, [counter] { ++*counter; });
+  }
+  sim.Run();
+  EXPECT_EQ(fired, 50);
+  EXPECT_EQ(sim.stats().callback_heap_spills, 0u);
+}
+
+TEST(SimulatorTest, OversizedCallbacksSpillToHeapAndStillFire) {
+  Simulator sim;
+  std::array<uint64_t, 16> big{};  // 128 bytes of capture: exceeds the SBO
+  big[15] = 7;
+  uint64_t seen = 0;
+  sim.ScheduleAt(1, [big, &seen] { seen = big[15]; });
+  sim.Run();
+  EXPECT_EQ(seen, 7u);
+  EXPECT_EQ(sim.stats().callback_heap_spills, 1u);
+}
+
+TEST(SimulatorTest, CancelDuringStormKeepsCountsExact) {
+  Simulator sim;
+  int fired = 0;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 1000; ++i) {
+    ids.push_back(sim.ScheduleAt(i / 4, [&] { ++fired; }));
+  }
+  size_t cancelled = 0;
+  for (size_t i = 0; i < ids.size(); i += 3) {
+    if (sim.Cancel(ids[i])) ++cancelled;
+  }
+  EXPECT_EQ(sim.NumPending(), 1000u - cancelled);
+  sim.Run();
+  EXPECT_EQ(static_cast<size_t>(fired), 1000u - cancelled);
+  EXPECT_EQ(sim.NumPending(), 0u);
+  EXPECT_EQ(sim.stats().cancelled, cancelled);
 }
 
 // The schedule-into-the-past check is debug-tier (WEBDB_DCHECK): absent in

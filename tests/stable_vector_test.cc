@@ -1,0 +1,88 @@
+#include "util/stable_vector.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace webdb {
+namespace {
+
+TEST(StableVectorTest, StartsEmpty) {
+  StableVector<int> v;
+  EXPECT_TRUE(v.empty());
+  EXPECT_EQ(v.size(), 0u);
+  EXPECT_EQ(v.begin(), v.end());
+}
+
+TEST(StableVectorTest, EmplaceBackAndIndex) {
+  StableVector<int> v;
+  for (int i = 0; i < 100; ++i) {
+    int& ref = v.emplace_back(i * 3);
+    EXPECT_EQ(ref, i * 3);
+  }
+  EXPECT_EQ(v.size(), 100u);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(v[static_cast<size_t>(i)], i * 3);
+  EXPECT_EQ(v.back(), 99 * 3);
+}
+
+TEST(StableVectorTest, AddressesStableAcrossGrowth) {
+  // Use a small chunk so the test crosses many chunk boundaries.
+  StableVector<std::string, 4> v;
+  std::vector<const std::string*> addresses;
+  for (int i = 0; i < 64; ++i) {
+    addresses.push_back(&v.emplace_back(std::to_string(i)));
+  }
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_EQ(&v[static_cast<size_t>(i)], addresses[static_cast<size_t>(i)]);
+    EXPECT_EQ(*addresses[static_cast<size_t>(i)], std::to_string(i));
+  }
+}
+
+TEST(StableVectorTest, RangeForIterationMutableAndConst) {
+  StableVector<int, 8> v;
+  for (int i = 0; i < 20; ++i) v.emplace_back(i);
+  int sum = 0;
+  for (int& x : v) sum += x;
+  EXPECT_EQ(sum, 190);
+  const StableVector<int, 8>& cv = v;
+  int csum = 0;
+  for (const int& x : cv) csum += x;
+  EXPECT_EQ(csum, 190);
+}
+
+TEST(StableVectorTest, ReservePreallocatesWithoutChangingContents) {
+  StableVector<int, 8> v;
+  v.emplace_back(1);
+  v.reserve(1000);
+  EXPECT_EQ(v.size(), 1u);
+  EXPECT_EQ(v[0], 1);
+  for (int i = 0; i < 999; ++i) v.emplace_back(i);
+  EXPECT_EQ(v.size(), 1000u);
+  EXPECT_EQ(v[0], 1);
+  EXPECT_EQ(v[999], 998);
+}
+
+TEST(StableVectorTest, DestroysOnlyConstructedElements) {
+  // Reserve more capacity than is used: destruction must only touch the
+  // `size()` constructed elements. shared_ptr use-counts make leaks or
+  // double-destroys visible.
+  auto probe = std::make_shared<int>(42);
+  {
+    StableVector<std::shared_ptr<int>, 4> v;
+    v.reserve(100);
+    for (int i = 0; i < 10; ++i) v.emplace_back(probe);
+    EXPECT_EQ(probe.use_count(), 11);
+  }
+  EXPECT_EQ(probe.use_count(), 1);
+}
+
+TEST(StableVectorTest, MoveOnlyElements) {
+  StableVector<std::unique_ptr<int>, 4> v;
+  for (int i = 0; i < 10; ++i) v.emplace_back(std::make_unique<int>(i));
+  EXPECT_EQ(*v[9], 9);
+}
+
+}  // namespace
+}  // namespace webdb

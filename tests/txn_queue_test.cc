@@ -1,8 +1,11 @@
 #include "sched/txn_queue.h"
 
+#include <vector>
+
 #include <gtest/gtest.h>
 
 #include "test_txns.h"
+#include "util/logging.h"
 
 namespace webdb {
 namespace {
@@ -75,18 +78,110 @@ TEST(TxnQueueTest, RepushAfterRemoveYieldsSingleLiveEntry) {
   EXPECT_EQ(queue.Pop(), nullptr);
 }
 
-TEST(TxnQueueTest, StaticInvalidateHidesEntryButNotDepth) {
+TEST(TxnQueueTest, MoveBetweenQueuesViaRemove) {
   TxnPool pool;
   TxnQueue queue_a, queue_b;
   Query* a = pool.NewQuery(0);
   queue_a.Push(a, 1.0);
-  // Moving the txn to another queue implicitly kills the old entry; the
-  // O(1) depth of the abandoned queue is only repaired lazily, which is why
-  // schedulers use Remove() instead.
+  // Moving a transaction between queues goes through Remove() so both
+  // queues' O(1) depths stay exact (the old implicit-invalidation path left
+  // the abandoned queue overcounting).
+  EXPECT_TRUE(queue_a.Remove(a));
   queue_b.Push(a, 1.0);
   EXPECT_TRUE(queue_a.Empty());
+  EXPECT_EQ(queue_a.Size(), 0u);
   EXPECT_EQ(queue_a.SlowSize(), 0u);
+  EXPECT_EQ(queue_b.Size(), 1u);
   EXPECT_EQ(queue_b.Pop(), a);
+}
+
+#if WEBDB_DCHECK_ENABLED
+TEST(TxnQueueDeathTest, PushWhileLiveElsewhereAborts) {
+  TxnPool pool;
+  TxnQueue queue_a, queue_b;
+  Query* a = pool.NewQuery(0);
+  queue_a.Push(a, 1.0);
+  EXPECT_DEATH(queue_b.Push(a, 1.0), "still live in a queue");
+}
+
+TEST(TxnQueueDeathTest, RemoveFromWrongQueueAborts) {
+  TxnPool pool;
+  TxnQueue queue_a, queue_b;
+  Query* a = pool.NewQuery(0);
+  queue_a.Push(a, 1.0);
+  EXPECT_DEATH(queue_b.Remove(a), "no live entry in this queue");
+}
+
+TEST(TxnQueueDeathTest, RemoveAfterPopAborts) {
+  TxnPool pool;
+  TxnQueue queue;
+  Query* a = pool.NewQuery(0);
+  queue.Push(a, 1.0);
+  EXPECT_EQ(queue.Pop(), a);
+  EXPECT_DEATH(queue.Remove(a), "no live entry");
+}
+#endif  // WEBDB_DCHECK_ENABLED
+
+TEST(TxnQueueTest, CompactionBoundsHeapUnderChurn) {
+  TxnPool pool;
+  TxnQueue queue;
+  // A restart storm at queue level: a small live population that gets
+  // removed and re-pushed over and over. Without compaction the heap would
+  // grow by one tombstone per cycle; with it, the heap stays within
+  // 2 * live + slack of the live population.
+  constexpr int kLive = 16;
+  std::vector<Query*> txns;
+  txns.reserve(kLive);
+  for (int i = 0; i < kLive; ++i) {
+    txns.push_back(pool.NewQuery(i));
+    queue.Push(txns.back(), static_cast<double>(i));
+  }
+  for (int round = 0; round < 1000; ++round) {
+    Query* victim = txns[static_cast<size_t>(round) % kLive];
+    ASSERT_TRUE(queue.Remove(victim));
+    queue.Push(victim, static_cast<double>(round % 7));
+    ASSERT_EQ(queue.Size(), static_cast<size_t>(kLive));
+    ASSERT_EQ(queue.Size(), queue.SlowSize());
+    ASSERT_LE(queue.HeapEntries(),
+              2 * queue.Size() + TxnQueue::kCompactMinStale + 1);
+  }
+  // Drain to prove every live transaction survived the compactions.
+  size_t popped = 0;
+  while (queue.Pop() != nullptr) ++popped;
+  EXPECT_EQ(popped, static_cast<size_t>(kLive));
+  EXPECT_TRUE(queue.Empty());
+}
+
+TEST(TxnQueueTest, CompactionPreservesPopOrder) {
+  TxnPool pool;
+  // Two identical workloads, one churned hard enough to trigger several
+  // compactions: the pop sequences must be identical.
+  TxnQueue plain, churned;
+  std::vector<Query*> a, b;
+  for (int i = 0; i < 200; ++i) {
+    a.push_back(pool.NewQuery(i));
+    b.push_back(pool.NewQuery(i));
+    plain.Push(a.back(), static_cast<double>(i % 13));
+    churned.Push(b.back(), static_cast<double>(i % 13));
+  }
+  // Churn: remove + re-push every transaction with its original priority.
+  for (int round = 0; round < 3; ++round) {
+    for (int i = 0; i < 200; ++i) {
+      ASSERT_TRUE(churned.Remove(b[static_cast<size_t>(i)]));
+      churned.Push(b[static_cast<size_t>(i)], static_cast<double>(i % 13));
+    }
+  }
+  while (true) {
+    Transaction* x = plain.Pop();
+    Transaction* y = churned.Pop();
+    if (x == nullptr) {
+      EXPECT_EQ(y, nullptr);
+      break;
+    }
+    ASSERT_NE(y, nullptr);
+    // Same arrival and same id modulo the two disjoint pools.
+    EXPECT_EQ(x->arrival, y->arrival);
+  }
 }
 
 TEST(TxnQueueTest, SizeTracksPushAndPop) {

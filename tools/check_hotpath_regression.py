@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Perf-smoke gate for bench_hotpath.
+
+Compares a fresh BENCH_hotpath.json against the committed baseline
+(bench/baseline/BENCH_hotpath.json) and fails on:
+
+  * events/sec regression of more than --tolerance (default 20%) against
+    the baseline's events_per_sec — the machine-sensitive check the CI
+    perf-smoke job exists for;
+  * speedup_vs_legacy below --min-speedup (default 2.0) — the
+    machine-independent acceptance criterion: the slot-arena core must stay
+    at least 2x faster than the embedded pre-arena core, measured in the
+    same process on the same workload;
+  * any allocations per event on the arena hot path (allocs_per_event must
+    round to zero after warm-up; the committed baseline documents the
+    expected value).
+
+Usage:
+  python3 tools/check_hotpath_regression.py \
+      --current BENCH_hotpath.json \
+      [--baseline bench/baseline/BENCH_hotpath.json] \
+      [--tolerance 0.20] [--min-speedup 2.0]
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path, "r", encoding="utf-8") as f:
+        return json.load(f)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--current", required=True,
+                        help="freshly produced BENCH_hotpath.json")
+    parser.add_argument("--baseline",
+                        default="bench/baseline/BENCH_hotpath.json",
+                        help="committed baseline JSON")
+    parser.add_argument("--tolerance", type=float, default=0.20,
+                        help="allowed fractional events/sec regression")
+    parser.add_argument("--min-speedup", type=float, default=2.0,
+                        help="required speedup over the legacy core")
+    args = parser.parse_args()
+
+    current = load(args.current)
+    baseline = load(args.baseline)
+
+    failures = []
+
+    cur_eps = float(current["events_per_sec"])
+    base_eps = float(baseline["events_per_sec"])
+    floor = base_eps * (1.0 - args.tolerance)
+    print(f"events/sec: current {cur_eps:,.0f}, baseline {base_eps:,.0f}, "
+          f"floor {floor:,.0f}")
+    if cur_eps < floor:
+        failures.append(
+            f"events/sec regressed more than {args.tolerance:.0%}: "
+            f"{cur_eps:,.0f} < {floor:,.0f}")
+
+    speedup = float(current["speedup_vs_legacy"])
+    print(f"speedup vs legacy core: {speedup:.2f}x "
+          f"(required >= {args.min_speedup:.2f}x)")
+    if speedup < args.min_speedup:
+        failures.append(
+            f"speedup over the legacy core fell below "
+            f"{args.min_speedup:.2f}x: {speedup:.2f}x")
+
+    allocs = float(current["allocs_per_event"])
+    print(f"allocs/event on the arena path: {allocs:.4f}")
+    if allocs >= 0.01:
+        failures.append(
+            f"arena hot path is allocating again: {allocs:.4f} allocs/event")
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("OK: hot-path performance within bounds")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
