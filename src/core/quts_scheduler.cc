@@ -51,29 +51,36 @@ void QutsScheduler::MaybeAdapt(SimTime now) {
   }
 }
 
-void QutsScheduler::Redraw(SimTime now) {
+TxnKind QutsScheduler::DrawSide(SimTime now) {
+  TxnKind drawn;
   if (options_.slicing == QutsSlicing::kRandom) {
     const double xi = rng_.NextDouble();
-    side_ = xi < rho_ ? TxnKind::kQuery : TxnKind::kUpdate;
+    drawn = xi < rho_ ? TxnKind::kQuery : TxnKind::kUpdate;
   } else {
     slice_credit_ += rho_;
     if (slice_credit_ >= 1.0) {
       slice_credit_ -= 1.0;
-      side_ = TxnKind::kQuery;
+      drawn = TxnKind::kQuery;
     } else {
-      side_ = TxnKind::kUpdate;
+      drawn = TxnKind::kUpdate;
     }
   }
+  atom_expiry_ = now + options_.atom_time;
+  ++redraws_;
+  return drawn;
+}
+
+void QutsScheduler::Redraw(SimTime now) {
+  side_ = DrawSide(now);
   // If the picked queue is empty the state changes immediately (Table 2:
   // "or the current running queue is empty"): fall over to the other side.
+  // This is the idle-CPU path (PopNext), so the queues alone decide.
   if (QueueFor(side_).Empty() && !QueueFor(side_ == TxnKind::kQuery
                                                ? TxnKind::kUpdate
                                                : TxnKind::kQuery)
                                       .Empty()) {
     side_ = side_ == TxnKind::kQuery ? TxnKind::kUpdate : TxnKind::kQuery;
   }
-  atom_expiry_ = now + options_.atom_time;
-  ++redraws_;
 }
 
 void QutsScheduler::EnsureSide(SimTime now) {
@@ -134,15 +141,33 @@ bool QutsScheduler::ShouldPreempt(const Transaction& running, SimTime now) {
   // expires (that bound on switching frequency is the whole point of τ).
   MaybeAdapt(now);
   if (now < atom_expiry_) return false;
-  Redraw(now);
-  return side_ != running.kind && !QueueFor(side_).Empty();
+  // Atom boundary with `running` on the CPU: draw the next atom's side
+  // (Table 2 — one draw per atom, consumed here). The running transaction
+  // counts as work on its side, so a draw for the running side, or for a
+  // side with an empty queue, keeps the CPU where it is: Table 2's
+  // immediate state change on an empty queue falls back to the only
+  // non-empty "queue" — the one whose transaction is running.
+  const TxnKind drawn = DrawSide(now);
+  if (drawn == running.kind || QueueFor(drawn).Empty()) {
+    side_ = running.kind;
+    return false;
+  }
+  side_ = drawn;
+  return true;
 }
 
 SimTime QutsScheduler::NextDecisionTime(SimTime now) {
   // A wake-up is only useful if some transaction is waiting to take over at
   // the atom boundary.
   if (!HasWork()) return kSimTimeMax;
-  return atom_expiry_ > now ? atom_expiry_ : now;
+  // An already-expired atom means the boundary decision is due at the next
+  // scheduling event, which ShouldPreempt/PopNext handle by redrawing; a
+  // wake-up at `now` would be a zero-delay event that can respin every
+  // step without making progress. Clamp to a full atom from now — the
+  // redraw that any intervening scheduling event performs moves the expiry
+  // to the same point.
+  if (atom_expiry_ <= now) return now + options_.atom_time;
+  return atom_expiry_;
 }
 
 bool QutsScheduler::HasWork() const {

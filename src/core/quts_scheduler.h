@@ -96,7 +96,13 @@ class QutsScheduler final : public Scheduler {
   void MaybeAdapt(SimTime now);
   // Redraws the side if the current atom expired.
   void EnsureSide(SimTime now);
-  // Unconditional redraw at `now`; starts a fresh atom.
+  // Draws a side from ρ (ξ in random mode, the credit accumulator in
+  // deterministic mode) and starts a fresh atom. Does not commit `side_`:
+  // the caller decides how an empty drawn queue falls over (idle CPU vs a
+  // running transaction occupying its side).
+  TxnKind DrawSide(SimTime now);
+  // Idle-CPU redraw at `now`: commits the drawn side, falling over to the
+  // other side if the drawn queue is empty and the other is not.
   void Redraw(SimTime now);
   TxnQueue& QueueFor(TxnKind side);
   const TxnQueue& QueueFor(TxnKind side) const;

@@ -195,7 +195,13 @@ TEST_F(FiguresTest, AdaptabilityComparisonRanksQutsAtTop) {
       best_other = std::max(best_other, row.total_pct);
     }
   }
-  EXPECT_GT(quts_total, best_other - 0.05);  // at worst a near-tie
+  // At worst a near-tie on this heavily down-scaled schedule. The slack
+  // covers QH edging ahead at test scale: QUTS no longer preempts a
+  // running transaction when the atom draw picks its own side but its
+  // waiting queue is empty (that flip over-served the opposite side
+  // beyond the ρ share), which costs a fraction of a point here while the
+  // full Figure 8/9 dominance results are unchanged.
+  EXPECT_GT(quts_total, best_other - 0.06);
 }
 
 TEST_F(FiguresTest, RhoModelValidationProducesBothCurves) {

@@ -174,6 +174,107 @@ TEST(QutsTest, NextDecisionTimeNeverWhenIdle) {
   EXPECT_EQ(sched.NextDecisionTime(0), kSimTimeMax);
 }
 
+TEST(QutsTest, NextDecisionTimeMakesProgressOnExpiredAtom) {
+  TxnPool pool;
+  QutsScheduler sched(FastOptions());
+  Query* q = pool.NewQuery(0, Millis(5), 1.0, 1.0);
+  sched.OnQueryArrival(q, 0);
+  sched.PopNext(0);  // atom starts at t=0, expires at t=10ms
+  Update* u = pool.NewUpdate(1);
+  sched.OnUpdateArrival(u, Millis(25));
+  // The atom expired 15ms ago. The old code answered `now`, which let the
+  // server schedule a zero-delay wake-up every step; the decision time
+  // must always be strictly in the future.
+  const SimTime t = sched.NextDecisionTime(Millis(25));
+  EXPECT_GT(t, Millis(25));
+  EXPECT_EQ(t, Millis(25) + sched.options().atom_time);
+}
+
+// ShouldPreempt boundary behavior, random slicing pinned via degenerate ρ
+// (ξ ∈ [0,1): ρ=1 always draws the query side, ρ=0 always the update side).
+
+TEST(QutsTest, BoundaryDrawForRunningSideDoesNotPreempt) {
+  TxnPool pool;
+  QutsScheduler::Options options = FastOptions();
+  options.initial_rho = 1.0;  // every draw picks the query side
+  options.freeze_rho = true;
+  QutsScheduler sched(options);
+  Query* q = pool.NewQuery(0, Millis(5), 1.0, 1.0);
+  sched.OnQueryArrival(q, 0);
+  Transaction* running = sched.PopNext(0);
+  ASSERT_EQ(running, q);
+  Update* u = pool.NewUpdate(1);
+  sched.OnUpdateArrival(u, 1);
+  // Atom boundary at t=10ms: the draw picks the query side — the side of
+  // the running transaction. Its queue is empty, but the running query IS
+  // the query side's work: the old fallover flipped to the update side and
+  // preempted anyway, switching sides against the draw.
+  EXPECT_FALSE(sched.ShouldPreempt(*running, Millis(10)));
+  EXPECT_EQ(sched.current_side(), TxnKind::kQuery);
+  // Mid-atom after the boundary decision: still no preemption.
+  EXPECT_FALSE(sched.ShouldPreempt(*running, Millis(15)));
+}
+
+TEST(QutsTest, BoundaryDrawForEmptyOppositeSideKeepsRunningSide) {
+  TxnPool pool;
+  QutsScheduler::Options options = FastOptions();
+  options.initial_rho = 0.0;  // every draw picks the update side
+  options.freeze_rho = true;
+  QutsScheduler sched(options);
+  Query* q1 = pool.NewQuery(0, Millis(5), 1.0, 1.0);
+  Query* q2 = pool.NewQuery(0, Millis(5), 1.0, 1.0);
+  sched.OnQueryArrival(q1, 0);
+  sched.OnQueryArrival(q2, 0);
+  Transaction* running = sched.PopNext(0);
+  // Boundary: the draw picks the update side, but no update is queued —
+  // immediate state change back to the only side with work (the running
+  // query's). The scheduler must not park on an empty side while a query
+  // runs.
+  EXPECT_FALSE(sched.ShouldPreempt(*running, Millis(10)));
+  EXPECT_EQ(sched.current_side(), TxnKind::kQuery);
+  EXPECT_EQ(sched.PopNext(Millis(11)), q2);
+}
+
+TEST(QutsTest, BoundaryDrawForOppositeSideWithWorkPreempts) {
+  TxnPool pool;
+  QutsScheduler::Options options = FastOptions();
+  options.initial_rho = 0.0;  // every draw picks the update side
+  options.freeze_rho = true;
+  QutsScheduler sched(options);
+  Query* q = pool.NewQuery(0, Millis(5), 1.0, 1.0);
+  sched.OnQueryArrival(q, 0);
+  Transaction* running = sched.PopNext(0);
+  Update* u = pool.NewUpdate(1);
+  sched.OnUpdateArrival(u, 1);
+  EXPECT_TRUE(sched.ShouldPreempt(*running, Millis(10)));
+  EXPECT_EQ(sched.current_side(), TxnKind::kUpdate);
+}
+
+TEST(QutsTest, DeterministicSlicingBoundarySequencePinned) {
+  TxnPool pool;
+  QutsScheduler::Options options = FastOptions();
+  options.slicing = QutsSlicing::kDeterministic;
+  options.initial_rho = 0.5;
+  options.freeze_rho = true;
+  QutsScheduler sched(options);
+  Query* q = pool.NewQuery(0, Millis(5), 1.0, 1.0);
+  sched.OnQueryArrival(q, 0);
+  // PopNext's draw: credit 0.0 + 0.5 < 1 → update side, falls over to the
+  // query side (idle CPU, only a query queued).
+  Transaction* running = sched.PopNext(0);
+  ASSERT_EQ(running, q);
+  Update* u = pool.NewUpdate(1);
+  sched.OnUpdateArrival(u, 1);
+  // With ρ=0.5 the credit accumulator alternates exactly: 0.5+0.5=1.0 →
+  // query (credit wraps to 0), then 0.5 → update, ... Each probe below is
+  // one atom boundary; the query keeps running through query draws and is
+  // preempted on the first update draw.
+  EXPECT_FALSE(sched.ShouldPreempt(*running, Millis(10)));  // draw: query
+  EXPECT_EQ(sched.current_side(), TxnKind::kQuery);
+  EXPECT_TRUE(sched.ShouldPreempt(*running, Millis(20)));   // draw: update
+  EXPECT_EQ(sched.current_side(), TxnKind::kUpdate);
+}
+
 TEST(QutsTest, DeterministicAcrossInstancesWithSameSeed) {
   // Draw-side sequences must match between two identically seeded schedulers.
   QutsScheduler a(FastOptions()), b(FastOptions());
