@@ -27,8 +27,10 @@
 #include <unordered_map>
 #include <vector>
 
+#include "exp/experiment.h"
 #include "sched/txn_queue.h"
 #include "sim/simulator.h"
+#include "trace/stock_trace_generator.h"
 #include "txn/transaction.h"
 #include "util/time.h"
 
@@ -321,6 +323,64 @@ Throughput RunQueueChurn(uint64_t ops) {
   return out;
 }
 
+// --- multi-core scaling ------------------------------------------------------
+// End-to-end profit throughput of sharded QUTS at 1/2/4 CPUs on a
+// flash-crowd trace that saturates a single CPU. The figure of merit is
+// profit per wall-second — committed profit divided by the wall time of the
+// whole simulated run — so it folds both the schedule quality (more commits
+// under overload) and the simulator's multi-CPU bookkeeping cost into one
+// number. Every row is run twice; the end-state hashes must agree or the
+// bench aborts (determinism is part of the contract being measured).
+
+struct MulticoreRow {
+  int cpus = 0;
+  double profit = 0.0;
+  double wall_s = 0.0;
+  double profit_per_wall_s = 0.0;
+  uint64_t end_state_hash = 0;
+};
+
+Trace MakeFlashCrowdTrace() {
+  // A short, heavily overloaded open: the spike demand is several times one
+  // CPU, so extra cores translate directly into committed queries.
+  StockTraceConfig config = StockTraceConfig::Small(2024);
+  config.query_rate = 1000.0;
+  config.query_spike_gain = 6.0;
+  config.update_rate_start = 400.0;
+  config.update_rate_end = 300.0;
+  return GenerateStockTrace(config);
+}
+
+MulticoreRow RunMulticorePoint(const Trace& trace, int cpus) {
+  SchedulerSpec spec;
+  spec.kind = SchedulerKind::kQuts;
+  spec.topology.num_cpus = cpus;
+  ExperimentOptions options;
+  options.qc_seed = 99;
+  options.qc = BalancedProfile(QcShape::kStep);
+  options.compute_end_state_hash = true;
+
+  const auto start = StartTimer();
+  const ExperimentResult result = RunExperiment(trace, spec, options);
+  const double wall_s = SecondsSince(start);
+  const ExperimentResult rerun = RunExperiment(trace, spec, options);
+  if (rerun.end_state_hash != result.end_state_hash) {
+    std::fprintf(stderr,
+                 "multicore rerun diverged at %d CPUs: %llx vs %llx\n", cpus,
+                 static_cast<unsigned long long>(result.end_state_hash),
+                 static_cast<unsigned long long>(rerun.end_state_hash));
+    std::exit(1);
+  }
+
+  MulticoreRow row;
+  row.cpus = cpus;
+  row.profit = result.qos_gained + result.qod_gained;
+  row.wall_s = wall_s;
+  row.profit_per_wall_s = row.profit / wall_s;
+  row.end_state_hash = result.end_state_hash;
+  return row;
+}
+
 }  // namespace
 }  // namespace webdb
 
@@ -368,6 +428,15 @@ int main(int argc, char** argv) {
                static_cast<unsigned long long>(kQueueOps));
   const Throughput queue = RunQueueChurn(kQueueOps);
 
+  std::fprintf(stderr, "[bench_hotpath] multicore scaling (1/2/4 CPUs)...\n");
+  const Trace flash_trace = MakeFlashCrowdTrace();
+  std::vector<MulticoreRow> multicore;
+  for (int cpus : {1, 2, 4}) {
+    multicore.push_back(RunMulticorePoint(flash_trace, cpus));
+  }
+  const double multicore_speedup =
+      multicore.back().profit_per_wall_s / multicore.front().profit_per_wall_s;
+
   const double speedup = arena.per_sec / legacy.per_sec;
   const double ring_speedup = arena_ring.per_sec / legacy_ring.per_sec;
 
@@ -383,6 +452,15 @@ int main(int argc, char** argv) {
               arena_cancel.per_sec, legacy_cancel.per_sec);
   std::printf("txn-queue pops/sec   : %12.0f (allocs/op %.4f)\n",
               queue.per_sec, queue.allocs_per_op);
+  for (const MulticoreRow& row : multicore) {
+    std::printf("profit/wall-s %d cpu%s : %12.0f (profit %.0f, %.3fs, hash "
+                "%016llx)\n",
+                row.cpus, row.cpus == 1 ? " " : "s", row.profit_per_wall_s,
+                row.profit, row.wall_s,
+                static_cast<unsigned long long>(row.end_state_hash));
+  }
+  std::printf("multicore speedup    : %12.2fx (4 CPUs vs 1, profit/wall-s)\n",
+              multicore_speedup);
 
   std::FILE* out = std::fopen(out_path.c_str(), "w");
   if (out == nullptr) {
@@ -408,8 +486,7 @@ int main(int argc, char** argv) {
                "  \"cancel_pairs_per_sec\": %.0f,\n"
                "  \"legacy_cancel_pairs_per_sec\": %.0f,\n"
                "  \"txnqueue_pops_per_sec\": %.0f,\n"
-               "  \"txnqueue_allocs_per_op\": %.4f\n"
-               "}\n",
+               "  \"txnqueue_allocs_per_op\": %.4f,\n",
                static_cast<unsigned long long>(kTxns), kTxnWidth,
                static_cast<long long>(kServiceTicks),
                static_cast<long long>(kDeadlineTicks), kReps,
@@ -420,6 +497,23 @@ int main(int argc, char** argv) {
                legacy.allocs_per_op, arena_ring.per_sec, legacy_ring.per_sec,
                ring_speedup, arena_cancel.per_sec, legacy_cancel.per_sec,
                queue.per_sec, queue.allocs_per_op);
+  std::fprintf(out, "  \"multicore\": [\n");
+  for (size_t i = 0; i < multicore.size(); ++i) {
+    const MulticoreRow& row = multicore[i];
+    std::fprintf(out,
+                 "    {\"cpus\": %d, \"profit\": %.3f, \"wall_s\": %.4f,\n"
+                 "     \"profit_per_wall_s\": %.1f,\n"
+                 "     \"end_state_hash\": \"%016llx\"}%s\n",
+                 row.cpus, row.profit, row.wall_s, row.profit_per_wall_s,
+                 static_cast<unsigned long long>(row.end_state_hash),
+                 i + 1 < multicore.size() ? "," : "");
+  }
+  std::fprintf(out,
+               "  ],\n"
+               "  \"multicore_profit_speedup_4cpu\": %.3f,\n"
+               "  \"multicore_rerun_identical\": true\n"
+               "}\n",
+               multicore_speedup);
   std::fclose(out);
   std::fprintf(stderr, "[bench_hotpath] wrote %s\n", out_path.c_str());
   return 0;

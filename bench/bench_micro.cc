@@ -7,10 +7,13 @@
 //                    lifecycle tracing on and write the JSONL trace to <path>
 //                    (inspect with `trace_tool summarize-spans <path>`)
 //   --sched <name>   scheduler for that traced run (default: quts)
+//   --cpus <n>       CPUs for that traced run (default: 1; n > 1 requires
+//                    --sched quts — the sharded scheduler is QUTS-only)
 
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -140,7 +143,8 @@ BENCHMARK(BM_EndToEndServerRun)
 
 // Runs one end-to-end experiment with the tracer attached and writes the
 // JSONL lifecycle trace to `path`. Returns an exit status.
-int RunTracedExperiment(const std::string& path, const std::string& sched) {
+int RunTracedExperiment(const std::string& path, const std::string& sched,
+                        int cpus) {
   const std::optional<SchedulerKind> kind = SchedulerKindFromName(sched);
   if (!kind.has_value()) {
     std::fprintf(stderr, "error: unknown scheduler '%s'; valid names:",
@@ -151,6 +155,17 @@ int RunTracedExperiment(const std::string& path, const std::string& sched) {
     std::fprintf(stderr, "\n");
     return 1;
   }
+  if (cpus < 1) {
+    std::fprintf(stderr, "error: --cpus must be >= 1 (got %d)\n", cpus);
+    return 1;
+  }
+  if (cpus > 1 && *kind != SchedulerKind::kQuts) {
+    std::fprintf(stderr,
+                 "error: --cpus %d needs --sched quts (only QUTS shards "
+                 "across cores)\n",
+                 cpus);
+    return 1;
+  }
   StockTraceConfig config = StockTraceConfig::Small(7);
   config.query_rate = 40.0;
   config.update_rate_start = 280.0;
@@ -158,17 +173,20 @@ int RunTracedExperiment(const std::string& path, const std::string& sched) {
   const Trace trace = GenerateStockTrace(config);
 
   Tracer tracer;
-  auto scheduler = MakeScheduler(*kind);
+  SchedulerSpec spec;
+  spec.kind = *kind;
+  spec.topology.num_cpus = cpus;
   ExperimentOptions options;
   options.qc = BalancedProfile(QcShape::kStep);
   options.server.tracer = &tracer;
-  RunExperiment(trace, scheduler.get(), options);
+  RunExperiment(trace, spec, options);
   if (!tracer.WriteJsonlFile(path)) {
     std::fprintf(stderr, "error: cannot write trace to '%s'\n", path.c_str());
     return 1;
   }
-  std::fprintf(stderr, "wrote %zu trace events (%s) to %s\n",
-               tracer.NumEvents(), ToString(*kind).c_str(), path.c_str());
+  std::fprintf(stderr, "wrote %zu trace events (%s, %d cpu%s) to %s\n",
+               tracer.NumEvents(), ToString(*kind).c_str(), cpus,
+               cpus == 1 ? "" : "s", path.c_str());
   return 0;
 }
 
@@ -178,6 +196,7 @@ int RunTracedExperiment(const std::string& path, const std::string& sched) {
 int main(int argc, char** argv) {
   std::string trace_path;
   std::string sched = "quts";
+  int cpus = 1;
   std::vector<char*> bench_argv;
   for (int i = 0; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -185,6 +204,8 @@ int main(int argc, char** argv) {
       trace_path = argv[++i];
     } else if (arg == "--sched" && i + 1 < argc) {
       sched = argv[++i];
+    } else if (arg == "--cpus" && i + 1 < argc) {
+      cpus = std::atoi(argv[++i]);
     } else {
       bench_argv.push_back(argv[i]);
     }
@@ -197,7 +218,7 @@ int main(int argc, char** argv) {
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   if (!trace_path.empty()) {
-    return webdb::RunTracedExperiment(trace_path, sched);
+    return webdb::RunTracedExperiment(trace_path, sched, cpus);
   }
   return 0;
 }

@@ -1,0 +1,290 @@
+#include "core/sharded_quts_scheduler.h"
+
+#include <algorithm>
+
+#include "core/rho.h"
+#include "obs/metric_registry.h"
+#include "util/logging.h"
+#include "util/seed.h"
+
+namespace webdb {
+
+ShardedQutsScheduler::ShardedQutsScheduler(Options options)
+    : options_(options),
+      num_cpus_(options.num_cpus),
+      steal_rng_(DeriveSeed(options.quts.seed, 0xC0DE)) {
+  WEBDB_CHECK(num_cpus_ >= 1);
+  WEBDB_CHECK(options_.num_shards >= 0);
+  WEBDB_CHECK(options_.quts.atom_time > 0);
+  WEBDB_CHECK(options_.quts.adaptation_period > 0);
+  WEBDB_CHECK(options_.quts.alpha > 0.0 && options_.quts.alpha <= 1.0);
+  WEBDB_CHECK(options_.quts.initial_rho >= 0.0 &&
+              options_.quts.initial_rho <= 1.0);
+  if (options_.quts.update_policy == UpdatePolicy::kDemandWeighted) {
+    WEBDB_CHECK(options_.quts.item_weights != nullptr);
+  }
+  const int num_shards =
+      options_.num_shards == 0 ? num_cpus_ : options_.num_shards;
+  shards_.reserve(num_shards);
+  for (int s = 0; s < num_shards; ++s) {
+    // Every shard gets its own ξ stream off the frozen derivation, so each
+    // stream depends only on (base seed, shard index).
+    shards_.emplace_back(DeriveSeed(options_.quts.seed, s),
+                         options_.quts.initial_rho);
+  }
+  // Item -> shard placement must not correlate with the per-shard ξ
+  // streams; salt it with a distinct derived constant.
+  uint64_t salt_state = DeriveSeed(options_.quts.seed, 0x5A17);
+  shard_salt_ = SplitMix64Next(salt_state);
+  if (options_.quts.record_rho_series) {
+    rho_series_.emplace_back(0, options_.quts.initial_rho);
+  }
+}
+
+int ShardedQutsScheduler::ShardOfItem(ItemId item) const {
+  uint64_t state = shard_salt_ ^ (static_cast<uint64_t>(item) + 1);
+  return static_cast<int>(SplitMix64Next(state) % shards_.size());
+}
+
+int ShardedQutsScheduler::ShardOf(const Transaction& txn) const {
+  if (txn.kind == TxnKind::kUpdate) {
+    return ShardOfItem(static_cast<const Update&>(txn).item);
+  }
+  const auto& query = static_cast<const Query&>(txn);
+  WEBDB_CHECK(!query.items.empty());
+  return ShardOfItem(query.items[0]);
+}
+
+void ShardedQutsScheduler::MaybeAdapt(SimTime now) {
+  const SimDuration period = options_.quts.adaptation_period;
+  if (options_.quts.freeze_rho) {
+    if (now >= window_start_ + period) {
+      window_start_ += ((now - window_start_) / period) * period;
+      for (Shard& shard : shards_) {
+        shard.window_qos_max = 0.0;
+        shard.window_qod_max = 0.0;
+      }
+    }
+    return;
+  }
+  while (now >= window_start_ + period) {
+    // Fleet-wide demand mix of the window that just closed.
+    double total_qos = 0.0;
+    double total_qod = 0.0;
+    for (const Shard& shard : shards_) {
+      total_qos += shard.window_qos_max;
+      total_qod += shard.window_qod_max;
+    }
+    const double total_mass = total_qos + total_qod;
+    if (total_mass > 0.0) {
+      const double global_opt =
+          total_qod > 0.0 ? OptimalRho(total_qos, total_qod) : 1.0;
+      for (Shard& shard : shards_) {
+        const double mass = shard.window_qos_max + shard.window_qod_max;
+        double local_opt = global_opt;
+        if (shard.window_qod_max > 0.0) {
+          local_opt = OptimalRho(shard.window_qos_max, shard.window_qod_max);
+        } else if (shard.window_qos_max > 0.0) {
+          local_opt = 1.0;
+        }
+        // Trust the local estimate in proportion to the shard's share of
+        // the window's profit mass relative to a fair split: a shard
+        // carrying at least 1/S of the demand uses its own optimum, an
+        // idle shard inherits the global one.
+        const double weight = std::min(
+            1.0, mass * static_cast<double>(shards_.size()) / total_mass);
+        const double target =
+            weight * local_opt + (1.0 - weight) * global_opt;
+        shard.rho = SmoothRho(shard.rho, target, options_.quts.alpha);
+      }
+    }
+    for (Shard& shard : shards_) {
+      shard.window_qos_max = 0.0;
+      shard.window_qod_max = 0.0;
+    }
+    window_start_ += period;
+    ++adaptations_;
+    if (options_.quts.record_rho_series && total_mass > 0.0) {
+      double mean = 0.0;
+      for (const Shard& shard : shards_) mean += shard.rho;
+      rho_series_.emplace_back(window_start_,
+                               mean / static_cast<double>(shards_.size()));
+    }
+  }
+}
+
+TxnKind ShardedQutsScheduler::DrawSide(Shard& shard, SimTime now) {
+  TxnKind drawn;
+  if (options_.quts.slicing == QutsSlicing::kRandom) {
+    drawn = shard.rng.NextDouble() < shard.rho ? TxnKind::kQuery
+                                               : TxnKind::kUpdate;
+  } else {
+    shard.slice_credit += shard.rho;
+    if (shard.slice_credit >= 1.0) {
+      shard.slice_credit -= 1.0;
+      drawn = TxnKind::kQuery;
+    } else {
+      drawn = TxnKind::kUpdate;
+    }
+  }
+  shard.atom_expiry = now + options_.quts.atom_time;
+  ++shard.redraws;
+  return drawn;
+}
+
+void ShardedQutsScheduler::Redraw(Shard& shard, SimTime now) {
+  shard.side = DrawSide(shard, now);
+  const TxnKind other =
+      shard.side == TxnKind::kQuery ? TxnKind::kUpdate : TxnKind::kQuery;
+  if (shard.QueueFor(shard.side).Empty() && !shard.QueueFor(other).Empty()) {
+    shard.side = other;
+  }
+}
+
+Transaction* ShardedQutsScheduler::PopFromShard(Shard& shard, SimTime now) {
+  if (now >= shard.atom_expiry) Redraw(shard, now);
+  Transaction* txn = shard.QueueFor(shard.side).Pop();
+  if (txn != nullptr) return txn;
+  const TxnKind other =
+      shard.side == TxnKind::kQuery ? TxnKind::kUpdate : TxnKind::kQuery;
+  txn = shard.QueueFor(other).Pop();
+  if (txn != nullptr) {
+    shard.side = other;
+    shard.atom_expiry = now + options_.quts.atom_time;
+  }
+  return txn;
+}
+
+void ShardedQutsScheduler::OnQueryArrival(Query* query, SimTime now) {
+  MaybeAdapt(now);
+  Shard& shard = shards_[ShardOf(*query)];
+  shard.window_qos_max += query->qc.qos_max();
+  shard.window_qod_max += query->qc.qod_max();
+  shard.queries.Push(query, QueryPriority(*query, options_.quts.query_policy));
+}
+
+void ShardedQutsScheduler::OnUpdateArrival(Update* update, SimTime now) {
+  MaybeAdapt(now);
+  Shard& shard = shards_[ShardOf(*update)];
+  shard.updates.Push(update, UpdatePriority(*update, options_.quts.update_policy,
+                                            options_.quts.item_weights));
+}
+
+void ShardedQutsScheduler::Requeue(Transaction* txn, SimTime now) {
+  MaybeAdapt(now);
+  Shard& shard = shards_[ShardOf(*txn)];
+  if (txn->kind == TxnKind::kQuery) {
+    auto* query = static_cast<Query*>(txn);
+    shard.queries.Push(query,
+                       QueryPriority(*query, options_.quts.query_policy));
+  } else {
+    auto* update = static_cast<Update*>(txn);
+    shard.updates.Push(update,
+                       UpdatePriority(*update, options_.quts.update_policy,
+                                      options_.quts.item_weights));
+  }
+}
+
+Transaction* ShardedQutsScheduler::PopNext(CpuId cpu, SimTime now) {
+  MaybeAdapt(now);
+  const int num_shards = static_cast<int>(shards_.size());
+  const int home = cpu % num_shards;
+  Transaction* txn = PopFromShard(shards_[home], now);
+  if (txn != nullptr || !options_.enable_stealing) return txn;
+  // Home shard dry: steal. The scan start comes from a dedicated stream so
+  // victims rotate instead of shard (home+1) absorbing every thief; the
+  // scan itself is ascending-with-wraparound, so a (seed, event sequence)
+  // pair fully determines the victim.
+  const uint64_t start = steal_rng_.NextU64() % num_shards;
+  for (int i = 0; i < num_shards; ++i) {
+    const int victim = static_cast<int>((start + i) % num_shards);
+    if (victim == home || shards_[victim].Empty()) continue;
+    txn = PopFromShard(shards_[victim], now);
+    if (txn != nullptr) {
+      ++steals_;
+      return txn;
+    }
+  }
+  return nullptr;
+}
+
+bool ShardedQutsScheduler::ShouldPreempt(CpuId cpu, const Transaction& running,
+                                         SimTime now) {
+  MaybeAdapt(now);
+  Shard& shard = shards_[cpu % shards_.size()];
+  if (now < shard.atom_expiry) return false;
+  // Atom boundary on this CPU's home shard: one draw per atom, consumed
+  // here exactly as in the single-CPU scheduler. The running transaction —
+  // stolen or not — counts as work on its side.
+  const TxnKind drawn = DrawSide(shard, now);
+  if (drawn == running.kind || shard.QueueFor(drawn).Empty()) {
+    shard.side = running.kind;
+    return false;
+  }
+  shard.side = drawn;
+  return true;
+}
+
+SimTime ShardedQutsScheduler::NextDecisionTime(CpuId cpu, SimTime now) {
+  if (!HasWork()) return kSimTimeMax;
+  const Shard& shard = shards_[cpu % shards_.size()];
+  // Same clamping rationale as the single-CPU scheduler: an expired atom is
+  // handled by the redraw of the next scheduling event, so the earliest
+  // useful wake-up is a full atom away.
+  if (shard.atom_expiry <= now) return now + options_.quts.atom_time;
+  return shard.atom_expiry;
+}
+
+bool ShardedQutsScheduler::HasWork() const {
+  for (const Shard& shard : shards_) {
+    if (!shard.Empty()) return true;
+  }
+  return false;
+}
+
+int64_t ShardedQutsScheduler::NumQueuedQueries() const {
+  int64_t total = 0;
+  for (const Shard& shard : shards_) {
+    total += static_cast<int64_t>(shard.queries.Size());
+  }
+  return total;
+}
+
+int64_t ShardedQutsScheduler::NumQueuedUpdates() const {
+  int64_t total = 0;
+  for (const Shard& shard : shards_) {
+    total += static_cast<int64_t>(shard.updates.Size());
+  }
+  return total;
+}
+
+void ShardedQutsScheduler::RemoveQueued(Transaction* txn, SimTime) {
+  Shard& shard = shards_[ShardOf(*txn)];
+  shard.QueueFor(txn->kind).Remove(txn);
+}
+
+void ShardedQutsScheduler::ExportStats(MetricRegistry& registry) const {
+  CpuSetScheduler::ExportStats(registry);
+  double mean_rho = 0.0;
+  int64_t redraws = 0;
+  for (const Shard& shard : shards_) {
+    mean_rho += shard.rho;
+    redraws += shard.redraws;
+  }
+  mean_rho /= static_cast<double>(shards_.size());
+  registry.GetGauge("scheduler.quts.rho").Set(mean_rho);
+  registry.GetGauge("scheduler.quts.adaptations")
+      .Set(static_cast<double>(adaptations_));
+  registry.GetGauge("scheduler.quts.atom.redraws")
+      .Set(static_cast<double>(redraws));
+  registry.GetGauge("scheduler.quts.steals")
+      .Set(static_cast<double>(steals_));
+  registry.GetGauge("scheduler.quts.shards")
+      .Set(static_cast<double>(shards_.size()));
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    registry.GetGauge("scheduler.quts.shard" + std::to_string(s) + ".rho")
+        .Set(shards_[s].rho);
+  }
+}
+
+}  // namespace webdb

@@ -1,0 +1,145 @@
+// Sharded QUTS — the multi-core generalization of the paper's two-level
+// scheduler (core/quts_scheduler.h) behind the CPU-set protocol
+// (sched/cpu_set_scheduler.h).
+//
+// The symbol space is hash-partitioned into shards; each shard is a full
+// QUTS instance in miniature — its own dual queues, ρ, atom clock, slicing
+// accumulator and ξ stream — so per-shard decisions are exactly the paper's
+// Table 2 run against that shard's workload. A transaction's home shard is
+// the shard of its first item (queries) or its item (updates); restarts and
+// preempt-resumes always requeue home, so a shard's queues hold exactly its
+// symbols' backlog. CPU c primarily serves shard c % num_shards.
+//
+// Two multi-core mechanisms sit on top:
+//
+//   * Global ρ allocation. Shard windows share one adaptation clock. At
+//     each boundary every shard derives its local Eq. 5 optimum and the
+//     allocator blends it with the fleet-wide optimum, weighted by the
+//     shard's fraction of the window's submitted profit mass: busy shards
+//     trust their local demand mix, idle shards inherit the global share
+//     instead of free-running on stale state. The blend then ages through
+//     Eq. 6 as usual.
+//
+//   * Pull-based work stealing. A CPU whose home shard is empty on both
+//     sides steals from the first non-empty victim, scanning shards in
+//     ascending order from a start position drawn from a dedicated seeded
+//     stream. The steal pops through the victim's own side logic, so the
+//     victim's ρ split is respected even under stealing. Stolen work still
+//     requeues home on preemption/restart.
+//
+// Determinism: all shard seeds and the steal stream derive from the base
+// seed through the frozen DeriveSeed contract (util/seed.h), and the server
+// drives CPUs in fixed ascending order, so a (seed, trace) pair fully
+// determines the schedule at any CPU count.
+
+#ifndef WEBDB_CORE_SHARDED_QUTS_SCHEDULER_H_
+#define WEBDB_CORE_SHARDED_QUTS_SCHEDULER_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/quts_scheduler.h"
+#include "sched/cpu_set_scheduler.h"
+#include "sched/txn_queue.h"
+#include "util/rng.h"
+#include "util/time.h"
+
+namespace webdb {
+
+class ShardedQutsScheduler final : public CpuSetScheduler {
+ public:
+  struct Options {
+    // Per-shard QUTS knobs (τ, ω, α, slicing, policies, base seed, ...).
+    QutsScheduler::Options quts;
+    int num_cpus = 1;
+    // 0 means one shard per CPU.
+    int num_shards = 0;
+    bool enable_stealing = true;
+  };
+
+  explicit ShardedQutsScheduler(Options options);
+
+  std::string Name() const override { return "ShardedQUTS"; }
+  int num_cpus() const override { return num_cpus_; }
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+
+  void OnQueryArrival(Query* query, SimTime now) override;
+  void OnUpdateArrival(Update* update, SimTime now) override;
+  void Requeue(Transaction* txn, SimTime now) override;
+  Transaction* PopNext(CpuId cpu, SimTime now) override;
+  bool ShouldPreempt(CpuId cpu, const Transaction& running,
+                     SimTime now) override;
+  SimTime NextDecisionTime(CpuId cpu, SimTime now) override;
+  bool HasWork() const override;
+  int64_t NumQueuedQueries() const override;
+  int64_t NumQueuedUpdates() const override;
+  void RemoveQueued(Transaction* txn, SimTime now) override;
+
+  // Generic queue gauges plus scheduler.quts.{rho, adaptations,
+  // atom.redraws, steals} and per-shard scheduler.quts.shard<k>.rho.
+  void ExportStats(MetricRegistry& registry) const override;
+
+  // Load-weighted mean ρ across shards, recorded at every adaptation
+  // boundary (the multi-core analogue of QutsScheduler::rho_series()).
+  const std::vector<std::pair<SimTime, double>>& rho_series() const {
+    return rho_series_;
+  }
+  double rho(int shard) const { return shards_[shard].rho; }
+  int64_t steals() const { return steals_; }
+  const Options& options() const { return options_; }
+
+  // Home shard of a transaction: shard of its first item (query) or its
+  // item (update). Exposed for the determinism tests.
+  int ShardOf(const Transaction& txn) const;
+  int ShardOfItem(ItemId item) const;
+
+ private:
+  // One QUTS instance in miniature; see core/quts_scheduler.h for the
+  // meaning of the high-level fields.
+  struct Shard {
+    Rng rng;
+    double rho;
+    double slice_credit = 0.0;
+    TxnKind side = TxnKind::kQuery;
+    SimTime atom_expiry = 0;
+    double window_qos_max = 0.0;
+    double window_qod_max = 0.0;
+    int64_t redraws = 0;
+    TxnQueue queries;
+    TxnQueue updates;
+
+    explicit Shard(uint64_t seed, double initial_rho)
+        : rng(seed), rho(initial_rho) {}
+
+    TxnQueue& QueueFor(TxnKind side_kind) {
+      return side_kind == TxnKind::kQuery ? queries : updates;
+    }
+    bool Empty() const { return queries.Empty() && updates.Empty(); }
+  };
+
+  // Folds in every shared adaptation boundary elapsed up to `now`,
+  // rebalancing each shard's ρ through the global allocator.
+  void MaybeAdapt(SimTime now);
+  // Draws shard `s`'s next atom side from its ρ; does not commit it.
+  TxnKind DrawSide(Shard& shard, SimTime now);
+  // Idle-CPU redraw on shard `s`, with empty-queue fallover.
+  void Redraw(Shard& shard, SimTime now);
+  // Pops shard `s`'s next transaction exactly as single-CPU QUTS would.
+  Transaction* PopFromShard(Shard& shard, SimTime now);
+
+  Options options_;
+  int num_cpus_;
+  Rng steal_rng_;
+  std::vector<Shard> shards_;
+  uint64_t shard_salt_;
+
+  SimTime window_start_ = 0;
+  int64_t adaptations_ = 0;
+  int64_t steals_ = 0;
+  std::vector<std::pair<SimTime, double>> rho_series_;
+};
+
+}  // namespace webdb
+
+#endif  // WEBDB_CORE_SHARDED_QUTS_SCHEDULER_H_

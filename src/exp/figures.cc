@@ -33,8 +33,8 @@ SweepRunner::Point ProfilePoint(const Trace& trace, SchedulerKind kind,
                                     QutsScheduler::Options()) {
   SweepRunner::Point point;
   point.trace = &trace;
-  point.scheduler = kind;
-  point.quts = quts_options;
+  point.spec.kind = kind;
+  point.spec.quts = quts_options;
   point.options.server = QcServerConfig();
   point.options.qc_seed = qc_seed;
   point.options.qc = profile;
@@ -51,8 +51,8 @@ SweepRunner::Point SchedulePoint(const Trace& trace,
                                      QutsScheduler::Options()) {
   SweepRunner::Point point;
   point.trace = &trace;
-  point.scheduler = kind;
-  point.quts = quts_options;
+  point.spec.kind = kind;
+  point.spec.quts = quts_options;
   point.options.server = QcServerConfig();
   point.options.qc_seed = qc_seed;
   point.options.qc = QcSchedule{&schedule};
@@ -117,7 +117,7 @@ std::vector<TradeoffRow> RunFigure1(const Trace& trace,
   for (SchedulerKind kind : kinds) {
     SweepRunner::Point point;
     point.trace = &trace;
-    point.scheduler = kind;
+    point.spec.kind = kind;
     point.options.qc = ZeroContracts{};
     // The naive Figure 1 policies predate QCs: no lifetime drops, #uu
     // staleness, every query runs to completion.
@@ -349,7 +349,7 @@ std::vector<AblationRow> RunStalenessAblation(const Trace& trace,
   for (const Variant& variant : variants) {
     SweepRunner::Point point;
     point.trace = &trace;
-    point.scheduler = SchedulerKind::kQuts;
+    point.spec.kind = SchedulerKind::kQuts;
     point.options.server = QcServerConfig();
     point.options.server.staleness_metric = variant.metric;
     point.options.server.staleness_combiner = variant.combiner;
@@ -437,7 +437,7 @@ std::vector<AblationRow> RunAdmissionAblation(const Trace& trace,
   for (Variant& variant : variants) {
     SweepRunner::Point point;
     point.trace = &trace;
-    point.scheduler = SchedulerKind::kQuts;
+    point.spec.kind = SchedulerKind::kQuts;
     point.options.server = QcServerConfig();
     point.options.server.admission = variant.controller.get();
     point.options.qc_seed = qc_seed;
@@ -539,7 +539,7 @@ std::vector<AblationRow> RunConcurrencyAblation(const Trace& trace,
   for (bool enable : {true, false}) {
     SweepRunner::Point point;
     point.trace = &trace;
-    point.scheduler = SchedulerKind::kQuts;
+    point.spec.kind = SchedulerKind::kQuts;
     point.options.server = QcServerConfig();
     point.options.server.enable_2plhp = enable;
     point.options.qc_seed = qc_seed;

@@ -31,7 +31,7 @@ std::vector<RobustnessRow> SweepKnob(
     for (SchedulerKind kind : kinds) {
       SweepRunner::Point point;
       point.trace = &trace;
-      point.scheduler = kind;
+      point.spec.kind = kind;
       point.options.server.dispatch_overhead = Micros(20);
       point.options.qc_seed = qc_seed;
       point.options.qc = BalancedProfile(QcShape::kStep);

@@ -67,6 +67,22 @@ std::unique_ptr<Scheduler> MakeScheduler(
   return nullptr;
 }
 
+std::unique_ptr<CpuSetScheduler> MakeScheduler(const SchedulerSpec& spec) {
+  WEBDB_CHECK(spec.topology.num_cpus >= 1);
+  if (spec.topology.num_cpus == 1) {
+    return std::make_unique<SingleCpuAdapter>(
+        MakeScheduler(spec.kind, spec.quts));
+  }
+  WEBDB_CHECK_MSG(spec.kind == SchedulerKind::kQuts,
+                  "only QUTS schedules multi-core (sharded QUTS)");
+  ShardedQutsScheduler::Options options;
+  options.quts = spec.quts;
+  options.num_cpus = spec.topology.num_cpus;
+  options.num_shards = spec.topology.num_shards;
+  options.enable_stealing = spec.topology.enable_stealing;
+  return std::make_unique<ShardedQutsScheduler>(options);
+}
+
 std::vector<SchedulerKind> PaperSchedulers() {
   return {SchedulerKind::kFifo, SchedulerKind::kUpdateHigh,
           SchedulerKind::kQueryHigh, SchedulerKind::kQuts};

@@ -10,6 +10,8 @@
 #include <vector>
 
 #include "core/quts_scheduler.h"
+#include "core/sharded_quts_scheduler.h"
+#include "sched/cpu_set_scheduler.h"
 #include "sched/scheduler.h"
 
 namespace webdb {
@@ -37,6 +39,32 @@ std::vector<std::string> ValidSchedulerNames();
 std::unique_ptr<Scheduler> MakeScheduler(
     SchedulerKind kind,
     const QutsScheduler::Options& quts_options = QutsScheduler::Options());
+
+// CPU/shard topology of a scheduler. The default (one CPU) reproduces the
+// paper's single-CPU server exactly.
+struct SchedulerTopology {
+  int num_cpus = 1;
+  // Symbol-space shards for sharded QUTS; 0 means one shard per CPU.
+  int num_shards = 0;
+  // Pull-based work stealing between shards (sharded QUTS only).
+  bool enable_stealing = true;
+};
+
+// Declarative description of a complete scheduler: policy kind + policy
+// options + topology. The one struct a bench or experiment needs to carry
+// to describe "what schedules and on how many cores".
+struct SchedulerSpec {
+  SchedulerKind kind = SchedulerKind::kQuts;
+  // Applies to kQuts (single-CPU and sharded alike).
+  QutsScheduler::Options quts;
+  SchedulerTopology topology;
+};
+
+// Constructs the scheduler a spec describes, ready for WebDatabaseServer:
+// num_cpus == 1 yields the legacy policy behind an owning SingleCpuAdapter
+// (bit-identical to the pre-CPU-set stack); num_cpus > 1 requires kQuts and
+// yields a ShardedQutsScheduler on the spec's topology.
+std::unique_ptr<CpuSetScheduler> MakeScheduler(const SchedulerSpec& spec);
 
 // The four policies compared throughout Section 5.1.
 std::vector<SchedulerKind> PaperSchedulers();

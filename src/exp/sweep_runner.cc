@@ -25,11 +25,9 @@ std::vector<ExperimentResult> SweepRunner::RunPoints(
       Map(points.size(), [&points, want_hash](size_t i) {
         const Point& point = points[i];
         WEBDB_CHECK(point.trace != nullptr);
-        std::unique_ptr<Scheduler> scheduler =
-            MakeScheduler(point.scheduler, point.quts);
         ExperimentOptions options = point.options;
         options.compute_end_state_hash |= want_hash;
-        return RunExperiment(*point.trace, scheduler.get(), options);
+        return RunExperiment(*point.trace, point.spec, options);
       });
   if (config_.print_audit_hash) {
     // Combined in run-id (submission) order, so the line is byte-identical

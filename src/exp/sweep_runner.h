@@ -83,13 +83,13 @@ class SweepRunner {
     return DeriveSeed(config_.base_seed, run_id);
   }
 
-  // One experiment point: RunPoints() constructs the scheduler from
-  // (scheduler, quts) per run — schedulers are single-run objects — and
-  // feeds `options` to RunExperiment on `*trace`.
+  // One experiment point: RunPoints() constructs the scheduler the spec
+  // describes per run — schedulers are single-run objects — and feeds
+  // `options` to RunExperiment on `*trace`. The spec carries the topology
+  // too, so multi-core points sweep exactly like single-CPU ones.
   struct Point {
     const Trace* trace = nullptr;  // required; shared read-only
-    SchedulerKind scheduler = SchedulerKind::kQuts;
-    QutsScheduler::Options quts;
+    SchedulerSpec spec;
     ExperimentOptions options;
   };
 

@@ -1,0 +1,163 @@
+// CPU-set scheduling protocol: the multi-core generalization of the
+// single-CPU Scheduler interface (sched/scheduler.h).
+//
+// The server owns a set of CPUs (sim/processor_pool.h) on one simulator
+// clock; the scheduler owns the waiting queues and decides, per CPU, what
+// runs next and when a running transaction yields. The protocol mirrors the
+// single-CPU one, with every dispatch-side entry point taking the CpuId it
+// is asked about:
+//
+//   arrival            -> OnQueryArrival / OnUpdateArrival   (CPU-agnostic:
+//                         the scheduler routes work to its internal queues
+//                         or shards itself)
+//   CPU c idle         -> PopNext(c) to pick c's next transaction
+//   after any arrival  -> ShouldPreempt(c, running) per busy CPU
+//   preempt / restart  -> Requeue puts the transaction back in its queue
+//   commit/drop/inval  -> OnTxnFinished
+//   NextDecisionTime(c)-> per-CPU wake-up for time-sliced policies
+//
+// Determinism contract: the server iterates CPUs in fixed ascending order,
+// so any scheduler whose own decisions are seeded-deterministic yields
+// bit-identical schedules across runs.
+//
+// Single-CPU policies do not implement this interface; they stay on the
+// plain Scheduler interface and are lifted onto it by SingleCpuAdapter
+// below, which pins num_cpus() == 1 and forwards verbatim. The adapter is
+// deliberately transparent: a server driving an adapted scheduler performs
+// exactly the call sequence of the legacy single-CPU server, so pinned
+// goldens and end-state hashes are preserved bit-for-bit.
+
+#ifndef WEBDB_SCHED_CPU_SET_SCHEDULER_H_
+#define WEBDB_SCHED_CPU_SET_SCHEDULER_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "sched/scheduler.h"
+#include "txn/transaction.h"
+#include "util/time.h"
+
+namespace webdb {
+
+class MetricRegistry;
+
+// Index of a CPU in the server's processor pool, 0 <= cpu < num_cpus.
+using CpuId = int32_t;
+
+class CpuSetScheduler {
+ public:
+  virtual ~CpuSetScheduler() = default;
+
+  virtual std::string Name() const = 0;
+
+  // Number of CPUs this scheduler dispatches for; fixed for its lifetime.
+  // The server sizes its processor pool from this.
+  virtual int num_cpus() const = 0;
+
+  // A freshly arrived query/update enters the scheduler's queues. The
+  // scheduler owns the routing (e.g. symbol-hash sharding).
+  virtual void OnQueryArrival(Query* query, SimTime now) = 0;
+  virtual void OnUpdateArrival(Update* update, SimTime now) = 0;
+
+  // A preempted or restarted transaction re-enters its queue (its home
+  // queue/shard — a transaction stolen by another CPU still requeues home).
+  virtual void Requeue(Transaction* txn, SimTime now) = 0;
+
+  // Pops the next transaction for CPU `cpu`, or nullptr when the scheduler
+  // has nothing for that CPU.
+  virtual Transaction* PopNext(CpuId cpu, SimTime now) = 0;
+
+  // True when `running` (on CPU `cpu`) should be preempted in favor of
+  // whatever PopNext(cpu) would return now. Must not pop.
+  virtual bool ShouldPreempt(CpuId cpu, const Transaction& running,
+                             SimTime now) = 0;
+
+  // Next instant at which CPU `cpu`'s decision must be re-evaluated even
+  // without an arrival (e.g. QUTS atom expiry). kSimTimeMax when
+  // event-driven only.
+  virtual SimTime NextDecisionTime(CpuId /*cpu*/, SimTime /*now*/) {
+    return kSimTimeMax;
+  }
+
+  // A dispatched transaction left the system. Default: no-op.
+  virtual void OnTxnFinished(const Transaction& /*txn*/, SimTime /*now*/) {}
+
+  // True when at least one transaction is queued on any shard/queue.
+  virtual bool HasWork() const = 0;
+
+  // Aggregate queue depths across all internal queues/shards. O(1).
+  virtual int64_t NumQueuedQueries() const = 0;
+  virtual int64_t NumQueuedUpdates() const = 0;
+
+  // Removes a queued transaction (query lifetime drop, update
+  // invalidation) from whichever queue holds it.
+  virtual void RemoveQueued(Transaction* txn, SimTime now) = 0;
+
+  // Publishes scheduler state into `registry` under `scheduler.*` names.
+  // Idempotent (gauges, last-write-wins). The default exports the generic
+  // queue depths.
+  virtual void ExportStats(MetricRegistry& registry) const;
+};
+
+// Lifts a single-CPU Scheduler onto the CPU-set protocol with num_cpus()
+// pinned to 1. Every call forwards verbatim (the CpuId, asserted 0, is
+// dropped), so legacy policies — FIFO, UH/QH, dual-queue, QUTS — run
+// unchanged behind the new server loop and reproduce their pinned goldens
+// bit-identically.
+//
+// The adapter optionally owns the wrapped scheduler: the factory hands out
+// self-contained adapters, while tests that want to inspect the inner
+// policy after a run can keep ownership outside.
+class SingleCpuAdapter final : public CpuSetScheduler {
+ public:
+  // Non-owning: `inner` must outlive the adapter.
+  explicit SingleCpuAdapter(Scheduler* inner);
+  // Owning.
+  explicit SingleCpuAdapter(std::unique_ptr<Scheduler> inner);
+
+  std::string Name() const override { return inner_->Name(); }
+  int num_cpus() const override { return 1; }
+
+  void OnQueryArrival(Query* query, SimTime now) override {
+    inner_->OnQueryArrival(query, now);
+  }
+  void OnUpdateArrival(Update* update, SimTime now) override {
+    inner_->OnUpdateArrival(update, now);
+  }
+  void Requeue(Transaction* txn, SimTime now) override {
+    inner_->Requeue(txn, now);
+  }
+  Transaction* PopNext(CpuId cpu, SimTime now) override;
+  bool ShouldPreempt(CpuId cpu, const Transaction& running,
+                     SimTime now) override;
+  SimTime NextDecisionTime(CpuId cpu, SimTime now) override;
+  void OnTxnFinished(const Transaction& txn, SimTime now) override {
+    inner_->OnTxnFinished(txn, now);
+  }
+  bool HasWork() const override { return inner_->HasWork(); }
+  int64_t NumQueuedQueries() const override {
+    return inner_->NumQueuedQueries();
+  }
+  int64_t NumQueuedUpdates() const override {
+    return inner_->NumQueuedUpdates();
+  }
+  void RemoveQueued(Transaction* txn, SimTime now) override {
+    inner_->RemoveQueued(txn, now);
+  }
+  void ExportStats(MetricRegistry& registry) const override {
+    inner_->ExportStats(registry);
+  }
+
+  // The wrapped single-CPU policy (for rho-series extraction and tests).
+  Scheduler* inner() { return inner_; }
+  const Scheduler* inner() const { return inner_; }
+
+ private:
+  std::unique_ptr<Scheduler> owned_;  // null when non-owning
+  Scheduler* inner_;
+};
+
+}  // namespace webdb
+
+#endif  // WEBDB_SCHED_CPU_SET_SCHEDULER_H_

@@ -18,26 +18,62 @@ constexpr uint64_t kAuditStrideMask = 63;
 
 }  // namespace
 
-WebDatabaseServer::WebDatabaseServer(Database* database, Scheduler* scheduler,
+WebDatabaseServer::WebDatabaseServer(Database* database,
+                                     CpuSetScheduler* scheduler,
                                      ServerConfig config)
     : db_(database),
       sched_(scheduler),
       config_(config),
       owned_sim_(std::make_unique<Simulator>()),
       sim_(owned_sim_.get()),
-      cpu_(sim_) {
+      cpus_(sim_, scheduler == nullptr ? 1 : scheduler->num_cpus()),
+      wake_events_(cpus_.num_cpus(), 0),
+      wake_times_(cpus_.num_cpus(), kSimTimeMax) {
   WEBDB_CHECK(database != nullptr && scheduler != nullptr);
+}
+
+WebDatabaseServer::WebDatabaseServer(Simulator* simulator, Database* database,
+                                     CpuSetScheduler* scheduler,
+                                     ServerConfig config)
+    : db_(database),
+      sched_(scheduler),
+      config_(config),
+      sim_(simulator),
+      cpus_(sim_, scheduler == nullptr ? 1 : scheduler->num_cpus()),
+      wake_events_(cpus_.num_cpus(), 0),
+      wake_times_(cpus_.num_cpus(), kSimTimeMax) {
+  WEBDB_CHECK(simulator != nullptr);
+  WEBDB_CHECK(database != nullptr && scheduler != nullptr);
+}
+
+WebDatabaseServer::WebDatabaseServer(Database* database, Scheduler* scheduler,
+                                     ServerConfig config)
+    : db_(database),
+      sched_(nullptr),
+      config_(config),
+      owned_sim_(std::make_unique<Simulator>()),
+      sim_(owned_sim_.get()),
+      owned_adapter_(std::make_unique<SingleCpuAdapter>(scheduler)),
+      cpus_(sim_, 1),
+      wake_events_(1, 0),
+      wake_times_(1, kSimTimeMax) {
+  WEBDB_CHECK(database != nullptr);
+  sched_ = owned_adapter_.get();
 }
 
 WebDatabaseServer::WebDatabaseServer(Simulator* simulator, Database* database,
                                      Scheduler* scheduler, ServerConfig config)
     : db_(database),
-      sched_(scheduler),
+      sched_(nullptr),
       config_(config),
       sim_(simulator),
-      cpu_(sim_) {
+      owned_adapter_(std::make_unique<SingleCpuAdapter>(scheduler)),
+      cpus_(sim_, 1),
+      wake_events_(1, 0),
+      wake_times_(1, kSimTimeMax) {
   WEBDB_CHECK(simulator != nullptr);
-  WEBDB_CHECK(database != nullptr && scheduler != nullptr);
+  WEBDB_CHECK(database != nullptr);
+  sched_ = owned_adapter_.get();
 }
 
 void WebDatabaseServer::ReserveCapacity(size_t num_queries,
@@ -97,7 +133,8 @@ Query* WebDatabaseServer::SubmitQuery(QueryType type,
   ledger_.OnQuerySubmitted(query.qc, sim_->Now());
   if (config_.admission != nullptr) {
     const AdmissionContext context{sim_->Now(), sched_->NumQueuedQueries(),
-                                   sched_->NumQueuedUpdates(), cpu_.busy()};
+                                   sched_->NumQueuedUpdates(),
+                                   cpus_.AnyBusy()};
     if (!config_.admission->Admit(query, context)) {
       query.state = TxnState::kRejected;
       ++metrics_.queries_rejected;
@@ -186,8 +223,10 @@ void WebDatabaseServer::InvalidateUpdate(Update& update) {
   WEBDB_CHECK(update.state == TxnState::kQueued ||
               update.state == TxnState::kRunning);
   if (update.state == TxnState::kRunning) {
-    WEBDB_CHECK(cpu_.busy() && cpu_.current_task() == update.id);
-    cpu_.Abort();
+    Processor& cpu = cpus_.cpu(update.cpu);
+    WEBDB_CHECK(cpu.busy() && cpu.current_task() == update.id);
+    cpu.Abort();
+    update.cpu = -1;
   } else {
     sched_->RemoveQueued(&update, sim_->Now());
   }
@@ -206,16 +245,30 @@ void WebDatabaseServer::OnSchedulingEvent() {
   if (in_scheduling_event_) return;
   in_scheduling_event_ = true;
 
-  if (cpu_.busy()) {
-    Transaction* running = Lookup(cpu_.current_task());
-    if (sched_->ShouldPreempt(*running, sim_->Now())) {
-      PreemptRunning();
+  const int32_t num_cpus = cpus_.num_cpus();
+  // Preemption sweep, then idle-CPU fill, both in ascending CPU order so the
+  // schedule is a pure function of the event sequence.
+  for (CpuId c = 0; c < num_cpus; ++c) {
+    if (!cpus_.cpu(c).busy()) continue;
+    Transaction* running = Lookup(cpus_.cpu(c).current_task());
+    if (sched_->ShouldPreempt(c, *running, sim_->Now())) {
+      PreemptRunning(c);
     }
   }
-  while (!cpu_.busy()) {
-    Transaction* next = sched_->PopNext(sim_->Now());
-    if (next == nullptr) break;
-    Dispatch(next);
+  for (CpuId c = 0; c < num_cpus; ++c) {
+    while (!cpus_.cpu(c).busy()) {
+      Transaction* next = sched_->PopNext(c, sim_->Now());
+      if (next == nullptr) break;
+      if (num_cpus > 1 && config_.enable_2plhp && HasRunningConflict(next)) {
+        // Deferred dispatch: aborting a transaction mid-flight on another
+        // CPU from inside this sweep would discard real progress for a
+        // conflict that resolves by itself when the holder commits. Put the
+        // candidate back and leave this CPU idle until the next event.
+        sched_->Requeue(next, sim_->Now());
+        break;
+      }
+      Dispatch(c, next);
+    }
   }
 
   in_scheduling_event_ = false;
@@ -229,7 +282,7 @@ void WebDatabaseServer::OnSchedulingEvent() {
 
 void WebDatabaseServer::MaybeStartSampling() {
   if (config_.queue_sample_period <= 0 || sampling_active_) return;
-  if (!cpu_.busy() && !sched_->HasWork()) return;
+  if (!cpus_.AnyBusy() && !sched_->HasWork()) return;
   sampling_active_ = true;
   sim_->ScheduleAfter(config_.queue_sample_period, [this] { SampleQueues(); });
 }
@@ -237,7 +290,7 @@ void WebDatabaseServer::MaybeStartSampling() {
 void WebDatabaseServer::SampleQueues() {
   metrics_.queue_samples.push_back(ServerMetrics::QueueSample{
       sim_->Now(), sched_->NumQueuedQueries(), sched_->NumQueuedUpdates()});
-  if (cpu_.busy() || sched_->HasWork()) {
+  if (cpus_.AnyBusy() || sched_->HasWork()) {
     sim_->ScheduleAfter(config_.queue_sample_period,
                        [this] { SampleQueues(); });
   } else {
@@ -247,7 +300,7 @@ void WebDatabaseServer::SampleQueues() {
 
 void WebDatabaseServer::MaybeStartSnapshots() {
   if (config_.metric_snapshot_period <= 0 || snapshots_active_) return;
-  if (!cpu_.busy() && !sched_->HasWork()) return;
+  if (!cpus_.AnyBusy() && !sched_->HasWork()) return;
   snapshots_active_ = true;
   sim_->ScheduleAfter(config_.metric_snapshot_period,
                      [this] { SnapshotMetrics(); });
@@ -256,7 +309,7 @@ void WebDatabaseServer::MaybeStartSnapshots() {
 void WebDatabaseServer::SnapshotMetrics() {
   sched_->ExportStats(metrics_.registry());
   metrics_.registry().RecordSnapshot(sim_->Now());
-  if (cpu_.busy() || sched_->HasWork()) {
+  if (cpus_.AnyBusy() || sched_->HasWork()) {
     sim_->ScheduleAfter(config_.metric_snapshot_period,
                        [this] { SnapshotMetrics(); });
   } else {
@@ -265,15 +318,17 @@ void WebDatabaseServer::SnapshotMetrics() {
 }
 
 bool WebDatabaseServer::IsQuiescent() const {
-  return !cpu_.busy() && !sched_->HasWork() &&
+  return !cpus_.AnyBusy() && !sched_->HasWork() &&
          locks_.NumLockedItems() == 0 && register_.Size() == 0 &&
          active_updates_.empty();
 }
 
-void WebDatabaseServer::PreemptRunning() {
-  Transaction* running = Lookup(cpu_.current_task());
-  running->remaining = std::max<SimDuration>(1, cpu_.Preempt());
+void WebDatabaseServer::PreemptRunning(CpuId cpu) {
+  Processor& proc = cpus_.cpu(cpu);
+  Transaction* running = Lookup(proc.current_task());
+  running->remaining = std::max<SimDuration>(1, proc.Preempt());
   running->state = TxnState::kQueued;  // preempt-resume: locks are retained
+  running->cpu = -1;
   ++metrics_.preemptions;
   Trace(*running, TraceEventType::kPreempt, ToMillis(running->remaining));
   sched_->Requeue(running, sim_->Now());
@@ -282,24 +337,56 @@ void WebDatabaseServer::PreemptRunning() {
 
 void WebDatabaseServer::ResolveConflicts(Transaction* txn, LockMode mode,
                                          const std::vector<ItemId>& items) {
-  // With a single CPU the only possible holders are transactions preempted
-  // mid-execution. The transaction being dispatched embodies the scheduler's
-  // current priority, so under 2PL-HP every conflicting holder is the loser
-  // and restarts (releasing its locks and its progress).
+  // The transaction being dispatched embodies the scheduler's current
+  // priority, so under 2PL-HP every conflicting holder is the loser and
+  // restarts (releasing its locks and its progress). On a single CPU the
+  // only possible holders are transactions preempted mid-execution; the
+  // idle-CPU fill defers dispatch against RUNNING holders (multi-core), so
+  // a running loser can only appear here via a wake-up-driven dispatch race
+  // and is aborted off its CPU before restarting.
   for (TxnId holder_id : locks_.Conflicts(txn->id, mode, items)) {
     Transaction* holder = Lookup(holder_id);
-    WEBDB_CHECK_MSG(holder->state == TxnState::kQueued,
-                    "lock held by a transaction that is not preempted");
+    WEBDB_CHECK_MSG(holder->state == TxnState::kQueued ||
+                        holder->state == TxnState::kRunning,
+                    "lock held by a transaction that is neither preempted "
+                    "nor running");
     Restart(holder);
   }
 }
 
+bool WebDatabaseServer::HasRunningConflict(Transaction* txn) {
+  LockMode mode = LockMode::kShared;
+  const std::vector<ItemId>* items = nullptr;
+  std::vector<ItemId> update_items;
+  if (txn->kind == TxnKind::kQuery) {
+    items = &static_cast<Query*>(txn)->items;
+  } else {
+    mode = LockMode::kExclusive;
+    update_items.push_back(static_cast<Update*>(txn)->item);
+    items = &update_items;
+  }
+  for (TxnId holder_id : locks_.Conflicts(txn->id, mode, *items)) {
+    if (Lookup(holder_id)->state == TxnState::kRunning) return true;
+  }
+  return false;
+}
+
 void WebDatabaseServer::Restart(Transaction* txn) {
   locks_.ReleaseAll(txn->id);
-  // The loser was preempted mid-execution, so it still has a live entry in
-  // its scheduler queue; drop it before requeueing or the queue's O(1)
-  // depth counter overcounts (Push assumes no live entry).
-  sched_->RemoveQueued(txn, sim_->Now());
+  if (txn->state == TxnState::kRunning) {
+    // Multi-core loser caught mid-flight on another CPU: abort the attempt
+    // (the processor discards the completion event) and fall through to the
+    // normal requeue. It has no live queue entry to remove.
+    Processor& proc = cpus_.cpu(txn->cpu);
+    WEBDB_CHECK(proc.busy() && proc.current_task() == txn->id);
+    proc.Abort();
+    txn->cpu = -1;
+  } else {
+    // The loser was preempted mid-execution, so it still has a live entry in
+    // its scheduler queue; drop it before requeueing or the queue's O(1)
+    // depth counter overcounts (Push assumes no live entry).
+    sched_->RemoveQueued(txn, sim_->Now());
+  }
   // CPU time already sunk into the discarded attempt (2PL-HP loser cost).
   Trace(*txn, TraceEventType::kRestart,
         ToMillis(txn->service_time - txn->remaining));
@@ -320,7 +407,7 @@ void WebDatabaseServer::Restart(Transaction* txn) {
   Trace(*txn, TraceEventType::kEnqueue);
 }
 
-void WebDatabaseServer::Dispatch(Transaction* txn) {
+void WebDatabaseServer::Dispatch(CpuId cpu, Transaction* txn) {
   WEBDB_CHECK(txn->state == TxnState::kQueued);
   if (txn->kind == TxnKind::kQuery) {
     auto& query = *static_cast<Query*>(txn);
@@ -339,15 +426,18 @@ void WebDatabaseServer::Dispatch(Transaction* txn) {
     active_updates_[update.item] = &update;
   }
   txn->state = TxnState::kRunning;
+  txn->cpu = cpu;
   txn->remaining = std::max<SimDuration>(1, txn->remaining);
   Trace(*txn, TraceEventType::kDispatch);
-  cpu_.Start(txn->id, txn->remaining + config_.dispatch_overhead,
-             [this](TxnId id) { OnTxnComplete(id); });
+  const TxnId id = txn->id;
+  cpus_.cpu(cpu).Start(id, txn->remaining + config_.dispatch_overhead,
+                       [this, cpu, id] { OnTxnComplete(cpu, id); });
 }
 
-void WebDatabaseServer::OnTxnComplete(TxnId id) {
+void WebDatabaseServer::OnTxnComplete(CpuId cpu, TxnId id) {
   Transaction* txn = Lookup(id);
-  WEBDB_CHECK(txn->state == TxnState::kRunning);
+  WEBDB_CHECK(txn->state == TxnState::kRunning && txn->cpu == cpu);
+  txn->cpu = -1;
   txn->remaining = 0;
   if (txn->kind == TxnKind::kQuery) {
     CommitQuery(*static_cast<Query*>(txn));
@@ -401,26 +491,31 @@ void WebDatabaseServer::OnLifetimeDeadline(TxnId id) {
 }
 
 void WebDatabaseServer::ScheduleWake() {
-  const SimTime t = sched_->NextDecisionTime(sim_->Now());
-  if (t == wake_time_ && wake_event_ != 0 && sim_->IsPending(wake_event_)) {
-    return;
+  const int32_t num_cpus = cpus_.num_cpus();
+  for (CpuId c = 0; c < num_cpus; ++c) {
+    const SimTime t = sched_->NextDecisionTime(c, sim_->Now());
+    if (t == wake_times_[c] && wake_events_[c] != 0 &&
+        sim_->IsPending(wake_events_[c])) {
+      continue;
+    }
+    if (wake_events_[c] != 0) sim_->Cancel(wake_events_[c]);
+    wake_events_[c] = 0;
+    wake_times_[c] = kSimTimeMax;
+    if (t == kSimTimeMax) continue;
+    wake_times_[c] = std::max(t, sim_->Now());
+    wake_events_[c] = sim_->ScheduleAt(wake_times_[c], [this, c] {
+      wake_events_[c] = 0;
+      wake_times_[c] = kSimTimeMax;
+      OnSchedulingEvent();
+    });
   }
-  if (wake_event_ != 0) sim_->Cancel(wake_event_);
-  wake_event_ = 0;
-  wake_time_ = kSimTimeMax;
-  if (t == kSimTimeMax) return;
-  wake_time_ = std::max(t, sim_->Now());
-  wake_event_ = sim_->ScheduleAt(wake_time_, [this] {
-    wake_event_ = 0;
-    wake_time_ = kSimTimeMax;
-    OnSchedulingEvent();
-  });
 }
 
 double WebDatabaseServer::CpuUtilization() const {
   const SimTime now = sim_->Now();
   if (now <= 0) return 0.0;
-  return static_cast<double>(cpu_.TotalBusyTime()) / static_cast<double>(now);
+  return static_cast<double>(cpus_.TotalBusyTime()) /
+         (static_cast<double>(now) * cpus_.num_cpus());
 }
 
 void WebDatabaseServer::AuditInvariants() const {
@@ -517,18 +612,34 @@ void WebDatabaseServer::AuditInvariants() const {
                        " updates in state queued but scheduler reports " +
                        std::to_string(sched_->NumQueuedUpdates()));
 
-  // --- single CPU --------------------------------------------------------
+  // --- CPU set -----------------------------------------------------------
+  // Per-CPU conservation: the transactions in state running are exactly the
+  // occupants of the busy CPUs, each agreeing on who runs where.
   WEBDB_AUDIT_THAT(Invariant::kDualQueueConservation,
-                   running == (cpu_.busy() ? 1 : 0),
+                   running == cpus_.NumBusy(),
                    std::to_string(running) +
-                       " transactions in state running; cpu busy=" +
-                       std::to_string(cpu_.busy() ? 1 : 0));
-  if (cpu_.busy()) {
-    const Transaction* on_cpu =
-        const_cast<WebDatabaseServer*>(this)->Lookup(cpu_.current_task());
+                       " transactions in state running but " +
+                       std::to_string(cpus_.NumBusy()) + " CPUs busy");
+  for (CpuId c = 0; c < cpus_.num_cpus(); ++c) {
+    if (!cpus_.cpu(c).busy()) continue;
+    const Transaction* on_cpu = const_cast<WebDatabaseServer*>(this)->Lookup(
+        cpus_.cpu(c).current_task());
     WEBDB_AUDIT_THAT(Invariant::kDualQueueConservation,
-                     on_cpu->state == TxnState::kRunning,
-                     "CPU occupant is not in state running");
+                     on_cpu->state == TxnState::kRunning && on_cpu->cpu == c,
+                     "occupant of CPU " + std::to_string(c) +
+                         " is not running there");
+  }
+  for (const Query& query : queries_) {
+    WEBDB_AUDIT_THAT(Invariant::kDualQueueConservation,
+                     (query.state == TxnState::kRunning) == (query.cpu >= 0),
+                     "query " + std::to_string(query.id) +
+                         " cpu binding disagrees with its state");
+  }
+  for (const Update& update : updates_) {
+    WEBDB_AUDIT_THAT(Invariant::kDualQueueConservation,
+                     (update.state == TxnState::kRunning) == (update.cpu >= 0),
+                     "update " + std::to_string(update.id) +
+                         " cpu binding disagrees with its state");
   }
 
   // --- update-register newest-wins ----------------------------------------

@@ -1,10 +1,14 @@
-// WebDatabaseServer: the simulated main-memory web-database of Section 2.
+// WebDatabaseServer: the simulated main-memory web-database of Section 2,
+// generalized from the paper's single preemptible CPU to a CPU set.
 //
-// Owns the event loop glue between the discrete-event simulator, the single
-// preemptible CPU, the database (+ update register), the 2PL-HP lock
-// manager, a pluggable scheduler, and the profit ledger. Clients submit
-// read-only queries (with Quality Contracts) and blind updates; the server
-// plays out the schedule and accounts response time, staleness, and profit.
+// Owns the event loop glue between the discrete-event simulator, a pool of
+// preemptible CPUs, the database (+ update register), the 2PL-HP lock
+// manager, a pluggable CPU-set scheduler, and the profit ledger. Clients
+// submit read-only queries (with Quality Contracts) and blind updates; the
+// server plays out the schedule and accounts response time, staleness, and
+// profit. The pool is sized from the scheduler's num_cpus(); legacy
+// single-CPU policies enter through an internally owned SingleCpuAdapter,
+// which reproduces the paper's single-CPU server call-for-call.
 //
 // Lifecycle of a query:
 //   Submit -> scheduler queue -> dispatch (read-lock item set) -> [preempt /
@@ -27,10 +31,11 @@
 #include "db/update_register.h"
 #include "qc/profit_ledger.h"
 #include "qc/quality_contract.h"
+#include "sched/cpu_set_scheduler.h"
 #include "sched/scheduler.h"
 #include "server/metrics.h"
 #include "server/server_config.h"
-#include "sim/processor.h"
+#include "sim/processor_pool.h"
 #include "sim/simulator.h"
 #include "txn/lock_manager.h"
 #include "txn/transaction.h"
@@ -41,12 +46,22 @@ namespace webdb {
 class WebDatabaseServer {
  public:
   // `database` and `scheduler` must outlive the server; not owned. The
-  // server owns its simulator.
-  WebDatabaseServer(Database* database, Scheduler* scheduler,
+  // server owns its simulator and sizes its CPU pool from
+  // scheduler->num_cpus().
+  WebDatabaseServer(Database* database, CpuSetScheduler* scheduler,
                     ServerConfig config = ServerConfig());
 
   // Shares an external simulator (several servers on one clock — the
   // replicated-cluster substrate). `simulator` must outlive the server.
+  WebDatabaseServer(Simulator* simulator, Database* database,
+                    CpuSetScheduler* scheduler,
+                    ServerConfig config = ServerConfig());
+
+  // Single-CPU compatibility: wraps `scheduler` in an internally owned
+  // SingleCpuAdapter (num_cpus = 1). Behaviour is bit-identical to the
+  // pre-CPU-set server.
+  WebDatabaseServer(Database* database, Scheduler* scheduler,
+                    ServerConfig config = ServerConfig());
   WebDatabaseServer(Simulator* simulator, Database* database,
                     Scheduler* scheduler, ServerConfig config = ServerConfig());
 
@@ -81,19 +96,22 @@ class WebDatabaseServer {
   // Scheduler::ExportStats into it and snapshot (see exp/experiment.cc).
   MetricRegistry& metric_registry() { return metrics_.registry(); }
   const Database& database() const { return *db_; }
-  const Scheduler& scheduler() const { return *sched_; }
+  const CpuSetScheduler& scheduler() const { return *sched_; }
   const ServerConfig& config() const { return config_; }
   const StableVector<Query>& queries() const { return queries_; }
   const StableVector<Update>& updates() const { return updates_; }
+  int NumCpus() const { return cpus_.num_cpus(); }
+  // Mean utilization across the CPU set: total busy time / (now * CPUs).
   double CpuUtilization() const;
 
-  // True when no transaction is in flight and no resource is held: CPU
-  // idle, scheduler queues empty, no locks, no pending register entries, no
-  // active updates. Holds after Run() drains; the stress tests assert it.
+  // True when no transaction is in flight and no resource is held: every
+  // CPU idle, scheduler queues empty, no locks, no pending register
+  // entries, no active updates. Holds after Run() drains; the stress tests
+  // assert it.
   bool IsQuiescent() const;
 
-  // True while a transaction occupies the CPU.
-  bool IsCpuBusy() const { return cpu_.busy(); }
+  // True while a transaction occupies any CPU.
+  bool IsCpuBusy() const { return cpus_.AnyBusy(); }
 
   // --- invariant auditing (DESIGN.md §8) -----------------------------------
   // Deep whole-server audit, O(submitted transactions + locks). Checks, and
@@ -127,31 +145,40 @@ class WebDatabaseServer {
   Query& QueryFor(TxnId id);
   Update& UpdateFor(TxnId id);
 
-  // Re-evaluates preemption / dispatch after any state change.
+  // Re-evaluates preemption / dispatch after any state change: per-CPU
+  // preemption checks, then idle-CPU fill, both in ascending CPU order.
   void OnSchedulingEvent();
-  // Dispatches `txn` onto the CPU, resolving 2PL-HP conflicts first.
-  void Dispatch(Transaction* txn);
+  // Dispatches `txn` onto CPU `cpu`, resolving 2PL-HP conflicts first.
+  void Dispatch(CpuId cpu, Transaction* txn);
   void ResolveConflicts(Transaction* txn, LockMode mode,
                         const std::vector<ItemId>& items);
-  // 2PL-HP loser path: releases locks, resets progress, re-queues.
+  // True when dispatching `txn` would conflict with a transaction running
+  // on another CPU right now (multi-core only; an idle single-CPU server
+  // has no running holders).
+  bool HasRunningConflict(Transaction* txn);
+  // 2PL-HP loser path: releases locks, resets progress, re-queues. The
+  // loser may be preempted (queued) or running on another CPU (aborted).
   void Restart(Transaction* txn);
-  void PreemptRunning();
-  void OnTxnComplete(TxnId id);
+  void PreemptRunning(CpuId cpu);
+  void OnTxnComplete(CpuId cpu, TxnId id);
   void CommitQuery(Query& query);
   void ApplyUpdate(Update& update);
-  // Drops a superseded update (pending or preempted-active).
+  // Drops a superseded update (pending or preempted/running-active).
   void InvalidateUpdate(Update& update);
   void OnLifetimeDeadline(TxnId id);
-  // Keeps a wake-up event armed for the scheduler's next decision time.
+  // Keeps one wake-up event per CPU armed for that CPU's next decision
+  // time (QUTS atom boundaries are per-shard, hence per-CPU).
   void ScheduleWake();
 
   Database* db_;
-  Scheduler* sched_;
+  CpuSetScheduler* sched_;
   ServerConfig config_;
 
   std::unique_ptr<Simulator> owned_sim_;  // null when sharing
   Simulator* sim_;
-  Processor cpu_;
+  // Owned adapter when constructed with a legacy single-CPU Scheduler.
+  std::unique_ptr<SingleCpuAdapter> owned_adapter_;
+  ProcessorPool cpus_;
   LockManager locks_;
   UpdateRegister register_;
   ProfitLedger ledger_;
@@ -167,8 +194,10 @@ class WebDatabaseServer {
   // already-dispatched updates.
   std::unordered_map<ItemId, Update*> active_updates_;
 
-  EventId wake_event_ = 0;
-  SimTime wake_time_ = kSimTimeMax;
+  // One armed wake-up event per CPU (index == CpuId), rearmed after every
+  // scheduling event from the scheduler's per-CPU NextDecisionTime.
+  std::vector<EventId> wake_events_;
+  std::vector<SimTime> wake_times_;
   bool in_scheduling_event_ = false;
   bool sampling_active_ = false;
   bool snapshots_active_ = false;

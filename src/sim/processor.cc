@@ -9,7 +9,7 @@ namespace webdb {
 Processor::Processor(Simulator* sim) : sim_(sim) { WEBDB_CHECK(sim != nullptr); }
 
 void Processor::Start(uint64_t task_id, SimDuration remaining,
-                      std::function<void(uint64_t)> on_complete) {
+                      EventCallback on_complete) {
   WEBDB_CHECK_MSG(!busy_, "Start on a busy processor");
   WEBDB_CHECK(remaining > 0);
   busy_ = true;
@@ -18,13 +18,12 @@ void Processor::Start(uint64_t task_id, SimDuration remaining,
   budget_ = remaining;
   on_complete_ = std::move(on_complete);
   completion_event_ = sim_->ScheduleAfter(remaining, [this] {
-    const uint64_t done = task_;
     total_busy_ += budget_;
     busy_ = false;
     completion_event_ = 0;
-    auto cb = std::move(on_complete_);
-    on_complete_ = nullptr;
-    cb(done);
+    EventCallback cb = std::move(on_complete_);
+    on_complete_ = EventCallback();
+    cb();
   });
 }
 
@@ -45,7 +44,7 @@ void Processor::Stop() {
   sim_->Cancel(completion_event_);
   completion_event_ = 0;
   busy_ = false;
-  on_complete_ = nullptr;
+  on_complete_ = EventCallback();
 }
 
 uint64_t Processor::current_task() const {

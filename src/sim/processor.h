@@ -9,8 +9,8 @@
 #define WEBDB_SIM_PROCESSOR_H_
 
 #include <cstdint>
-#include <functional>
 
+#include "sim/event_callback.h"
 #include "sim/simulator.h"
 #include "util/time.h"
 
@@ -25,9 +25,13 @@ class Processor {
 
   // Begins executing `task_id` for `remaining` (> 0) microseconds. The
   // processor must be idle. `on_complete` fires when the service time
-  // elapses uninterrupted; the processor is idle again by the time it runs.
+  // elapses uninterrupted; the processor is idle again by the time it runs
+  // (the owner captures whatever identifies the task — current_task() is
+  // gone by then). EventCallback keeps the dispatch hot path
+  // allocation-free: the server's completion closures fit the 48-byte
+  // inline buffer that std::function would not guarantee.
   void Start(uint64_t task_id, SimDuration remaining,
-             std::function<void(uint64_t)> on_complete);
+             EventCallback on_complete);
 
   // Stops the current task and returns its remaining service time (>= 0).
   // The processor must be busy.
@@ -57,7 +61,7 @@ class Processor {
   SimTime start_time_ = 0;
   SimDuration budget_ = 0;
   EventId completion_event_ = 0;
-  std::function<void(uint64_t)> on_complete_;
+  EventCallback on_complete_;
   SimDuration total_busy_ = 0;
 };
 

@@ -1,0 +1,35 @@
+#include "sim/processor_pool.h"
+
+#include "util/logging.h"
+
+namespace webdb {
+
+ProcessorPool::ProcessorPool(Simulator* sim, int num_cpus) {
+  WEBDB_CHECK(sim != nullptr);
+  WEBDB_CHECK_MSG(num_cpus >= 1, "a server needs at least one CPU");
+  for (int c = 0; c < num_cpus; ++c) cpus_.emplace_back(sim);
+}
+
+Processor& ProcessorPool::cpu(int32_t c) {
+  WEBDB_DCHECK(c >= 0 && c < num_cpus());
+  return cpus_[static_cast<size_t>(c)];
+}
+
+const Processor& ProcessorPool::cpu(int32_t c) const {
+  WEBDB_DCHECK(c >= 0 && c < num_cpus());
+  return cpus_[static_cast<size_t>(c)];
+}
+
+int ProcessorPool::NumBusy() const {
+  int busy = 0;
+  for (const Processor& cpu : cpus_) busy += cpu.busy() ? 1 : 0;
+  return busy;
+}
+
+SimDuration ProcessorPool::TotalBusyTime() const {
+  SimDuration total = 0;
+  for (const Processor& cpu : cpus_) total += cpu.TotalBusyTime();
+  return total;
+}
+
+}  // namespace webdb

@@ -1,0 +1,51 @@
+// A set of independent preemptible CPUs on one simulator clock.
+//
+// Each CPU is a plain Processor (one task at a time, preempt/abort with
+// remaining-time accounting); the pool adds the CPU-set view the multi-core
+// server drives: indexed access, busy census, and aggregate utilization.
+// There is no cross-CPU coupling here — scheduling policy (which CPU runs
+// what, work stealing, preemption) lives entirely in the CpuSetScheduler
+// and the server loop, both of which iterate CPUs in fixed ascending order
+// so multi-core schedules stay seeded-deterministic.
+
+#ifndef WEBDB_SIM_PROCESSOR_POOL_H_
+#define WEBDB_SIM_PROCESSOR_POOL_H_
+
+#include <cstdint>
+#include <deque>
+
+#include "sim/processor.h"
+#include "util/time.h"
+
+namespace webdb {
+
+class ProcessorPool {
+ public:
+  // `num_cpus` >= 1; `sim` must outlive the pool.
+  ProcessorPool(Simulator* sim, int num_cpus);
+
+  ProcessorPool(const ProcessorPool&) = delete;
+  ProcessorPool& operator=(const ProcessorPool&) = delete;
+
+  int num_cpus() const { return static_cast<int>(cpus_.size()); }
+
+  Processor& cpu(int32_t c);
+  const Processor& cpu(int32_t c) const;
+
+  // Number of CPUs currently executing a task. O(num_cpus).
+  int NumBusy() const;
+  bool AnyBusy() const { return NumBusy() > 0; }
+
+  // Cumulative busy time summed over all CPUs; divide by
+  // (now * num_cpus) for mean utilization.
+  SimDuration TotalBusyTime() const;
+
+ private:
+  // deque: Processor is pinned (non-copyable, non-movable — its completion
+  // closures capture `this`) and a deque never relocates elements.
+  std::deque<Processor> cpus_;
+};
+
+}  // namespace webdb
+
+#endif  // WEBDB_SIM_PROCESSOR_POOL_H_

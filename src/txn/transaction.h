@@ -60,6 +60,11 @@ struct Transaction {
   // Bumped on every scheduler enqueue; lets queues with lazy deletion tell
   // live entries from stale ones (see TxnQueue).
   uint64_t enqueue_epoch = 0;
+  // CPU currently executing this transaction (valid iff state == kRunning;
+  // -1 otherwise). Maintained by the server's dispatch/complete paths so
+  // cross-CPU aborts (update invalidation, 2PL-HP restarts) find their
+  // processor in O(1).
+  int32_t cpu = -1;
   // The queue currently holding this transaction's live entry, or nullptr.
   // Maintained by TxnQueue; a transaction is live in at most one queue.
   TxnQueue* live_queue = nullptr;

@@ -1,0 +1,205 @@
+// Multi-core server model: the CPU-set protocol, the single-CPU adapter's
+// bit-identity guarantee, and the sharded QUTS scheduler's determinism.
+//
+// The adapter tests are the load-bearing ones: the whole CPU-set redesign
+// rests on "num_cpus = 1 through the new API reproduces the legacy
+// schedule bit-for-bit", which lets the pinned goldens and end-state hashes
+// stand untouched.
+
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/sharded_quts_scheduler.h"
+#include "db/database.h"
+#include "exp/experiment.h"
+#include "exp/scheduler_factory.h"
+#include "server/web_database_server.h"
+#include "trace/stock_trace_generator.h"
+#include "util/rng.h"
+#include "util/time.h"
+
+namespace webdb {
+namespace {
+
+class MulticoreTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    StockTraceConfig config = StockTraceConfig::Small(1234);
+    config.query_rate = 40.0;
+    config.update_rate_start = 280.0;
+    config.update_rate_end = 200.0;
+    trace_ = new Trace(GenerateStockTrace(config));
+  }
+  static void TearDownTestSuite() {
+    delete trace_;
+    trace_ = nullptr;
+  }
+
+  static ExperimentOptions Options() {
+    ExperimentOptions options;
+    options.qc_seed = 99;
+    options.qc = BalancedProfile(QcShape::kStep);
+    options.compute_end_state_hash = true;
+    return options;
+  }
+
+  static ExperimentResult RunLegacy(SchedulerKind kind) {
+    auto scheduler = MakeScheduler(kind);
+    return RunExperiment(*trace_, scheduler.get(), Options());
+  }
+
+  static ExperimentResult RunSpec(const SchedulerSpec& spec) {
+    return RunExperiment(*trace_, spec, Options());
+  }
+
+  static Trace* trace_;
+};
+
+Trace* MulticoreTest::trace_ = nullptr;
+
+TEST_F(MulticoreTest, AdapterReproducesLegacyEndStateHashes) {
+  // Every legacy policy driven through the CPU-set server via the factory's
+  // SingleCpuAdapter path must take the exact same schedule as the legacy
+  // Scheduler* overload — hash equality, not statistical closeness.
+  for (SchedulerKind kind : PaperSchedulers()) {
+    const ExperimentResult legacy = RunLegacy(kind);
+    SchedulerSpec spec;
+    spec.kind = kind;
+    const ExperimentResult adapted = RunSpec(spec);
+    EXPECT_EQ(adapted.end_state_hash, legacy.end_state_hash)
+        << "adapter changed the schedule for " << ToString(kind);
+    EXPECT_EQ(adapted.queries_committed, legacy.queries_committed);
+    EXPECT_EQ(adapted.preemptions, legacy.preemptions);
+    EXPECT_DOUBLE_EQ(adapted.total_pct, legacy.total_pct);
+  }
+}
+
+TEST_F(MulticoreTest, AdapterKeepsPinnedHashes) {
+  // Same pins as tests/regression_test.cc, reached through the new API.
+  SchedulerSpec fifo;
+  fifo.kind = SchedulerKind::kFifo;
+  EXPECT_EQ(RunSpec(fifo).end_state_hash, 0x810cf025907877e9ULL);
+  SchedulerSpec quts;
+  quts.kind = SchedulerKind::kQuts;
+  EXPECT_EQ(RunSpec(quts).end_state_hash, 0xe2f69fbc29174920ULL);
+}
+
+TEST_F(MulticoreTest, ShardedRunIsBitIdenticalAcrossReruns) {
+  SchedulerSpec spec;
+  spec.kind = SchedulerKind::kQuts;
+  spec.topology.num_cpus = 4;
+  const ExperimentResult first = RunSpec(spec);
+  const ExperimentResult second = RunSpec(spec);
+  EXPECT_EQ(first.end_state_hash, second.end_state_hash);
+  EXPECT_EQ(first.queries_committed, second.queries_committed);
+  EXPECT_EQ(first.updates_applied, second.updates_applied);
+  EXPECT_DOUBLE_EQ(first.qos_gained, second.qos_gained);
+}
+
+TEST_F(MulticoreTest, CpuCountsProduceDistinctSchedules) {
+  // Sanity that the pool actually runs in parallel: more CPUs commit at
+  // least as many queries on this overloaded trace, and the schedules
+  // differ (different hash) while each stays self-deterministic.
+  std::set<uint64_t> hashes;
+  int64_t committed_1 = 0;
+  for (int cpus : {1, 2, 4}) {
+    SchedulerSpec spec;
+    spec.kind = SchedulerKind::kQuts;
+    spec.topology.num_cpus = cpus;
+    const ExperimentResult result = RunSpec(spec);
+    hashes.insert(result.end_state_hash);
+    if (cpus == 1) committed_1 = result.queries_committed;
+    EXPECT_GE(result.queries_committed, committed_1)
+        << cpus << " CPUs committed fewer queries than one";
+  }
+  EXPECT_EQ(hashes.size(), 3u) << "CPU counts collided on one schedule";
+}
+
+TEST_F(MulticoreTest, WorkStealingPinnedAgainstSeededTrace) {
+  // A 4-CPU run over the seeded trace must steal: the flash crowd
+  // concentrates query mass on hot symbols, so some home shards run dry
+  // while others back up. The steal count is part of the deterministic
+  // schedule, so it must reproduce exactly across reruns.
+  ShardedQutsScheduler::Options options;
+  options.num_cpus = 4;
+  auto run = [&] {
+    ShardedQutsScheduler scheduler(options);
+    const ExperimentResult result =
+        RunExperiment(*trace_, &scheduler, Options());
+    return std::pair<int64_t, uint64_t>(scheduler.steals(),
+                                        result.end_state_hash);
+  };
+  const auto first = run();
+  const auto second = run();
+  EXPECT_GT(first.first, 0) << "no steals on an imbalanced trace";
+  EXPECT_EQ(first.first, second.first);
+  EXPECT_EQ(first.second, second.second);
+}
+
+TEST_F(MulticoreTest, StealingOffKeepsShardsIsolated) {
+  ShardedQutsScheduler::Options options;
+  options.num_cpus = 4;
+  options.enable_stealing = false;
+  ShardedQutsScheduler scheduler(options);
+  const ExperimentResult result =
+      RunExperiment(*trace_, &scheduler, Options());
+  EXPECT_EQ(scheduler.steals(), 0);
+  EXPECT_GT(result.queries_committed, 0);
+}
+
+TEST_F(MulticoreTest, ShardPlacementIsSeedStableAndHome) {
+  ShardedQutsScheduler::Options options;
+  options.num_cpus = 4;
+  ShardedQutsScheduler a(options);
+  ShardedQutsScheduler b(options);
+  EXPECT_EQ(a.num_shards(), 4);
+  for (ItemId item = 0; item < 64; ++item) {
+    const int shard = a.ShardOfItem(item);
+    EXPECT_EQ(shard, b.ShardOfItem(item));
+    EXPECT_GE(shard, 0);
+    EXPECT_LT(shard, a.num_shards());
+  }
+}
+
+TEST_F(MulticoreTest, FactoryRejectsMultiCoreNonQuts) {
+  SchedulerSpec spec;
+  spec.kind = SchedulerKind::kFifo;
+  spec.topology.num_cpus = 4;
+  EXPECT_DEATH(MakeScheduler(spec), "QUTS");
+}
+
+TEST_F(MulticoreTest, MidRunAuditHoldsAtFourCpus) {
+  // Drive a 4-CPU server directly and audit invariants mid-flight, not
+  // just at the drained end state (RunExperiment audits there already).
+  ShardedQutsScheduler::Options options;
+  options.num_cpus = 4;
+  ShardedQutsScheduler scheduler(options);
+  Database db(trace_->num_items);
+  WebDatabaseServer server(&db, &scheduler);
+  Rng rng(7);
+  const SimTime horizon = Millis(2000);
+  SimTime t = 0;
+  int submitted = 0;
+  while (t < horizon) {
+    t += static_cast<SimTime>(rng.Exponential(0.002)) + 1;
+    server.RunUntil(t);
+    if (rng.Bernoulli(0.3)) {
+      server.SubmitQuery(QueryType::kLookup,
+                         {rng.UniformInt(0, trace_->num_items - 1)},
+                         QualityContract(), Micros(rng.UniformInt(50, 500)));
+    } else {
+      server.SubmitUpdate(rng.UniformInt(0, trace_->num_items - 1), 1.0,
+                          Micros(rng.UniformInt(20, 200)));
+    }
+    if (++submitted % 64 == 0) server.AuditInvariants();
+  }
+  server.Run();
+  server.AuditInvariants();
+  EXPECT_TRUE(server.IsQuiescent());
+  EXPECT_EQ(server.NumCpus(), 4);
+}
+
+}  // namespace
+}  // namespace webdb

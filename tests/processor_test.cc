@@ -12,7 +12,8 @@ TEST(ProcessorTest, CompletesAfterServiceTime) {
   Processor cpu(&sim);
   std::vector<uint64_t> done;
   sim.ScheduleAt(0, [&] {
-    cpu.Start(7, 100, [&](uint64_t id) { done.push_back(id); });
+    // The owner captures the task id; the callback itself takes nothing.
+    cpu.Start(7, 100, [&] { done.push_back(7); });
   });
   sim.Run();
   EXPECT_EQ(done, (std::vector<uint64_t>{7}));
@@ -27,7 +28,7 @@ TEST(ProcessorTest, PreemptReturnsRemaining) {
   bool completed = false;
   SimDuration remaining = -1;
   sim.ScheduleAt(0, [&] {
-    cpu.Start(1, 100, [&](uint64_t) { completed = true; });
+    cpu.Start(1, 100, [&] { completed = true; });
   });
   sim.ScheduleAt(30, [&] { remaining = cpu.Preempt(); });
   sim.Run();
@@ -42,13 +43,13 @@ TEST(ProcessorTest, ResumeAfterPreemptFinishesWithTotalService) {
   Processor cpu(&sim);
   SimTime completion_time = -1;
   sim.ScheduleAt(0, [&] {
-    cpu.Start(1, 100, [&](uint64_t) { completion_time = sim.Now(); });
+    cpu.Start(1, 100, [&] { completion_time = sim.Now(); });
   });
   sim.ScheduleAt(40, [&] {
     const SimDuration remaining = cpu.Preempt();
     // resume 10 later
     sim.ScheduleAfter(10, [&cpu, remaining, &completion_time, &sim] {
-      cpu.Start(1, remaining, [&](uint64_t) { completion_time = sim.Now(); });
+      cpu.Start(1, remaining, [&] { completion_time = sim.Now(); });
     });
   });
   sim.Run();
@@ -61,7 +62,7 @@ TEST(ProcessorTest, AbortDiscardsTask) {
   Processor cpu(&sim);
   bool completed = false;
   sim.ScheduleAt(0, [&] {
-    cpu.Start(1, 100, [&](uint64_t) { completed = true; });
+    cpu.Start(1, 100, [&] { completed = true; });
   });
   sim.ScheduleAt(10, [&] { cpu.Abort(); });
   sim.Run();
@@ -72,7 +73,7 @@ TEST(ProcessorTest, AbortDiscardsTask) {
 TEST(ProcessorTest, ElapsedAndRemainingTrackProgress) {
   Simulator sim;
   Processor cpu(&sim);
-  sim.ScheduleAt(0, [&] { cpu.Start(9, 50, [](uint64_t) {}); });
+  sim.ScheduleAt(0, [&] { cpu.Start(9, 50, [] {}); });
   sim.ScheduleAt(20, [&] {
     EXPECT_TRUE(cpu.busy());
     EXPECT_EQ(cpu.current_task(), 9u);
@@ -86,10 +87,10 @@ TEST(ProcessorTest, IdleByCompletionCallbackTime) {
   Simulator sim;
   Processor cpu(&sim);
   sim.ScheduleAt(0, [&] {
-    cpu.Start(1, 10, [&](uint64_t) {
+    cpu.Start(1, 10, [&] {
       EXPECT_FALSE(cpu.busy());
       // Back-to-back dispatch from the completion callback must work.
-      cpu.Start(2, 5, [](uint64_t) {});
+      cpu.Start(2, 5, [] {});
     });
   });
   sim.Run();
@@ -101,8 +102,8 @@ TEST(ProcessorDeathTest, DoubleStartAborts) {
   Simulator sim;
   Processor cpu(&sim);
   sim.ScheduleAt(0, [&] {
-    cpu.Start(1, 10, [](uint64_t) {});
-    EXPECT_DEATH(cpu.Start(2, 10, [](uint64_t) {}), "busy");
+    cpu.Start(1, 10, [] {});
+    EXPECT_DEATH(cpu.Start(2, 10, [] {}), "busy");
   });
   sim.Run();
 }

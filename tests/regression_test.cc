@@ -141,7 +141,7 @@ TEST_F(RegressionTest, ParallelSweepMatchesGoldenSnapshot) {
     for (SchedulerKind kind : kinds) {
       SweepRunner::Point point;
       point.trace = trace_;
-      point.scheduler = kind;
+      point.spec.kind = kind;
       point.options.qc_seed = 99;
       point.options.qc = Table4Profile(qod_share, QcShape::kStep);
       points.push_back(point);

@@ -77,7 +77,7 @@ class SweepRunnerTest : public ::testing::Test {
     for (size_t i = 0; i < 16; ++i) {
       SweepRunner::Point point;
       point.trace = trace_;
-      point.scheduler = kinds[i % kinds.size()];
+      point.spec.kind = kinds[i % kinds.size()];
       point.options.qc_seed = runner.SeedFor(i);
       point.options.qc =
           Table4Profile(0.1 * static_cast<double>(1 + i % 9), QcShape::kStep);

@@ -13,7 +13,11 @@ Compares a fresh BENCH_hotpath.json against the committed baseline
     same process on the same workload;
   * any allocations per event on the arena hot path (allocs_per_event must
     round to zero after warm-up; the committed baseline documents the
-    expected value).
+    expected value);
+  * when the JSON carries the multi-core scaling section: 4-CPU sharded
+    QUTS profit-per-wall-second below --min-multicore-speedup (default
+    2.0) over the single-CPU run, or a rerun that was not bit-identical.
+    Old baselines without the section are accepted for the other checks.
 
 Usage:
   python3 tools/check_hotpath_regression.py \
@@ -43,6 +47,9 @@ def main():
                         help="allowed fractional events/sec regression")
     parser.add_argument("--min-speedup", type=float, default=2.0,
                         help="required speedup over the legacy core")
+    parser.add_argument("--min-multicore-speedup", type=float, default=2.0,
+                        help="required 4-CPU profit/wall-s speedup over "
+                             "1 CPU (sharded QUTS, flash-crowd trace)")
     args = parser.parse_args()
 
     current = load(args.current)
@@ -73,6 +80,18 @@ def main():
     if allocs >= 0.01:
         failures.append(
             f"arena hot path is allocating again: {allocs:.4f} allocs/event")
+
+    if "multicore_profit_speedup_4cpu" in current:
+        mc = float(current["multicore_profit_speedup_4cpu"])
+        print(f"multicore profit speedup (4 CPUs vs 1): {mc:.2f}x "
+              f"(required >= {args.min_multicore_speedup:.2f}x)")
+        if mc < args.min_multicore_speedup:
+            failures.append(
+                f"4-CPU sharded QUTS profit/wall-s speedup fell below "
+                f"{args.min_multicore_speedup:.2f}x: {mc:.2f}x")
+        if not current.get("multicore_rerun_identical", False):
+            failures.append(
+                "multicore runs were not bit-identical across reruns")
 
     if failures:
         for failure in failures:
