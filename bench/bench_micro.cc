@@ -14,12 +14,14 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "core/quts_scheduler.h"
 #include "obs/tracer.h"
 #include "exp/experiment.h"
+#include "exp/overload_scenarios.h"
 #include "exp/scheduler_factory.h"
 #include "qc/qc_generator.h"
 #include "sched/txn_queue.h"
@@ -144,7 +146,8 @@ BENCHMARK(BM_EndToEndServerRun)
 // Runs one end-to-end experiment with the tracer attached and writes the
 // JSONL lifecycle trace to `path`. Returns an exit status.
 int RunTracedExperiment(const std::string& path, const std::string& sched,
-                        int cpus) {
+                        int cpus, const std::string& admission,
+                        const std::string& tenants) {
   const std::optional<SchedulerKind> kind = SchedulerKindFromName(sched);
   if (!kind.has_value()) {
     std::fprintf(stderr, "error: unknown scheduler '%s'; valid names:",
@@ -154,6 +157,28 @@ int RunTracedExperiment(const std::string& path, const std::string& sched,
     }
     std::fprintf(stderr, "\n");
     return 1;
+  }
+  const std::optional<AdmissionKind> admission_kind =
+      AdmissionKindFromName(admission);
+  if (!admission_kind.has_value()) {
+    std::fprintf(stderr, "error: unknown admission policy '%s'; valid names:",
+                 admission.c_str());
+    for (const std::string& name : ValidAdmissionNames()) {
+      std::fprintf(stderr, " %s", name.c_str());
+    }
+    std::fprintf(stderr, "\n");
+    return 1;
+  }
+  std::optional<TenantSet> tenant_set;
+  if (!tenants.empty()) {
+    tenant_set = TenantSet::Parse(tenants);
+    if (!tenant_set.has_value()) {
+      std::fprintf(stderr,
+                   "error: bad --tenants spec '%s' (want name:weight pairs, "
+                   "e.g. free:4,premium:1)\n",
+                   tenants.c_str());
+      return 1;
+    }
   }
   if (cpus < 1) {
     std::fprintf(stderr, "error: --cpus must be >= 1 (got %d)\n", cpus);
@@ -170,16 +195,29 @@ int RunTracedExperiment(const std::string& path, const std::string& sched,
   config.query_rate = 40.0;
   config.update_rate_start = 280.0;
   config.update_rate_end = 200.0;
-  const Trace trace = GenerateStockTrace(config);
+  Trace trace = GenerateStockTrace(config);
+  if (tenant_set.has_value()) {
+    AssignTenants(&trace, *tenant_set, config.seed);
+  }
 
   Tracer tracer;
   SchedulerSpec spec;
   spec.kind = *kind;
   spec.topology.num_cpus = cpus;
+  spec.admission.kind = *admission_kind;
+  if (tenant_set.has_value()) spec.admission.tenants = *tenant_set;
   ExperimentOptions options;
   options.qc = BalancedProfile(QcShape::kStep);
   options.server.tracer = &tracer;
-  RunExperiment(trace, spec, options);
+  const ExperimentResult result = RunExperiment(trace, spec, options);
+  if (*admission_kind != AdmissionKind::kAdmitAll) {
+    std::fprintf(stderr,
+                 "admission %s: %lld committed, %lld rejected, %lld shed\n",
+                 ToString(*admission_kind).c_str(),
+                 static_cast<long long>(result.queries_committed),
+                 static_cast<long long>(result.queries_rejected),
+                 static_cast<long long>(result.queries_shed));
+  }
   if (!tracer.WriteJsonlFile(path)) {
     std::fprintf(stderr, "error: cannot write trace to '%s'\n", path.c_str());
     return 1;
@@ -196,6 +234,8 @@ int RunTracedExperiment(const std::string& path, const std::string& sched,
 int main(int argc, char** argv) {
   std::string trace_path;
   std::string sched = "quts";
+  std::string admission = "admit-all";
+  std::string tenants;
   int cpus = 1;
   std::vector<char*> bench_argv;
   for (int i = 0; i < argc; ++i) {
@@ -206,6 +246,10 @@ int main(int argc, char** argv) {
       sched = argv[++i];
     } else if (arg == "--cpus" && i + 1 < argc) {
       cpus = std::atoi(argv[++i]);
+    } else if (arg == "--admission" && i + 1 < argc) {
+      admission = argv[++i];
+    } else if (arg == "--tenants" && i + 1 < argc) {
+      tenants = argv[++i];
     } else {
       bench_argv.push_back(argv[i]);
     }
@@ -218,7 +262,8 @@ int main(int argc, char** argv) {
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   if (!trace_path.empty()) {
-    return webdb::RunTracedExperiment(trace_path, sched, cpus);
+    return webdb::RunTracedExperiment(trace_path, sched, cpus, admission,
+                                      tenants);
   }
   return 0;
 }

@@ -36,6 +36,8 @@ const char* InvariantName(Invariant invariant) {
       return "event-arena-consistent";
     case Invariant::kTxnQueueConsistent:
       return "txn-queue-consistent";
+    case Invariant::kAdmissionConservation:
+      return "admission-conservation";
     case Invariant::kCount:
       break;
   }

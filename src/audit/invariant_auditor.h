@@ -48,6 +48,8 @@ enum class Invariant {
   kLedgerConservation,      // profit ledger totals match obs registry
   kEventArenaConsistent,    // simulator slot arena / heap bookkeeping agrees
   kTxnQueueConsistent,      // TxnQueue live_ matches the non-stale heap count
+  kAdmissionConservation,   // arrived = admitted + rejected + shed, per
+                            // tenant; DBF demand nodes match tracked entries
   kCount,                   // sentinel
 };
 

@@ -87,6 +87,25 @@ ExperimentResult RunExperiment(const Trace& trace, CpuSetScheduler* scheduler,
   result.updates_invalidated = metrics.updates_invalidated;
   result.update_restarts = metrics.update_restarts;
   result.preemptions = metrics.preemptions;
+  result.queries_rejected = metrics.queries_rejected;
+  result.queries_shed = metrics.queries_shed;
+  if (server.config().tenants != nullptr) {
+    const TenantSet& tenants = *server.config().tenants;
+    for (const auto& [tenant, counters] : metrics.tenants()) {
+      ExperimentResult::TenantResult row;
+      row.tenant = tenant;
+      row.name = tenant >= 0 && tenant < tenants.NumTiers()
+                     ? tenants.Tier(tenant).name
+                     : "?";
+      row.submitted = counters.submitted->value();
+      row.committed = counters.committed->value();
+      row.rejected = counters.rejected->value();
+      row.shed = counters.shed->value();
+      row.dropped = counters.dropped->value();
+      row.profit = counters.profit->value();
+      result.tenants.push_back(std::move(row));
+    }
+  }
   for (const ServerMetrics::QueueSample& sample : metrics.queue_samples) {
     result.peak_queued_queries =
         std::max(result.peak_queued_queries, sample.queries);
@@ -130,7 +149,22 @@ ExperimentResult RunExperiment(const Trace& trace, Scheduler* scheduler,
 ExperimentResult RunExperiment(const Trace& trace, const SchedulerSpec& spec,
                                const ExperimentOptions& options) {
   std::unique_ptr<CpuSetScheduler> scheduler = MakeScheduler(spec);
-  return RunExperiment(trace, scheduler.get(), options);
+  // The spec may also describe admission control; a fresh controller per
+  // run keeps SweepRunner's one-owner-per-point rule intact.
+  std::unique_ptr<AdmissionController> admission =
+      MakeAdmission(spec.admission, spec.topology.num_cpus);
+  ExperimentOptions run_options = options;
+  if (admission != nullptr) {
+    WEBDB_CHECK_MSG(options.server.admission == nullptr,
+                    "admission set both on the spec and on server config");
+    run_options.server.admission = admission.get();
+  }
+  if (spec.admission.tenants.NumTiers() > 1) {
+    WEBDB_CHECK_MSG(options.server.tenants == nullptr,
+                    "tenants set both on the spec and on server config");
+    run_options.server.tenants = &spec.admission.tenants;
+  }
+  return RunExperiment(trace, scheduler.get(), run_options);
 }
 
 }  // namespace webdb

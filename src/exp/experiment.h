@@ -77,9 +77,26 @@ struct ExperimentResult {
   int64_t updates_invalidated = 0;
   int64_t update_restarts = 0;
   int64_t preemptions = 0;
+  // Admission outcomes (0 when no controller was configured).
+  int64_t queries_rejected = 0;
+  int64_t queries_shed = 0;
   // Peak sampled queue depths (0 unless queue_sample_period was set).
   int64_t peak_queued_queries = 0;
   int64_t peak_queued_updates = 0;
+
+  // Per-tenant outcomes, sorted by tenant id (empty unless the run was
+  // tenant-aware, i.e. ServerConfig::tenants was set).
+  struct TenantResult {
+    TenantId tenant = 0;
+    std::string name;
+    int64_t submitted = 0;
+    int64_t committed = 0;
+    int64_t rejected = 0;
+    int64_t shed = 0;
+    int64_t dropped = 0;
+    double profit = 0.0;
+  };
+  std::vector<TenantResult> tenants;
 
   // Per-second profit series (bucket sums), for Figure 9a-c.
   std::vector<double> qos_gained_per_s;

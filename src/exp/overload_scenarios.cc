@@ -1,0 +1,135 @@
+#include "exp/overload_scenarios.h"
+
+#include <algorithm>
+#include <iterator>
+
+#include "trace/stock_trace_generator.h"
+#include "util/logging.h"
+#include "util/rng.h"
+#include "util/seed.h"
+
+namespace webdb {
+
+std::string ToString(OverloadScenario scenario) {
+  switch (scenario) {
+    case OverloadScenario::kMarketOpen:
+      return "market-open";
+    case OverloadScenario::kUpdateStorm:
+      return "update-storm";
+    case OverloadScenario::kScaleUp:
+      return "scale-up";
+  }
+  return "?";
+}
+
+std::optional<OverloadScenario> OverloadScenarioFromName(
+    const std::string& name) {
+  for (OverloadScenario scenario : AllOverloadScenarios()) {
+    if (ToString(scenario) == name) return scenario;
+  }
+  return std::nullopt;
+}
+
+std::vector<OverloadScenario> AllOverloadScenarios() {
+  return {OverloadScenario::kMarketOpen, OverloadScenario::kUpdateStorm,
+          OverloadScenario::kScaleUp};
+}
+
+namespace {
+
+StockTraceConfig BaseConfig(const OverloadScenarioConfig& config,
+                            uint64_t seed) {
+  StockTraceConfig base;
+  base.seed = seed;
+  base.num_stocks = config.num_stocks;
+  base.duration = config.duration;
+  base.query_rate = config.query_rate;
+  base.query_spike_count = 0;  // the scenario, not the generator, bursts
+  base.update_rate_start = config.update_rate;
+  base.update_rate_end = config.update_rate;
+  return base;
+}
+
+}  // namespace
+
+Trace MakeOverloadTrace(OverloadScenario scenario,
+                        const OverloadScenarioConfig& config) {
+  WEBDB_CHECK(config.scale >= 1.0);
+  WEBDB_CHECK(config.duration > 0);
+  switch (scenario) {
+    case OverloadScenario::kMarketOpen: {
+      // Base load for the whole window plus a query flash crowd in the
+      // first fifth: (scale - 1)x extra queries, nearly no extra updates.
+      Trace base = GenerateStockTrace(BaseConfig(config, config.seed));
+      StockTraceConfig burst =
+          BaseConfig(config, DeriveSeed(config.seed, 0xB0057));
+      burst.duration = config.duration / 5;
+      burst.query_rate = config.query_rate * (config.scale - 1.0);
+      burst.update_rate_start = 1.0;
+      burst.update_rate_end = 1.0;
+      if (burst.query_rate <= 0.0) return base;
+      return MergeTraces(base, GenerateStockTrace(burst));
+    }
+    case OverloadScenario::kUpdateStorm: {
+      StockTraceConfig storm = BaseConfig(config, config.seed);
+      storm.update_rate_start = config.update_rate * config.scale;
+      storm.update_rate_end = config.update_rate * config.scale;
+      return GenerateStockTrace(storm);
+    }
+    case OverloadScenario::kScaleUp: {
+      StockTraceConfig scaled = BaseConfig(config, config.seed);
+      scaled.query_rate = config.query_rate * config.scale;
+      scaled.update_rate_start = config.update_rate * config.scale;
+      scaled.update_rate_end = config.update_rate * config.scale;
+      return GenerateStockTrace(scaled);
+    }
+  }
+  WEBDB_CHECK_MSG(false, "unknown overload scenario");
+  return Trace{};
+}
+
+Trace MergeTraces(const Trace& a, const Trace& b) {
+  WEBDB_CHECK(a.num_items == b.num_items);
+  Trace out;
+  out.num_items = a.num_items;
+  out.queries.reserve(a.queries.size() + b.queries.size());
+  std::merge(a.queries.begin(), a.queries.end(), b.queries.begin(),
+             b.queries.end(), std::back_inserter(out.queries),
+             [](const QueryRecord& x, const QueryRecord& y) {
+               return x.arrival < y.arrival;
+             });
+  out.updates.reserve(a.updates.size() + b.updates.size());
+  std::merge(a.updates.begin(), a.updates.end(), b.updates.begin(),
+             b.updates.end(), std::back_inserter(out.updates),
+             [](const UpdateRecord& x, const UpdateRecord& y) {
+               return x.arrival < y.arrival;
+             });
+  out.CheckValid();
+  return out;
+}
+
+void AssignTenants(Trace* trace, const TenantSet& tenants, uint64_t seed) {
+  WEBDB_CHECK(trace != nullptr);
+  if (tenants.NumTiers() <= 1) return;
+  double total_share = 0.0;
+  for (const TenantTier& tier : tenants.tiers()) {
+    total_share += tier.traffic_share;
+  }
+  WEBDB_CHECK(total_share > 0.0);
+  Rng rng(DeriveSeed(seed, 0x7e7a));
+  for (QueryRecord& query : trace->queries) {
+    double draw = rng.Uniform(0.0, total_share);
+    TenantId tenant = 0;
+    for (int32_t tier = 0; tier < tenants.NumTiers(); ++tier) {
+      draw -= tenants.Tier(tier).traffic_share;
+      if (draw <= 0.0) {
+        tenant = tier;
+        break;
+      }
+      tenant = tier;  // numeric tail: last tier with positive share
+    }
+    query.tenant = tenant;
+  }
+}
+
+}  // namespace webdb

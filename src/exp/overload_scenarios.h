@@ -1,0 +1,68 @@
+// Adversarial overload scenarios: traces engineered to exceed the hardware,
+// the stress side of the admission-control work (sched/admission.h). Three
+// first-class shapes:
+//
+//   market-open   a flash crowd at the opening bell — the base trace plus a
+//                 `scale`x query burst merged into the first fifth of the
+//                 window (Figure 5a's bursts, pushed past saturation);
+//   update-storm  a sustained `scale`x update rate that starves queries on
+//                 any update-favoring policy;
+//   scale-up      the whole trace (queries and updates) at `scale`x — the
+//                 10-100x re-anchor of the acceptance criteria.
+//
+// Everything is determined by the config's seed (burst arrivals draw from
+// DeriveSeed(seed, ...) so scenarios stay independent), and every scenario
+// works at any CPU count.
+
+#ifndef WEBDB_EXP_OVERLOAD_SCENARIOS_H_
+#define WEBDB_EXP_OVERLOAD_SCENARIOS_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sched/admission.h"
+#include "trace/trace.h"
+#include "util/time.h"
+
+namespace webdb {
+
+enum class OverloadScenario {
+  kMarketOpen,
+  kUpdateStorm,
+  kScaleUp,
+};
+
+std::string ToString(OverloadScenario scenario);
+// Parses "market-open", "update-storm", "scale-up".
+std::optional<OverloadScenario> OverloadScenarioFromName(
+    const std::string& name);
+std::vector<OverloadScenario> AllOverloadScenarios();
+
+struct OverloadScenarioConfig {
+  uint64_t seed = 2007;
+  // Overload multiplier: burst gain for market-open, storm gain for
+  // update-storm, whole-trace gain for scale-up.
+  double scale = 10.0;
+  SimDuration duration = Seconds(30);
+  int32_t num_stocks = 256;
+  // Baseline (pre-scale) arrival rates per second.
+  double query_rate = 25.0;
+  double update_rate = 60.0;
+};
+
+Trace MakeOverloadTrace(OverloadScenario scenario,
+                        const OverloadScenarioConfig& config);
+
+// Merges two traces over the same item space into one (arrival-sorted).
+Trace MergeTraces(const Trace& a, const Trace& b);
+
+// Assigns a tenant tier to every query, i.i.d. by the tiers'
+// traffic_share, deterministically from `seed`. Single-tier sets leave the
+// trace untouched.
+void AssignTenants(Trace* trace, const TenantSet& tenants, uint64_t seed);
+
+}  // namespace webdb
+
+#endif  // WEBDB_EXP_OVERLOAD_SCENARIOS_H_

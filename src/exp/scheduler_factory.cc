@@ -83,6 +83,67 @@ std::unique_ptr<CpuSetScheduler> MakeScheduler(const SchedulerSpec& spec) {
   return std::make_unique<ShardedQutsScheduler>(options);
 }
 
+std::string ToString(AdmissionKind kind) {
+  switch (kind) {
+    case AdmissionKind::kAdmitAll:
+      return "admit-all";
+    case AdmissionKind::kQueueCap:
+      return "queue-cap";
+    case AdmissionKind::kExpectedProfit:
+      return "expected-profit";
+    case AdmissionKind::kDbf:
+      return "dbf";
+  }
+  return "?";
+}
+
+namespace {
+
+constexpr AdmissionKind kAllAdmissionKinds[] = {
+    AdmissionKind::kAdmitAll,
+    AdmissionKind::kQueueCap,
+    AdmissionKind::kExpectedProfit,
+    AdmissionKind::kDbf,
+};
+
+}  // namespace
+
+std::optional<AdmissionKind> AdmissionKindFromName(const std::string& name) {
+  for (AdmissionKind kind : kAllAdmissionKinds) {
+    if (ToString(kind) == name) return kind;
+  }
+  return std::nullopt;
+}
+
+std::vector<std::string> ValidAdmissionNames() {
+  std::vector<std::string> names;
+  for (AdmissionKind kind : kAllAdmissionKinds) names.push_back(ToString(kind));
+  return names;
+}
+
+std::unique_ptr<AdmissionController> MakeAdmission(const AdmissionSpec& spec,
+                                                   int num_cpus) {
+  WEBDB_CHECK(num_cpus >= 1);
+  switch (spec.kind) {
+    case AdmissionKind::kAdmitAll:
+      return nullptr;
+    case AdmissionKind::kQueueCap:
+      return std::make_unique<QueueCapAdmission>(spec.queue_cap);
+    case AdmissionKind::kExpectedProfit:
+      return std::make_unique<ExpectedProfitAdmission>(spec.typical_exec,
+                                                       spec.min_worth);
+    case AdmissionKind::kDbf: {
+      DbfAdmission::Options options;
+      options.num_cpus = num_cpus;
+      options.supply_factor = spec.supply_factor;
+      options.tenants = spec.tenants;
+      return std::make_unique<DbfAdmission>(std::move(options));
+    }
+  }
+  WEBDB_CHECK_MSG(false, "unknown admission kind");
+  return nullptr;
+}
+
 std::vector<SchedulerKind> PaperSchedulers() {
   return {SchedulerKind::kFifo, SchedulerKind::kUpdateHigh,
           SchedulerKind::kQueryHigh, SchedulerKind::kQuts};

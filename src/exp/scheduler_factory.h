@@ -11,8 +11,10 @@
 
 #include "core/quts_scheduler.h"
 #include "core/sharded_quts_scheduler.h"
+#include "sched/admission.h"
 #include "sched/cpu_set_scheduler.h"
 #include "sched/scheduler.h"
+#include "util/time.h"
 
 namespace webdb {
 
@@ -50,15 +52,52 @@ struct SchedulerTopology {
   bool enable_stealing = true;
 };
 
+// Admission-control policy, declaratively (mirrors SchedulerKind).
+enum class AdmissionKind {
+  kAdmitAll,         // the paper's implicit policy (no controller at all)
+  kQueueCap,         // reject past a fixed queue depth
+  kExpectedProfit,   // reject when residual expected profit is too small
+  kDbf,              // demand-bound-function feasibility + load shedding
+};
+
+std::string ToString(AdmissionKind kind);
+
+// Parses "admit-all", "queue-cap", "expected-profit", "dbf".
+std::optional<AdmissionKind> AdmissionKindFromName(const std::string& name);
+std::vector<std::string> ValidAdmissionNames();
+
+// Declarative description of an admission controller. Knobs only apply to
+// the kinds that read them.
+struct AdmissionSpec {
+  AdmissionKind kind = AdmissionKind::kAdmitAll;
+  // kQueueCap: maximum queued queries.
+  int64_t queue_cap = 256;
+  // kExpectedProfit: assumed per-query CPU demand and worth floor.
+  SimDuration typical_exec = Millis(7);
+  double min_worth = 1.0;
+  // kDbf: fraction of per-CPU wall-clock supply handed to queries.
+  double supply_factor = 1.0;
+  // kDbf: tenant tiers (demand weights). Default: one tier, weight 1.
+  TenantSet tenants;
+};
+
 // Declarative description of a complete scheduler: policy kind + policy
-// options + topology. The one struct a bench or experiment needs to carry
-// to describe "what schedules and on how many cores".
+// options + topology + admission. The one struct a bench or experiment
+// needs to carry to describe "what schedules, on how many cores, and what
+// gets in".
 struct SchedulerSpec {
   SchedulerKind kind = SchedulerKind::kQuts;
   // Applies to kQuts (single-CPU and sharded alike).
   QutsScheduler::Options quts;
   SchedulerTopology topology;
+  AdmissionSpec admission;
 };
+
+// Constructs the admission controller an AdmissionSpec describes, sized for
+// `num_cpus` demand lanes. Returns nullptr for kAdmitAll — the server's
+// null-controller fast path is the genuine admit-all policy.
+std::unique_ptr<AdmissionController> MakeAdmission(const AdmissionSpec& spec,
+                                                   int num_cpus);
 
 // Constructs the scheduler a spec describes, ready for WebDatabaseServer:
 // num_cpus == 1 yields the legacy policy behind an owning SingleCpuAdapter

@@ -48,7 +48,8 @@ void TraceFeeder::Pump() {
   while (next_query_ < trace_->queries.size() &&
          trace_->queries[next_query_].arrival <= now) {
     const QueryRecord& q = trace_->queries[next_query_++];
-    server_->SubmitQuery(q.type, q.items, assigner_(q), q.exec_time);
+    server_->SubmitQuery(q.type, q.items, assigner_(q), q.exec_time,
+                         q.tenant);
   }
   const SimTime next = NextArrival();
   if (next != kSimTimeMax) {

@@ -142,6 +142,10 @@ SpanSummary SummarizeSpans(std::vector<TraceEvent> events) {
         ++bucket.counts.rejected;
         spans.erase(event.txn);
         break;
+      case TraceEventType::kShed:
+        ++bucket.counts.shed;
+        spans.erase(event.txn);
+        break;
     }
   }
 
@@ -167,10 +171,11 @@ std::string RenderSpanSummary(const SpanSummary& summary) {
 
   std::snprintf(buffer, sizeof(buffer),
                 "queries: committed=%lld dropped=%lld rejected=%lld "
-                "preempts=%lld restarts=%lld\n",
+                "shed=%lld preempts=%lld restarts=%lld\n",
                 static_cast<long long>(summary.queries.committed),
                 static_cast<long long>(summary.queries.dropped),
                 static_cast<long long>(summary.queries.rejected),
+                static_cast<long long>(summary.queries.shed),
                 static_cast<long long>(summary.queries.preempts),
                 static_cast<long long>(summary.queries.restarts));
   out += buffer;

@@ -40,6 +40,7 @@ struct SpanBreakdown {
   int64_t dropped = 0;      // queries only
   int64_t invalidated = 0;  // updates only
   int64_t rejected = 0;     // queries only
+  int64_t shed = 0;         // queries only
   int64_t preempts = 0;
   int64_t restarts = 0;
   PhaseStats queue_wait_ms;

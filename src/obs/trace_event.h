@@ -32,6 +32,7 @@ enum class TraceEventType : uint8_t {
   kDrop,        // query dropped at its lifetime deadline
   kInvalidate,  // update superseded by a newer arrival on the same item
   kReject,      // query refused by admission control
+  kShed,        // queued query evicted by admission control under overload
 };
 
 std::string ToString(TraceEventType type);

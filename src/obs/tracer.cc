@@ -29,6 +29,8 @@ std::string ToString(TraceEventType type) {
       return "invalidate";
     case TraceEventType::kReject:
       return "reject";
+    case TraceEventType::kShed:
+      return "shed";
   }
   return "?";
 }
@@ -39,7 +41,7 @@ bool TraceEventTypeFromName(const std::string& name, TraceEventType* out) {
         TraceEventType::kDispatch, TraceEventType::kPreempt,
         TraceEventType::kRestart, TraceEventType::kCommit,
         TraceEventType::kDrop, TraceEventType::kInvalidate,
-        TraceEventType::kReject}) {
+        TraceEventType::kReject, TraceEventType::kShed}) {
     if (ToString(type) == name) {
       *out = type;
       return true;

@@ -10,6 +10,7 @@ ServerMetrics::ServerMetrics()
       queries_expired(registry_.GetCounter("server.queries.expired")),
       queries_dropped(registry_.GetCounter("server.queries.dropped")),
       queries_rejected(registry_.GetCounter("server.queries.rejected")),
+      queries_shed(registry_.GetCounter("server.queries.shed")),
       query_restarts(registry_.GetCounter("txn.restarts.query")),
       updates_submitted(registry_.GetCounter("server.updates.submitted")),
       updates_applied(registry_.GetCounter("server.updates.applied")),
@@ -19,6 +20,27 @@ ServerMetrics::ServerMetrics()
       // 1 ms .. ~9.3 hours in 25 geometric buckets.
       response_time_hist(registry_.GetHistogram(
           "server.response_time_ms", Histogram::Exponential(1.0, 2.0, 25))) {}
+
+ServerMetrics::TenantCounters& ServerMetrics::Tenant(TenantId tenant) {
+  auto it = tenant_counters_.find(tenant);
+  if (it != tenant_counters_.end()) return it->second;
+  const std::string prefix =
+      "server.tenant" + std::to_string(tenant) + ".";
+  TenantCounters counters;
+  counters.submitted = &registry_.GetCounter(prefix + "queries.submitted");
+  counters.committed = &registry_.GetCounter(prefix + "queries.committed");
+  counters.rejected = &registry_.GetCounter(prefix + "queries.rejected");
+  counters.shed = &registry_.GetCounter(prefix + "queries.shed");
+  counters.dropped = &registry_.GetCounter(prefix + "queries.dropped");
+  counters.profit = &registry_.GetGauge(prefix + "profit");
+  return tenant_counters_.emplace(tenant, counters).first->second;
+}
+
+const ServerMetrics::TenantCounters* ServerMetrics::FindTenant(
+    TenantId tenant) const {
+  const auto it = tenant_counters_.find(tenant);
+  return it == tenant_counters_.end() ? nullptr : &it->second;
+}
 
 void ServerMetrics::OnQueryCommitted(SimDuration response_time,
                                      double staleness_value) {
@@ -35,6 +57,7 @@ std::string ServerMetrics::Summary() const {
       << " expired=" << queries_expired.value()
       << " dropped=" << queries_dropped.value()
       << " rejected=" << queries_rejected.value()
+      << " shed=" << queries_shed.value()
       << " restarts=" << query_restarts.value() << '\n';
   out << "updates: submitted=" << updates_submitted.value()
       << " applied=" << updates_applied.value()

@@ -13,10 +13,12 @@
 #define WEBDB_SERVER_METRICS_H_
 
 #include <cstdint>
+#include <map>
 #include <string>
 #include <vector>
 
 #include "obs/metric_registry.h"
+#include "txn/transaction.h"
 #include "util/histogram.h"
 #include "util/stats.h"
 #include "util/time.h"
@@ -46,7 +48,10 @@ class ServerMetrics {
   Counter& queries_dropped;  // server.queries.dropped
   // Refused by admission control at submission time.
   Counter& queries_rejected;  // server.queries.rejected
-  Counter& query_restarts;    // txn.restarts.query
+  // Admitted, then evicted from the queue by admission control (DbfAdmission
+  // load shedding).
+  Counter& queries_shed;    // server.queries.shed
+  Counter& query_restarts;  // txn.restarts.query
 
   Counter& updates_submitted;    // server.updates.submitted
   Counter& updates_applied;      // server.updates.applied
@@ -71,11 +76,32 @@ class ServerMetrics {
   };
   std::vector<QueueSample> queue_samples;
 
+  // --- per-tenant lifecycle accounting (registry-backed, lazily created) ----
+  // Registered under "server.tenant<k>.*" on first use of tenant k, so
+  // tenant-unaware runs carry no extra metrics (and no snapshot noise).
+  struct TenantCounters {
+    Counter* submitted = nullptr;  // server.tenant<k>.queries.submitted
+    Counter* committed = nullptr;  // server.tenant<k>.queries.committed
+    Counter* rejected = nullptr;   // server.tenant<k>.queries.rejected
+    Counter* shed = nullptr;       // server.tenant<k>.queries.shed
+    Counter* dropped = nullptr;    // server.tenant<k>.queries.dropped
+    Gauge* profit = nullptr;       // server.tenant<k>.profit (running total)
+  };
+  TenantCounters& Tenant(TenantId tenant);
+  // nullptr when tenant `tenant` never submitted.
+  const TenantCounters* FindTenant(TenantId tenant) const;
+  const std::map<TenantId, TenantCounters>& tenants() const {
+    return tenant_counters_;
+  }
+
   // --- recorders ------------------------------------------------------------
   void OnQueryCommitted(SimDuration response_time, double staleness_value);
 
   // Multi-line summary for examples and debugging.
   std::string Summary() const;
+
+ private:
+  std::map<TenantId, TenantCounters> tenant_counters_;
 };
 
 }  // namespace webdb

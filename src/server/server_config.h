@@ -17,6 +17,12 @@ struct ServerConfig {
   // Not owned; must outlive the server. nullptr admits everything.
   AdmissionController* admission = nullptr;
 
+  // Optional tenant tiers. When set, the server keeps per-tenant lifecycle
+  // counters and profit ("server.tenant<k>.*"), audited against the
+  // per-tenant conservation law; when null, runs stay tenant-unaware and
+  // registry contents are unchanged. Not owned; must outlive the server.
+  const TenantSet* tenants = nullptr;
+
   // Optional lifecycle tracer fed one TraceEvent per transaction
   // transition (submit / enqueue / dispatch / preempt / restart / commit /
   // drop / invalidate / reject). Not owned; must outlive the server.

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <map>
 #include <memory>
 #include <string>
 #include <utility>
@@ -109,8 +110,9 @@ Update& WebDatabaseServer::UpdateFor(TxnId id) {
 Query* WebDatabaseServer::SubmitQuery(QueryType type,
                                       std::vector<ItemId> items,
                                       QualityContract qc,
-                                      SimDuration exec_time) {
+                                      SimDuration exec_time, TenantId tenant) {
   WEBDB_CHECK(exec_time > 0);
+  WEBDB_CHECK(tenant >= 0);
   for (ItemId item : items) {
     WEBDB_CHECK(item >= 0 && item < db_->NumItems());
   }
@@ -125,19 +127,25 @@ Query* WebDatabaseServer::SubmitQuery(QueryType type,
   query.type = type;
   query.items = std::move(items);
   query.qc = std::move(qc);
+  query.tenant = tenant;
 
   ++metrics_.queries_submitted;
+  ServerMetrics::TenantCounters* tenant_counters =
+      config_.tenants != nullptr ? &metrics_.Tenant(tenant) : nullptr;
+  if (tenant_counters != nullptr) ++*tenant_counters->submitted;
   Trace(query, TraceEventType::kSubmit);
   // Rejected queries still count against the submitted maximum: turning a
   // user away is not free profit-wise.
   ledger_.OnQuerySubmitted(query.qc, sim_->Now());
   if (config_.admission != nullptr) {
-    const AdmissionContext context{sim_->Now(), sched_->NumQueuedQueries(),
-                                   sched_->NumQueuedUpdates(),
-                                   cpus_.AnyBusy()};
+    AdmissionContext context{sim_->Now(), sched_->NumQueuedQueries(),
+                             sched_->NumQueuedUpdates(), cpus_.AnyBusy(),
+                             cpus_.num_cpus(), this};
+    // Admit may shed queued work through the ShedSink before answering.
     if (!config_.admission->Admit(query, context)) {
       query.state = TxnState::kRejected;
       ++metrics_.queries_rejected;
+      if (tenant_counters != nullptr) ++*tenant_counters->rejected;
       Trace(query, TraceEventType::kReject);
       return &query;
     }
@@ -464,8 +472,16 @@ void WebDatabaseServer::CommitQuery(Query& query) {
   }
   ++metrics_.queries_committed;
   metrics_.OnQueryCommitted(query.ResponseTime(), query.staleness);
+  if (config_.tenants != nullptr) {
+    ServerMetrics::TenantCounters& tenant = metrics_.Tenant(query.tenant);
+    ++*tenant.committed;
+    tenant.profit->Set(tenant.profit->value() + query.profit.Total());
+  }
   Trace(query, TraceEventType::kCommit, query.staleness);
   ledger_.OnQueryCommitted(query.profit, sim_->Now());
+  if (config_.admission != nullptr) {
+    config_.admission->OnQueryFinished(query, sim_->Now());
+  }
 }
 
 void WebDatabaseServer::ApplyUpdate(Update& update) {
@@ -481,13 +497,36 @@ void WebDatabaseServer::ApplyUpdate(Update& update) {
 
 void WebDatabaseServer::OnLifetimeDeadline(TxnId id) {
   Query& query = QueryFor(id);
-  if (query.state != TxnState::kQueued) return;  // committed or running
+  if (query.state != TxnState::kQueued) return;  // committed, running or shed
   sched_->RemoveQueued(&query, sim_->Now());
   locks_.ReleaseAll(id);  // it may have been preempted while holding locks
   query.state = TxnState::kDropped;
   ++metrics_.queries_dropped;
+  if (config_.tenants != nullptr) ++*metrics_.Tenant(query.tenant).dropped;
   Trace(query, TraceEventType::kDrop);
+  if (config_.admission != nullptr) {
+    config_.admission->OnQueryFinished(query, sim_->Now());
+  }
   OnSchedulingEvent();
+}
+
+bool WebDatabaseServer::Shed(TxnId id) {
+  Query& query = QueryFor(id);
+  if (query.state != TxnState::kQueued) return false;
+  sched_->RemoveQueued(&query, sim_->Now());
+  locks_.ReleaseAll(id);  // it may have been preempted while holding locks
+  query.state = TxnState::kShed;
+  ++metrics_.queries_shed;
+  if (config_.tenants != nullptr) ++*metrics_.Tenant(query.tenant).shed;
+  Trace(query, TraceEventType::kShed);
+  if (config_.admission != nullptr) {
+    config_.admission->OnQueryFinished(query, sim_->Now());
+  }
+  // No OnSchedulingEvent: shedding only ever happens synchronously inside
+  // SubmitQuery's admission check, which runs one after enqueueing the
+  // admitted query — and removing queued (never running) work opens no
+  // dispatch opportunity by itself.
+  return true;
 }
 
 void WebDatabaseServer::ScheduleWake() {
@@ -527,22 +566,49 @@ void WebDatabaseServer::AuditInvariants() const {
   int64_t committed = 0;
   int64_t dropped = 0;
   int64_t rejected = 0;
+  int64_t shed = 0;
+  // Per-tenant lifecycle tallies: submitted / still-live / committed /
+  // dropped / rejected / shed, keyed by tenant id (only filled when the
+  // run is tenant-aware).
+  struct TenantTally {
+    int64_t submitted = 0;
+    int64_t live = 0;
+    int64_t committed = 0;
+    int64_t dropped = 0;
+    int64_t rejected = 0;
+    int64_t shed = 0;
+  };
+  std::map<TenantId, TenantTally> tenant_tallies;
   for (const Query& query : queries_) {
+    TenantTally* tally = nullptr;
+    if (config_.tenants != nullptr) {
+      tally = &tenant_tallies[query.tenant];
+      ++tally->submitted;
+    }
     switch (query.state) {
       case TxnState::kQueued:
         ++queued_queries;
+        if (tally != nullptr) ++tally->live;
         break;
       case TxnState::kRunning:
         ++running;
+        if (tally != nullptr) ++tally->live;
         break;
       case TxnState::kCommitted:
         ++committed;
+        if (tally != nullptr) ++tally->committed;
         break;
       case TxnState::kDropped:
         ++dropped;
+        if (tally != nullptr) ++tally->dropped;
         break;
       case TxnState::kRejected:
         ++rejected;
+        if (tally != nullptr) ++tally->rejected;
+        break;
+      case TxnState::kShed:
+        ++shed;
+        if (tally != nullptr) ++tally->shed;
         break;
       case TxnState::kPending:
       case TxnState::kPreempted:
@@ -568,6 +634,49 @@ void WebDatabaseServer::AuditInvariants() const {
                        " queries in state queued but scheduler reports " +
                        std::to_string(sched_->NumQueuedQueries()));
 
+  // --- admission conservation ----------------------------------------------
+  // Arrived = admitted + rejected + shed: every submitted query is either
+  // still live (queued/running), finished (committed/dropped), or was
+  // turned away (rejected) or evicted (shed) by admission control — and the
+  // shed counter matches the per-query states exactly.
+  WEBDB_AUDIT_THAT(Invariant::kAdmissionConservation,
+                   metrics_.queries_shed == shed,
+                   "queries_shed counter disagrees with per-query states");
+  WEBDB_AUDIT_THAT(
+      Invariant::kAdmissionConservation,
+      metrics_.queries_submitted == queued_queries + running + committed +
+                                        dropped + rejected + shed,
+      "admission conservation: submitted != live + finished + refused");
+  if (config_.tenants != nullptr) {
+    for (const auto& [tenant, tally] : tenant_tallies) {
+      const ServerMetrics::TenantCounters* counters =
+          metrics_.FindTenant(tenant);
+      WEBDB_AUDIT_THAT(Invariant::kAdmissionConservation, counters != nullptr,
+                       "tenant " + std::to_string(tenant) +
+                           " submitted queries but has no counters");
+      WEBDB_AUDIT_THAT(
+          Invariant::kAdmissionConservation,
+          counters->submitted->value() == tally.submitted &&
+              counters->committed->value() == tally.committed &&
+              counters->dropped->value() == tally.dropped &&
+              counters->rejected->value() == tally.rejected &&
+              counters->shed->value() == tally.shed,
+          "tenant " + std::to_string(tenant) +
+              " lifecycle counters disagree with per-query states");
+      WEBDB_AUDIT_THAT(
+          Invariant::kAdmissionConservation,
+          tally.submitted == tally.live + tally.committed + tally.dropped +
+                                 tally.rejected + tally.shed,
+          "tenant " + std::to_string(tenant) +
+              " admission conservation violated");
+    }
+  }
+  if (config_.admission != nullptr) {
+    // Controller-internal bookkeeping (e.g. DBF demand nodes vs tracked
+    // entries, per CPU lane).
+    config_.admission->AuditInvariants(sim_->Now());
+  }
+
   // --- dual-queue conservation: updates ------------------------------------
   int64_t queued_updates = 0;
   int64_t applied = 0;
@@ -590,6 +699,7 @@ void WebDatabaseServer::AuditInvariants() const {
       case TxnState::kPreempted:
       case TxnState::kDropped:
       case TxnState::kRejected:
+      case TxnState::kShed:
         audit::Fail(Invariant::kDualQueueConservation, __FILE__, __LINE__,
                     "update " + std::to_string(update.id) +
                         " in impossible state " + ToString(update.state));
@@ -672,7 +782,8 @@ void WebDatabaseServer::AuditInvariants() const {
   for (const Query& query : queries_) {
     if (query.state == TxnState::kCommitted ||
         query.state == TxnState::kDropped ||
-        query.state == TxnState::kRejected) {
+        query.state == TxnState::kRejected ||
+        query.state == TxnState::kShed) {
       WEBDB_AUDIT_THAT(Invariant::kLockTableConsistent,
                        !locks_.HoldsAny(query.id),
                        "finished query " + std::to_string(query.id) +

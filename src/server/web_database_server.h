@@ -43,7 +43,7 @@
 
 namespace webdb {
 
-class WebDatabaseServer {
+class WebDatabaseServer : private ShedSink {
  public:
   // `database` and `scheduler` must outlive the server; not owned. The
   // server owns its simulator and sizes its CPU pool from
@@ -70,9 +70,11 @@ class WebDatabaseServer {
 
   // --- submission (at the simulator's current time) ------------------------
   // Returns the created query; the pointer stays valid for the server's
-  // lifetime. `items` must be valid ids of the database.
+  // lifetime. `items` must be valid ids of the database. `tenant` selects
+  // the tenant tier (only meaningful when ServerConfig::tenants is set).
   Query* SubmitQuery(QueryType type, std::vector<ItemId> items,
-                     QualityContract qc, SimDuration exec_time);
+                     QualityContract qc, SimDuration exec_time,
+                     TenantId tenant = 0);
 
   Update* SubmitUpdate(ItemId item, double value, SimDuration exec_time);
 
@@ -166,6 +168,9 @@ class WebDatabaseServer {
   // Drops a superseded update (pending or preempted/running-active).
   void InvalidateUpdate(Update& update);
   void OnLifetimeDeadline(TxnId id);
+  // ShedSink: evicts the queued query `id` on behalf of the admission
+  // controller (state -> kShed); returns false when no longer queued.
+  bool Shed(TxnId id) override;
   // Keeps one wake-up event per CPU armed for that CPU's next decision
   // time (QUTS atom boundaries are per-shard, hence per-CPU).
   void ScheduleWake();

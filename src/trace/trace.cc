@@ -20,6 +20,7 @@ void Trace::CheckValid() const {
     WEBDB_CHECK(q.arrival >= prev);
     prev = q.arrival;
     WEBDB_CHECK(q.exec_time > 0);
+    WEBDB_CHECK(q.tenant >= 0);
     WEBDB_CHECK(!q.items.empty());
     for (ItemId item : q.items) {
       WEBDB_CHECK(item >= 0 && item < num_items);

@@ -19,6 +19,9 @@ struct QueryRecord {
   QueryType type = QueryType::kLookup;
   std::vector<ItemId> items;
   SimDuration exec_time = 0;
+  // Tenant tier the query is submitted under (see sched/admission.h;
+  // assigned by exp/overload_scenarios.h AssignTenants, 0 by default).
+  TenantId tenant = 0;
 };
 
 struct UpdateRecord {

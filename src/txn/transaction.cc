@@ -24,6 +24,8 @@ std::string ToString(TxnState state) {
       return "invalidated";
     case TxnState::kRejected:
       return "rejected";
+    case TxnState::kShed:
+      return "shed";
   }
   return "?";
 }

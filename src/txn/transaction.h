@@ -19,6 +19,10 @@ class TxnQueue;
 // Globally unique transaction id; 0 is reserved as "no transaction".
 using TxnId = uint64_t;
 
+// Tenant (QC class) a transaction belongs to; an index into the run's
+// TenantSet. 0 is the default tier when no tenants are configured.
+using TenantId = int32_t;
+
 enum class TxnKind { kQuery, kUpdate };
 
 enum class TxnState {
@@ -30,6 +34,8 @@ enum class TxnState {
   kDropped,      // query: lifetime deadline expired before commit
   kInvalidated,  // update: superseded by a newer update on the same item
   kRejected,     // query: refused by admission control at submission
+  kShed,         // query: admitted, then evicted from the queue by admission
+                 // control to make room for higher-worth work
 };
 
 std::string ToString(TxnKind kind);
@@ -68,6 +74,8 @@ struct Transaction {
   // The queue currently holding this transaction's live entry, or nullptr.
   // Maintained by TxnQueue; a transaction is live in at most one queue.
   TxnQueue* live_queue = nullptr;
+  // Tenant tier this transaction was submitted under.
+  TenantId tenant = 0;
 };
 
 struct Query : Transaction {

@@ -90,7 +90,7 @@ TEST(TracerTest, EventTypeNamesRoundTrip) {
         TraceEventType::kDispatch, TraceEventType::kPreempt,
         TraceEventType::kRestart, TraceEventType::kCommit,
         TraceEventType::kDrop, TraceEventType::kInvalidate,
-        TraceEventType::kReject}) {
+        TraceEventType::kReject, TraceEventType::kShed}) {
     TraceEventType parsed = TraceEventType::kSubmit;
     ASSERT_TRUE(TraceEventTypeFromName(ToString(type), &parsed))
         << ToString(type);

@@ -19,10 +19,17 @@ Compares a fresh BENCH_hotpath.json against the committed baseline
     2.0) over the single-CPU run, or a rerun that was not bit-identical.
     Old baselines without the section are accepted for the other checks.
 
+With --overload it also gates a BENCH_overload.json (bench_overload):
+the headline flash-crowd point must show dbf admission strictly
+out-earning both admit-all and queue-cap, and the rerun of the headline
+point must have been bit-identical. These are machine-independent
+booleans computed by the bench itself.
+
 Usage:
   python3 tools/check_hotpath_regression.py \
       --current BENCH_hotpath.json \
       [--baseline bench/baseline/BENCH_hotpath.json] \
+      [--overload BENCH_overload.json] \
       [--tolerance 0.20] [--min-speedup 2.0]
 """
 
@@ -50,6 +57,9 @@ def main():
     parser.add_argument("--min-multicore-speedup", type=float, default=2.0,
                         help="required 4-CPU profit/wall-s speedup over "
                              "1 CPU (sharded QUTS, flash-crowd trace)")
+    parser.add_argument("--overload", default=None,
+                        help="optional BENCH_overload.json to gate the "
+                             "admission-policy headline on")
     args = parser.parse_args()
 
     current = load(args.current)
@@ -92,6 +102,26 @@ def main():
         if not current.get("multicore_rerun_identical", False):
             failures.append(
                 "multicore runs were not bit-identical across reruns")
+
+    if args.overload:
+        overload = load(args.overload)
+        headline = overload["headline"]
+        print(f"overload headline ({headline['scenario']} x{headline['scale']:g} "
+              f"@ {headline['cpus']} CPUs): "
+              f"dbf {headline['dbf_profit']:,.2f}, "
+              f"admit-all {headline['admit_all_profit']:,.2f}, "
+              f"queue-cap {headline['queue_cap_profit']:,.2f}")
+        if not headline.get("dbf_beats_admit_all", False):
+            failures.append(
+                "dbf admission no longer out-earns admit-all on the "
+                "flash-crowd headline")
+        if not headline.get("dbf_beats_queue_cap", False):
+            failures.append(
+                "dbf admission no longer out-earns queue-cap on the "
+                "flash-crowd headline")
+        if not overload.get("rerun_identical", False):
+            failures.append(
+                "overload headline rerun was not bit-identical")
 
     if failures:
         for failure in failures:
