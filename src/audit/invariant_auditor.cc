@@ -4,6 +4,8 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "util/mutex.h"
+
 namespace webdb {
 namespace audit {
 
@@ -69,6 +71,12 @@ void Count(Invariant invariant) {
 
 void Fail(Invariant invariant, const char* file, int line,
           const std::string& detail) {
+  // Audited experiments run concurrently under SweepRunner; serialize the
+  // report so simultaneous failures on two workers cannot interleave the
+  // message (the first reporter aborts while still holding the lock, which
+  // is exactly the freeze-everyone-else behavior we want).
+  static util::Mutex report_mu;
+  report_mu.Lock();
   std::fprintf(stderr, "AUDIT failed at %s:%d: invariant [%s] violated: %s\n",
                file, line, InvariantName(invariant), detail.c_str());
   std::abort();

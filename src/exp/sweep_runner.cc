@@ -9,6 +9,21 @@
 
 namespace webdb {
 
+namespace internal {
+
+void SweepAbort::Capture() {
+  util::MutexLock lock(mu_);
+  if (error_ == nullptr) error_ = std::current_exception();
+  failed_.store(true, std::memory_order_relaxed);
+}
+
+void SweepAbort::RethrowIfFailed() {
+  util::MutexLock lock(mu_);
+  if (error_ != nullptr) std::rethrow_exception(error_);
+}
+
+}  // namespace internal
+
 int ResolveJobs(int jobs) {
   if (jobs >= 1) return jobs;
   const unsigned hw = std::thread::hardware_concurrency();

@@ -35,7 +35,6 @@
 #include <chrono>
 #include <cstdint>
 #include <exception>
-#include <mutex>
 #include <thread>
 #include <type_traits>
 #include <vector>
@@ -43,9 +42,38 @@
 #include "exp/experiment.h"
 #include "exp/scheduler_factory.h"
 #include "obs/metric_registry.h"
+#include "util/mutex.h"
 #include "util/seed.h"
+#include "util/thread_annotations.h"
 
 namespace webdb {
+
+namespace internal {
+
+// Cross-worker failure channel for SweepRunner::Map: the first exception
+// (by completion order) wins, subsequent workers see failed() and abandon
+// their queues. The only cross-thread shared mutable state in the sweep
+// path, so the only mutex — its guarding is annotated and checked by
+// Clang's -Wthread-safety (util/thread_annotations.h).
+class SweepAbort {
+ public:
+  // True once any worker captured an exception; queued runs are abandoned.
+  bool failed() const { return failed_.load(std::memory_order_relaxed); }
+
+  // Records std::current_exception() if it is the first failure.
+  void Capture() WEBDB_EXCLUDES(mu_);
+
+  // Rethrows the first captured exception on the calling thread, if any.
+  // Call only after every worker joined.
+  void RethrowIfFailed() WEBDB_EXCLUDES(mu_);
+
+ private:
+  util::Mutex mu_;
+  std::atomic<bool> failed_{false};
+  std::exception_ptr error_ WEBDB_GUARDED_BY(mu_);
+};
+
+}  // namespace internal
 
 // Resolves a --jobs value: n >= 1 is taken as-is, anything else (0 or
 // negative) means "one worker per hardware thread".
@@ -123,19 +151,15 @@ class SweepRunner {
       for (size_t i = 0; i < n; ++i) results[i] = fn(i);
     } else {
       std::atomic<size_t> next{0};
-      std::atomic<bool> failed{false};
-      std::mutex error_mutex;
-      std::exception_ptr error;
+      internal::SweepAbort abort;
       auto worker = [&] {
-        while (!failed.load(std::memory_order_relaxed)) {
+        while (!abort.failed()) {
           const size_t i = next.fetch_add(1, std::memory_order_relaxed);
           if (i >= n) return;
           try {
             results[i] = fn(i);
           } catch (...) {
-            std::lock_guard<std::mutex> lock(error_mutex);
-            if (error == nullptr) error = std::current_exception();
-            failed.store(true, std::memory_order_relaxed);
+            abort.Capture();
           }
         }
       };
@@ -143,7 +167,7 @@ class SweepRunner {
       pool.reserve(static_cast<size_t>(workers));
       for (int w = 0; w < workers; ++w) pool.emplace_back(worker);
       for (std::thread& t : pool) t.join();
-      if (error != nullptr) std::rethrow_exception(error);
+      abort.RethrowIfFailed();
     }
     RecordSweepMetrics(n, std::chrono::duration_cast<std::chrono::microseconds>(
                               // lint:allow(wall-clock) sweep.* metrics only

@@ -17,6 +17,7 @@ const double* MetricSnapshot::Find(const std::string& name) const {
 }
 
 Counter& MetricRegistry::GetCounter(const std::string& name) {
+  sequence_.Check();
   auto [it, inserted] = entries_.try_emplace(name);
   if (inserted) {
     it->second.kind = Kind::kCounter;
@@ -28,6 +29,7 @@ Counter& MetricRegistry::GetCounter(const std::string& name) {
 }
 
 Gauge& MetricRegistry::GetGauge(const std::string& name) {
+  sequence_.Check();
   auto [it, inserted] = entries_.try_emplace(name);
   if (inserted) {
     it->second.kind = Kind::kGauge;
@@ -40,6 +42,7 @@ Gauge& MetricRegistry::GetGauge(const std::string& name) {
 
 Histogram& MetricRegistry::GetHistogram(const std::string& name,
                                         Histogram prototype) {
+  sequence_.Check();
   auto [it, inserted] = entries_.try_emplace(name);
   if (inserted) {
     it->second.kind = Kind::kHistogram;
@@ -51,10 +54,12 @@ Histogram& MetricRegistry::GetHistogram(const std::string& name,
 }
 
 bool MetricRegistry::Has(const std::string& name) const {
+  sequence_.Check();
   return entries_.find(name) != entries_.end();
 }
 
 std::vector<std::string> MetricRegistry::Names() const {
+  sequence_.Check();
   std::vector<std::string> names;
   names.reserve(entries_.size());
   for (const auto& [name, entry] : entries_) names.push_back(name);
@@ -62,6 +67,7 @@ std::vector<std::string> MetricRegistry::Names() const {
 }
 
 double MetricRegistry::Value(const std::string& name) const {
+  sequence_.Check();
   const auto it = entries_.find(name);
   WEBDB_CHECK_MSG(it != entries_.end(), "unknown metric name");
   switch (it->second.kind) {
@@ -76,6 +82,7 @@ double MetricRegistry::Value(const std::string& name) const {
 }
 
 MetricSnapshot MetricRegistry::Snap(SimTime now) const {
+  sequence_.Check();
   MetricSnapshot snapshot;
   snapshot.time = now;
   snapshot.values.reserve(entries_.size());
@@ -107,6 +114,7 @@ MetricSnapshot MetricRegistry::Snap(SimTime now) const {
 }
 
 void MetricRegistry::RecordSnapshot(SimTime now) {
+  sequence_.Check();
   series_.push_back(Snap(now));
 }
 

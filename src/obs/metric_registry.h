@@ -18,6 +18,12 @@
 // never share an instance. A sweep-level registry (SweepConfig::registry)
 // must only be touched from the submitting thread after the pool joins.
 // Sharing one instance across concurrently running threads is a data race.
+// The contract is compiler-enforced through a util::SequenceGuard
+// capability: the registry maps are WEBDB_GUARDED_BY(sequence_) and every
+// method asserts the capability, so under Clang's -Wthread-safety a method
+// that touches them without the assertion does not compile; Debug/audit
+// builds additionally verify thread affinity at runtime (DetachSequence()
+// releases it at legitimate cross-thread handoffs).
 
 #ifndef WEBDB_OBS_METRIC_REGISTRY_H_
 #define WEBDB_OBS_METRIC_REGISTRY_H_
@@ -30,6 +36,8 @@
 #include <vector>
 
 #include "util/histogram.h"
+#include "util/sequence_guard.h"
+#include "util/thread_annotations.h"
 #include "util/time.h"
 
 namespace webdb {
@@ -84,7 +92,10 @@ class MetricRegistry {
   Histogram& GetHistogram(const std::string& name, Histogram prototype);
 
   bool Has(const std::string& name) const;
-  size_t NumMetrics() const { return entries_.size(); }
+  size_t NumMetrics() const {
+    sequence_.Check();
+    return entries_.size();
+  }
   std::vector<std::string> Names() const;
 
   // Current value of a counter or gauge; aborts on unknown names and on
@@ -97,7 +108,14 @@ class MetricRegistry {
   // Appends Snap(now) to the snapshot series (the periodic sampler the
   // server drives off the simulator clock).
   void RecordSnapshot(SimTime now);
-  const std::vector<MetricSnapshot>& series() const { return series_; }
+  const std::vector<MetricSnapshot>& series() const {
+    sequence_.Check();
+    return series_;
+  }
+
+  // Releases debug-build thread affinity at a synchronization point (e.g.
+  // a sweep worker handing its registry to the submitting thread).
+  void DetachSequence() const { sequence_.Detach(); }
 
  private:
   enum class Kind { kCounter, kGauge, kHistogram };
@@ -108,9 +126,10 @@ class MetricRegistry {
     std::unique_ptr<Histogram> histogram;
   };
 
+  util::SequenceGuard sequence_;
   // std::map: snapshots iterate in sorted name order, deterministically.
-  std::map<std::string, Entry> entries_;
-  std::vector<MetricSnapshot> series_;
+  std::map<std::string, Entry> entries_ WEBDB_GUARDED_BY(sequence_);
+  std::vector<MetricSnapshot> series_ WEBDB_GUARDED_BY(sequence_);
 };
 
 }  // namespace webdb

@@ -108,6 +108,7 @@ bool ParseEventLine(const std::string& line, TraceEvent* event) {
 }  // namespace
 
 void Tracer::WriteJsonl(std::ostream& out) const {
+  sequence_.Check();
   std::string buffer;
   buffer.reserve(events_.size() * 64);
   for (const TraceEvent& event : events_) AppendEventJson(event, &buffer);
@@ -115,6 +116,7 @@ void Tracer::WriteJsonl(std::ostream& out) const {
 }
 
 void Tracer::WriteCsv(std::ostream& out) const {
+  sequence_.Check();
   out << "time_us,txn,kind,event,value\n";
   char buffer[160];
   for (const TraceEvent& event : events_) {

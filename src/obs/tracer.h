@@ -12,7 +12,12 @@
 // Threading contract: like MetricRegistry, a Tracer is single-threaded and
 // unlocked. Parallel sweeps (exp/sweep_runner.h) require each run point to
 // own its Tracer — never point two concurrently running experiments'
-// ServerConfig::tracer at the same instance.
+// ServerConfig::tracer at the same instance. The contract is
+// compiler-enforced: every member is guarded by a util::SequenceGuard
+// capability, every method asserts it, and Clang's -Wthread-safety rejects
+// a new method that touches state without the assertion. Debug/audit
+// builds also verify thread affinity at runtime; a run that hands a Tracer
+// to another thread after a join calls DetachSequence() at the handoff.
 
 #ifndef WEBDB_OBS_TRACER_H_
 #define WEBDB_OBS_TRACER_H_
@@ -22,6 +27,8 @@
 #include <vector>
 
 #include "obs/trace_event.h"
+#include "util/sequence_guard.h"
+#include "util/thread_annotations.h"
 
 namespace webdb {
 
@@ -29,18 +36,38 @@ class Tracer {
  public:
   explicit Tracer(bool enabled = true) : enabled_(enabled) {}
 
-  bool enabled() const { return enabled_; }
-  void set_enabled(bool enabled) { enabled_ = enabled; }
+  bool enabled() const {
+    sequence_.Check();
+    return enabled_;
+  }
+  void set_enabled(bool enabled) {
+    sequence_.Check();
+    enabled_ = enabled;
+  }
 
   void Record(SimTime time, uint64_t txn, bool is_update, TraceEventType type,
               double detail = 0.0) {
+    sequence_.Check();
     if (!enabled_) return;
     events_.push_back(TraceEvent{time, txn, is_update, type, detail});
   }
 
-  const std::vector<TraceEvent>& events() const { return events_; }
-  size_t NumEvents() const { return events_.size(); }
-  void Clear() { events_.clear(); }
+  const std::vector<TraceEvent>& events() const {
+    sequence_.Check();
+    return events_;
+  }
+  size_t NumEvents() const {
+    sequence_.Check();
+    return events_.size();
+  }
+  void Clear() {
+    sequence_.Check();
+    events_.clear();
+  }
+
+  // Releases debug-build thread affinity at a synchronization point (e.g.
+  // the submitting thread exporting after a worker-built run joins).
+  void DetachSequence() const { sequence_.Detach(); }
 
   // --- exporters -----------------------------------------------------------
   void WriteJsonl(std::ostream& out) const;
@@ -50,8 +77,9 @@ class Tracer {
   bool WriteCsvFile(const std::string& path) const;
 
  private:
-  bool enabled_;
-  std::vector<TraceEvent> events_;
+  util::SequenceGuard sequence_;
+  bool enabled_ WEBDB_GUARDED_BY(sequence_);
+  std::vector<TraceEvent> events_ WEBDB_GUARDED_BY(sequence_);
 };
 
 // Parses events written by Tracer::WriteJsonl. Stops at the first malformed

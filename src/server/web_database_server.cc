@@ -768,6 +768,7 @@ void WebDatabaseServer::AuditInvariants() const {
                      "register entry for item " + std::to_string(item) +
                          " is not the newest arrival");
   }
+  // lint:allow(unordered-serialization) per-entry audit, order-free
   for (const auto& [item, update] : active_updates_) {
     WEBDB_AUDIT_THAT(Invariant::kRegisterNewestWins,
                      update->item == item &&

@@ -140,6 +140,11 @@ TraceStats ComputeTraceStats(const Trace& trace, int jobs) {
       1, std::min<size_t>(static_cast<size_t>(jobs),
                           std::max(trace.queries.size(), size_t{1})));
 
+  // Threading contract (no locks, nothing to annotate GUARDED_BY): `trace`
+  // is shared read-only, and worker w writes exactly `partials[w]` — slot
+  // ownership is by index, the slots are distinct objects, and the joins
+  // below publish them to the merging thread. Any richer sharing here must
+  // move to util::Mutex + WEBDB_GUARDED_BY so -Wthread-safety sees it.
   std::vector<PartialStats> partials(workers);
   if (workers == 1) {
     partials[0] = ComputePartial(trace, seconds, 0, trace.queries.size(), 0,

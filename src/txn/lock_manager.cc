@@ -19,6 +19,7 @@ std::vector<TxnId> LockManager::Conflicts(
       out.push_back(entry.exclusive);
     }
     if (mode == LockMode::kExclusive) {
+      // lint:allow(unordered-serialization) collected, then sorted below
       for (TxnId holder : entry.shared) {
         if (holder != txn) out.push_back(holder);
       }
@@ -92,6 +93,7 @@ void LockManager::AuditConsistency() const {
   // must be found in the table — together that proves the two indexes are
   // the same relation (no leaked and no phantom locks).
   size_t table_grants = 0;
+  // lint:allow(unordered-serialization) commutative grant count
   for (const auto& [item, entry] : locks_) {
     WEBDB_AUDIT_THAT(Invariant::kLockTableConsistent, !entry.Empty(),
                      "empty lock entry lingers for item " +
@@ -103,6 +105,7 @@ void LockManager::AuditConsistency() const {
     table_grants += entry.shared.size() + (entry.exclusive != 0 ? 1 : 0);
   }
   size_t held_grants = 0;
+  // lint:allow(unordered-serialization) commutative grant count
   for (const auto& [txn, items] : held_) {
     WEBDB_AUDIT_THAT(Invariant::kLockTableConsistent, !items.empty(),
                      "txn " + std::to_string(txn) + " holds an empty set");

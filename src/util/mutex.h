@@ -1,0 +1,61 @@
+// util::Mutex / util::MutexLock: std::mutex with thread-safety-analysis
+// capability annotations (util/thread_annotations.h).
+//
+// The standard library's mutex types carry no annotations, so Clang's
+// -Wthread-safety cannot connect a std::lock_guard to the WEBDB_GUARDED_BY
+// members it protects. This thin wrapper closes that gap: declare shared
+// state as
+//
+//     util::Mutex mu_;
+//     std::exception_ptr error_ WEBDB_GUARDED_BY(mu_);
+//
+// and every access outside a MutexLock scope (or a function annotated
+// WEBDB_REQUIRES(mu_)) becomes a compile error under the analysis.
+//
+// The simulator core itself is single-threaded by design and must stay
+// lock-free (the lint pack's `lock-on-sim-path` rule bans these types from
+// src/sim, src/core, src/sched and src/server); Mutex is for the genuinely
+// threaded shell — sweep fan-out, error capture, audit failure reporting.
+
+#ifndef WEBDB_UTIL_MUTEX_H_
+#define WEBDB_UTIL_MUTEX_H_
+
+#include <mutex>
+
+#include "util/thread_annotations.h"
+
+namespace webdb {
+namespace util {
+
+class WEBDB_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() WEBDB_ACQUIRE() { mu_.lock(); }
+  void Unlock() WEBDB_RELEASE() { mu_.unlock(); }
+  bool TryLock() WEBDB_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  std::mutex mu_;
+};
+
+// RAII lock; the scoped-capability annotation makes the analysis track the
+// critical section between construction and destruction.
+class WEBDB_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) WEBDB_ACQUIRE(mu) : mu_(mu) { mu_.Lock(); }
+  ~MutexLock() WEBDB_RELEASE() { mu_.Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+}  // namespace util
+}  // namespace webdb
+
+#endif  // WEBDB_UTIL_MUTEX_H_

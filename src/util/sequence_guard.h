@@ -1,0 +1,89 @@
+// util::SequenceGuard: a compiler-checked "single-threaded per instance"
+// capability for the obs layer (Chromium's SEQUENCE_CHECKER idiom).
+//
+// Tracer and MetricRegistry are deliberately unlocked: the simulator is
+// single-threaded and parallelism happens at the run level, where every run
+// owns its own instances (DESIGN.md §7). That contract used to live in
+// comments only. A SequenceGuard member turns it into a capability the
+// thread-safety analysis enforces:
+//
+//     class MetricRegistry {
+//       ...
+//      private:
+//       util::SequenceGuard sequence_;
+//       std::map<std::string, Entry> entries_ WEBDB_GUARDED_BY(sequence_);
+//     };
+//
+// Every method that touches guarded members must first call
+// `sequence_.Check()` — annotated WEBDB_ASSERT_CAPABILITY, so under Clang's
+// -Wthread-safety a new method that forgets the call fails to compile. At
+// runtime Check() is free in release builds; in Debug or -DWEBDB_AUDIT=ON
+// builds it verifies thread affinity: the instance attaches to the first
+// thread that checks and aborts if a different thread checks later.
+//
+// Sequential cross-thread handoff (build on a sweep worker, export from the
+// submitting thread after the pool joins) is legal — the handing-off side
+// calls Detach() at the synchronization point and the next Check()
+// re-attaches.
+
+#ifndef WEBDB_UTIL_SEQUENCE_GUARD_H_
+#define WEBDB_UTIL_SEQUENCE_GUARD_H_
+
+#include "util/thread_annotations.h"
+
+#if !defined(NDEBUG) || defined(WEBDB_AUDIT)
+#define WEBDB_SEQUENCE_RUNTIME_CHECKS 1
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+#else
+#define WEBDB_SEQUENCE_RUNTIME_CHECKS 0
+#endif
+
+namespace webdb {
+namespace util {
+
+class WEBDB_CAPABILITY("sequence") SequenceGuard {
+ public:
+  SequenceGuard() = default;
+  SequenceGuard(const SequenceGuard&) = delete;
+  SequenceGuard& operator=(const SequenceGuard&) = delete;
+
+  // Asserts that the calling thread owns this instance's sequence; the
+  // thread-safety analysis treats the capability as held from here to the
+  // end of the calling function.
+  void Check() const WEBDB_ASSERT_CAPABILITY(this) {
+#if WEBDB_SEQUENCE_RUNTIME_CHECKS
+    const std::thread::id me = std::this_thread::get_id();
+    std::thread::id expected{};  // "not attached"
+    if (!owner_.compare_exchange_strong(expected, me,
+                                        std::memory_order_relaxed) &&
+        expected != me) {
+      std::fprintf(stderr,
+                   "SequenceGuard: cross-thread access to a single-threaded "
+                   "instance (obs objects are one-per-run; see DESIGN.md "
+                   "§7). Call Detach() at legitimate handoff points.\n");
+      std::abort();
+    }
+#endif
+  }
+
+  // Releases thread affinity at a synchronization point (e.g. after a
+  // thread pool joins); the next Check() attaches to its calling thread.
+  void Detach() const {
+#if WEBDB_SEQUENCE_RUNTIME_CHECKS
+    owner_.store(std::thread::id{}, std::memory_order_relaxed);
+#endif
+  }
+
+#if WEBDB_SEQUENCE_RUNTIME_CHECKS
+ private:
+  mutable std::atomic<std::thread::id> owner_{};
+#endif
+};
+
+}  // namespace util
+}  // namespace webdb
+
+#endif  // WEBDB_UTIL_SEQUENCE_GUARD_H_

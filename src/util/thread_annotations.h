@@ -1,0 +1,73 @@
+// Clang thread-safety analysis annotations (Abseil-style macro layer).
+//
+// These macros let the locking discipline that DESIGN.md describes in prose
+// — which members a mutex guards, which functions must (not) hold it —
+// be written on the declarations themselves and enforced by the compiler.
+// Under Clang with -Wthread-safety (CMake: -DWEBDB_THREAD_SAFETY=ON, run by
+// the CI static-analysis job) every annotated contract is checked on every
+// TU; under GCC, or Clang without the flag, the macros expand to nothing
+// and cost nothing.
+//
+// The vocabulary (names follow Abseil/LLVM so the diagnostics read like the
+// upstream documentation):
+//
+//   WEBDB_CAPABILITY(x)        class is a lockable capability (util::Mutex,
+//                              util::SequenceGuard)
+//   WEBDB_SCOPED_CAPABILITY    RAII class that acquires in its constructor
+//                              and releases in its destructor (MutexLock)
+//   WEBDB_GUARDED_BY(mu)       member may only be read/written while `mu`
+//                              is held (or asserted — see SequenceGuard)
+//   WEBDB_PT_GUARDED_BY(mu)    pointee of a pointer member is guarded
+//   WEBDB_REQUIRES(mu)         function may only be called with `mu` held
+//   WEBDB_EXCLUDES(mu)         function must be called with `mu` NOT held
+//                              (it acquires internally; re-entry deadlocks)
+//   WEBDB_ACQUIRE(mu)/WEBDB_RELEASE(mu)
+//                              function acquires/releases `mu`
+//   WEBDB_TRY_ACQUIRE(b, mu)   acquires iff the return value equals b
+//   WEBDB_ASSERT_CAPABILITY(mu)
+//                              runtime assertion that `mu` is held; tells
+//                              the analysis to treat it as held from here on
+//   WEBDB_RETURN_CAPABILITY(mu)
+//                              function returns a reference to `mu`
+//   WEBDB_NO_THREAD_SAFETY_ANALYSIS
+//                              opt a function out (constructors/destructors
+//                              of the capability types themselves)
+
+#ifndef WEBDB_UTIL_THREAD_ANNOTATIONS_H_
+#define WEBDB_UTIL_THREAD_ANNOTATIONS_H_
+
+#if defined(__clang__) && defined(__has_attribute)
+#define WEBDB_THREAD_ANNOTATION_(x) __has_attribute(x)
+#else
+#define WEBDB_THREAD_ANNOTATION_(x) 0
+#endif
+
+#if WEBDB_THREAD_ANNOTATION_(capability)
+#define WEBDB_TS_ATTR_(x) __attribute__((x))
+#else
+#define WEBDB_TS_ATTR_(x)  // no-op outside Clang
+#endif
+
+#define WEBDB_CAPABILITY(x) WEBDB_TS_ATTR_(capability(x))
+#define WEBDB_SCOPED_CAPABILITY WEBDB_TS_ATTR_(scoped_lockable)
+#define WEBDB_GUARDED_BY(x) WEBDB_TS_ATTR_(guarded_by(x))
+#define WEBDB_PT_GUARDED_BY(x) WEBDB_TS_ATTR_(pt_guarded_by(x))
+#define WEBDB_REQUIRES(...) \
+  WEBDB_TS_ATTR_(requires_capability(__VA_ARGS__))
+#define WEBDB_REQUIRES_SHARED(...) \
+  WEBDB_TS_ATTR_(requires_shared_capability(__VA_ARGS__))
+#define WEBDB_ACQUIRE(...) WEBDB_TS_ATTR_(acquire_capability(__VA_ARGS__))
+#define WEBDB_ACQUIRE_SHARED(...) \
+  WEBDB_TS_ATTR_(acquire_shared_capability(__VA_ARGS__))
+#define WEBDB_RELEASE(...) WEBDB_TS_ATTR_(release_capability(__VA_ARGS__))
+#define WEBDB_RELEASE_SHARED(...) \
+  WEBDB_TS_ATTR_(release_shared_capability(__VA_ARGS__))
+#define WEBDB_TRY_ACQUIRE(...) \
+  WEBDB_TS_ATTR_(try_acquire_capability(__VA_ARGS__))
+#define WEBDB_EXCLUDES(...) WEBDB_TS_ATTR_(locks_excluded(__VA_ARGS__))
+#define WEBDB_ASSERT_CAPABILITY(x) WEBDB_TS_ATTR_(assert_capability(x))
+#define WEBDB_RETURN_CAPABILITY(x) WEBDB_TS_ATTR_(lock_returned(x))
+#define WEBDB_NO_THREAD_SAFETY_ANALYSIS \
+  WEBDB_TS_ATTR_(no_thread_safety_analysis)
+
+#endif  // WEBDB_UTIL_THREAD_ANNOTATIONS_H_

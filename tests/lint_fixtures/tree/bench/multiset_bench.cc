@@ -1,0 +1,17 @@
+// Lint fixture — never compiled. bench/ is scanned too, and
+// unordered_multiset must count as an unordered container.
+#include <unordered_set>
+
+namespace webdb {
+
+void Run() {
+  std::unordered_multiset<int> samples;
+  // VIOLATION ambient-randomness.
+  double x = drand48();
+  // VIOLATION unordered-serialization: multiset iteration order.
+  for (int v : samples) {
+    Consume(v, x);
+  }
+}
+
+}  // namespace webdb

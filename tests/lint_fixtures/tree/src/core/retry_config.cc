@@ -1,0 +1,26 @@
+// Lint fixture — never compiled. Seed arithmetic outside util/seed.h and
+// iteration over an unordered_multimap (the multi* variants must count).
+#include "core/retry_config.h"
+
+#include <unordered_map>
+
+namespace webdb {
+
+// Not a violation: constructor definitions are sanctioned by-value sinks.
+RetryConfig::RetryConfig(RetryOptions options) : options_(options) {}
+
+uint64_t RetryConfig::StreamSeed(uint64_t base_seed, int lane) {
+  // VIOLATION seed-arithmetic: derived streams must go through DeriveSeed.
+  return base_seed + static_cast<uint64_t>(lane);
+}
+
+void RetryConfig::Dump() {
+  std::unordered_multimap<int, int> retries;
+  // VIOLATION unordered-serialization: multimap iteration order is
+  // implementation-defined.
+  for (const auto& [attempt, delay] : retries) {
+    Print(attempt, delay);
+  }
+}
+
+}  // namespace webdb

@@ -1,0 +1,34 @@
+// Lint fixture — never compiled. API-shape rules: Options structs are
+// passed by const reference except at sanctioned constructor sinks.
+#ifndef WEBDB_TESTS_LINT_FIXTURES_TREE_SRC_CORE_RETRY_CONFIG_H_
+#define WEBDB_TESTS_LINT_FIXTURES_TREE_SRC_CORE_RETRY_CONFIG_H_
+
+#include <cstdint>
+
+namespace webdb {
+
+struct RetryOptions {
+  int attempts = 3;
+};
+
+class RetryConfig {
+ public:
+  // Not a violation: explicit constructors are sanctioned by-value sinks.
+  explicit RetryConfig(RetryOptions options);
+
+  // VIOLATION options-by-value: plain member function copying the struct.
+  void Apply(RetryOptions options);
+
+  // Not a violation: const reference is the required shape.
+  void Tune(const RetryOptions& options);
+
+  uint64_t StreamSeed(uint64_t base_seed, int lane);
+  void Dump();
+
+ private:
+  RetryOptions options_;
+};
+
+}  // namespace webdb
+
+#endif  // WEBDB_TESTS_LINT_FIXTURES_TREE_SRC_CORE_RETRY_CONFIG_H_

@@ -1,0 +1,25 @@
+// Lint fixture — never compiled. Negatives: the lint:allow escape hatch
+// and directory scoping. src/exp/ is off the hot path and off the
+// lock-free path, so the mutex below is legal without any annotation.
+#include <chrono>
+#include <mutex>
+
+namespace webdb {
+
+std::mutex exp_mu;  // legal here: src/exp/ may coordinate worker threads
+
+struct SweepOptions {
+  int points = 0;
+};
+
+void Snapshot() {
+  // lint:allow(wall-clock) progress display only, never in results
+  auto now = std::chrono::system_clock::now();
+  (void)now;
+}
+
+void Configure(SweepOptions options) {  // lint:allow(options-by-value) sink
+  (void)options;
+}
+
+}  // namespace webdb

@@ -1,0 +1,13 @@
+// Lint fixture — never compiled. Negative: wall-clock reads are sanctioned
+// inside src/obs/ (observability may timestamp); no finding expected here.
+#include <chrono>
+
+namespace webdb {
+
+double WallSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace webdb

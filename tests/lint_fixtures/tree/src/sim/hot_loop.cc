@@ -1,0 +1,26 @@
+// Lint fixture — never compiled. Determinism and contract violations in
+// one simulator TU, including a loop over a member container that is only
+// declared in the paired header (hot_loop.h).
+#include "sim/hot_loop.h"
+
+#include <chrono>
+#include <cstdlib>
+
+namespace webdb {
+
+void HotLoop::Flush() {
+  // VIOLATION wall-clock: simulation logic must use SimTime.
+  const auto t0 = std::chrono::steady_clock::now();
+  // VIOLATION ambient-randomness: streams must come from util/rng.h.
+  const int jitter = rand();
+  // VIOLATION lock-on-sim-path: lock acquisition inside the event path.
+  mu_.lock();
+  // VIOLATION unordered-serialization: pending_ is declared in hot_loop.h.
+  for (const auto& [id, weight] : pending_) {
+    Emit(id, weight + jitter);
+  }
+  mu_.unlock();
+  (void)t0;
+}
+
+}  // namespace webdb

@@ -1,0 +1,31 @@
+// Lint fixture — never compiled. Seeds hot-path contract violations on the
+// simulator path for tools/lint_selftest.py; expected findings are pinned
+// in tests/lint_fixtures/expected.txt.
+#ifndef WEBDB_TESTS_LINT_FIXTURES_TREE_SRC_SIM_HOT_LOOP_H_
+#define WEBDB_TESTS_LINT_FIXTURES_TREE_SRC_SIM_HOT_LOOP_H_
+
+#include <functional>
+#include <mutex>
+#include <unordered_map>
+
+namespace webdb {
+
+class HotLoop {
+ public:
+  // VIOLATION std-function-hot-path: closure dispatch in src/sim must use
+  // EventCallback, not std::function.
+  void Schedule(std::function<void()> fn);
+
+  void Flush();
+
+ private:
+  // VIOLATION lock-on-sim-path: no mutexes on the simulation path.
+  std::mutex mu_;
+  // Not a violation by itself — but hot_loop.cc iterates this member, and
+  // the determinism linter must see the declaration through the header.
+  std::unordered_map<int, int> pending_;
+};
+
+}  // namespace webdb
+
+#endif  // WEBDB_TESTS_LINT_FIXTURES_TREE_SRC_SIM_HOT_LOOP_H_

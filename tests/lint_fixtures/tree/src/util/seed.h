@@ -1,0 +1,16 @@
+// Lint fixture — never compiled. Negative: util/seed.h is the one
+// sanctioned home for seed arithmetic; no finding expected here.
+#ifndef WEBDB_TESTS_LINT_FIXTURES_TREE_SRC_UTIL_SEED_H_
+#define WEBDB_TESTS_LINT_FIXTURES_TREE_SRC_UTIL_SEED_H_
+
+#include <cstdint>
+
+namespace webdb {
+
+inline uint64_t DeriveSeed(uint64_t seed, uint64_t lane) {
+  return seed * 0x9E3779B97F4A7C15ull + lane;
+}
+
+}  // namespace webdb
+
+#endif  // WEBDB_TESTS_LINT_FIXTURES_TREE_SRC_UTIL_SEED_H_

@@ -14,10 +14,12 @@ paper's figures:
                           clock() - wall-clock reads anywhere outside
                           src/obs/ (observability may timestamp; simulation
                           logic must use SimTime).
-  unordered-serialization iteration over a std::unordered_map/set declared
-                          in the same file. Unordered iteration order is
-                          implementation-defined, so any loop over one that
-                          feeds CSV/stdout serialization reorders output
+  unordered-serialization iteration over a std::unordered_{map,set,
+                          multimap,multiset} declared in the same file OR in
+                          the file's own header (foo.cc sees the members of
+                          the foo.h it includes). Unordered iteration order
+                          is implementation-defined, so any loop over one
+                          that feeds CSV/stdout serialization reorders output
                           between standard libraries. Keyed access is fine;
                           loops must either use an ordered container or be
                           annotated.
@@ -91,6 +93,7 @@ UNORDERED_DECL_RE = re.compile(
 )
 RANGE_FOR_RE = re.compile(r"\bfor\s*\([^;)]*:\s*([\w.\->]+)\s*\)")
 ITERATOR_LOOP_RE = re.compile(r"\bfor\s*\([^)]*=\s*([\w.\->]+)\.begin\(\)")
+INCLUDE_RE = re.compile(r'#include\s+"([^"]+)"')
 
 
 def find_unordered_names(stripped_lines):
@@ -99,6 +102,48 @@ def find_unordered_names(stripped_lines):
         for match in UNORDERED_DECL_RE.finditer(line):
             names.add(match.group(1))
     return names
+
+
+def strip_block_comments(raw):
+    """Blanks /* */ comments, keeping line numbers stable."""
+    return re.sub(
+        r"/\*.*?\*/", lambda m: "\n" * m.group(0).count("\n"), raw, flags=re.DOTALL
+    )
+
+
+def paired_header_names(path, raw, root):
+    """Unordered-container members declared in the file's own header.
+
+    A loop in foo.cc over a member container usually iterates one declared
+    in foo.h, not in the .cc itself. Resolve the '#include "..."' whose
+    basename matches this file, the way the build does (include roots are
+    src/ and the file's own directory), and lift its declarations into the
+    .cc's name set.
+    """
+    base, ext = os.path.splitext(os.path.basename(path))
+    if ext != ".cc":
+        return set()
+    for match in INCLUDE_RE.finditer(raw):
+        include = match.group(1)
+        if os.path.splitext(os.path.basename(include))[0] != base:
+            continue
+        candidates = (
+            os.path.join(root, "src", include),
+            os.path.join(os.path.dirname(path), include),
+            os.path.join(os.path.dirname(path), os.path.basename(include)),
+        )
+        for candidate in candidates:
+            if os.path.isfile(candidate):
+                try:
+                    with open(candidate, encoding="utf-8") as f:
+                        header_raw = f.read()
+                except OSError:
+                    return set()
+                header_lines = strip_block_comments(header_raw).split("\n")
+                return find_unordered_names(
+                    strip_code(line) for line in header_lines
+                )
+    return set()
 
 
 def allowed_rules(raw_lines, index):
@@ -112,7 +157,7 @@ def allowed_rules(raw_lines, index):
     return rules
 
 
-def lint_file(path, rel):
+def lint_file(path, rel, root):
     findings = []
     try:
         with open(path, encoding="utf-8") as f:
@@ -122,15 +167,13 @@ def lint_file(path, rel):
 
     raw_lines = raw.split("\n")
     # Collapse block comments spanning lines before per-line stripping.
-    no_blocks = re.sub(
-        r"/\*.*?\*/", lambda m: "\n" * m.group(0).count("\n"), raw, flags=re.DOTALL
-    )
-    stripped = [strip_code(line) for line in no_blocks.split("\n")]
+    stripped = [strip_code(line) for line in strip_block_comments(raw).split("\n")]
 
     in_obs = rel.replace(os.sep, "/").startswith("src/obs/")
     in_seed_impl = os.path.basename(rel) in ("seed.h", "seed.cc") and "util" in rel
 
     unordered_names = find_unordered_names(stripped)
+    unordered_names |= paired_header_names(path, raw, root)
 
     for i, line in enumerate(stripped):
         here = allowed_rules(raw_lines, i)
@@ -194,7 +237,7 @@ def main():
     findings = []
     for path in sorted(files):
         rel = os.path.relpath(path, root)
-        findings.extend(lint_file(path, rel))
+        findings.extend(lint_file(path, rel, root))
 
     for rel, line, rule, snippet in findings:
         print(f"{rel}:{line}: [{rule}] {snippet}")

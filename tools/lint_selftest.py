@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""Self-test for the lint pack: both linters versus a seeded fixture corpus.
+
+Copies tests/lint_fixtures/tree/ into a temp directory, runs
+lint_determinism.py and lint_contracts.py with --root pointed there, and
+asserts the EXACT finding set (linter, file, line, rule) recorded in
+tests/lint_fixtures/expected.txt — no missing findings, no extras. The
+corpus seeds at least one violation per rule plus the negatives (directory
+scoping, lint:allow escapes, sanctioned constructor sinks, the obs/ and
+util/seed.h carve-outs), so a regression in any rule regex, in the escape
+machinery or in the header-aware member lookup fails this test instead of
+silently going quiet on the real tree.
+
+Exit status: 0 exact match, 1 mismatch. Wired into ctest as `lint_selftest`.
+"""
+
+import os
+import re
+import shutil
+import subprocess
+import sys
+import tempfile
+
+TOOLS_DIR = os.path.dirname(os.path.abspath(__file__))
+REPO_ROOT = os.path.dirname(TOOLS_DIR)
+FIXTURES = os.path.join(REPO_ROOT, "tests", "lint_fixtures")
+
+LINTERS = {
+    "determinism": os.path.join(TOOLS_DIR, "lint_determinism.py"),
+    "contracts": os.path.join(TOOLS_DIR, "lint_contracts.py"),
+}
+
+FINDING_RE = re.compile(r"^(?P<rel>[^:]+):(?P<line>\d+): \[(?P<rule>[a-z0-9\-]+)\]")
+
+
+def load_expected():
+    expected = set()
+    with open(os.path.join(FIXTURES, "expected.txt"), encoding="utf-8") as f:
+        for raw in f:
+            line = raw.strip()
+            if not line or line.startswith("#"):
+                continue
+            linter, rel, lineno, rule = line.split()
+            if linter not in LINTERS:
+                print(f"expected.txt: unknown linter {linter!r}", file=sys.stderr)
+                return None
+            expected.add((linter, rel, int(lineno), rule))
+    return expected
+
+
+def run_linter(name, script, root):
+    proc = subprocess.run(
+        [sys.executable, script, "--root", root],
+        capture_output=True,
+        text=True,
+        check=False,
+    )
+    findings = set()
+    for line in proc.stdout.splitlines():
+        match = FINDING_RE.match(line)
+        if match:
+            findings.add(
+                (
+                    name,
+                    match.group("rel").replace(os.sep, "/"),
+                    int(match.group("line")),
+                    match.group("rule"),
+                )
+            )
+    return proc.returncode, findings
+
+
+def main():
+    expected = load_expected()
+    if expected is None:
+        return 1
+
+    failures = []
+    observed = set()
+    with tempfile.TemporaryDirectory(prefix="lint_selftest_") as tmp:
+        # A copy, not the checkout path: proves --root relocatability and
+        # that nothing resolves against the real repo root.
+        tree = os.path.join(tmp, "tree")
+        shutil.copytree(os.path.join(FIXTURES, "tree"), tree)
+        for name, script in sorted(LINTERS.items()):
+            returncode, findings = run_linter(name, script, tree)
+            want_rc = 1 if any(f[0] == name for f in expected) else 0
+            if returncode != want_rc:
+                failures.append(f"{name}: exit status {returncode}, want {want_rc}")
+            observed |= findings
+
+    for linter, rel, line, rule in sorted(expected - observed):
+        failures.append(f"missing: {linter} {rel}:{line} [{rule}]")
+    for linter, rel, line, rule in sorted(observed - expected):
+        failures.append(f"extra:   {linter} {rel}:{line} [{rule}]")
+
+    if failures:
+        print("lint_selftest: corpus mismatch", file=sys.stderr)
+        for failure in failures:
+            print("  " + failure, file=sys.stderr)
+        return 1
+    print(f"lint_selftest: {len(expected)} expected finding(s) matched exactly")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
