@@ -9,6 +9,13 @@
 //   --sched <name>   scheduler for that traced run (default: quts)
 //   --cpus <n>       CPUs for that traced run (default: 1; n > 1 requires
 //                    --sched quts — the sharded scheduler is QUTS-only)
+//   --fusion         skip the benchmarks; run the market-open flash crowd
+//                    twice under QUTS — fusion off, then on — and print
+//                    profit-per-CPU-second for both plus the on/off ratio
+//                    (DESIGN.md §13). Respects --cpus and
+//                    --scan-atom-factor.
+//   --scan-atom-factor <f>  atom-length multiplier for scan-class queries
+//                    in that comparison (default 1.0 = class-blind)
 
 #include <benchmark/benchmark.h>
 
@@ -228,6 +235,62 @@ int RunTracedExperiment(const std::string& path, const std::string& sched,
   return 0;
 }
 
+// Runs the market-open flash crowd twice — fusion off, then on — and
+// prints profit-per-CPU-second for both. The README quickstart entry point
+// for shared execution (DESIGN.md §13); bench_overload publishes the gated
+// version of the same comparison.
+int RunFusionComparison(int cpus, double scan_atom_factor) {
+  if (cpus < 1) {
+    std::fprintf(stderr, "error: --cpus must be >= 1 (got %d)\n", cpus);
+    return 1;
+  }
+  if (scan_atom_factor <= 0.0) {
+    std::fprintf(stderr, "error: --scan-atom-factor must be > 0 (got %g)\n",
+                 scan_atom_factor);
+    return 1;
+  }
+  // bench_overload's smoke regime: ~3.2 CPUs of standing query load on a
+  // 4-CPU box, so the 10x burst builds the deep hot-symbol queues fusion
+  // feeds on. A lighter trace would leave the queues empty and show 1.00x.
+  OverloadScenarioConfig config;
+  config.query_rate = 450.0;
+  config.update_rate = 60.0;
+  config.duration = Seconds(8);
+  config.num_stocks = 128;
+  const Trace trace =
+      MakeOverloadTrace(OverloadScenario::kMarketOpen, config);
+  double profit_per_cpu_s[2] = {0.0, 0.0};
+  for (int fused = 0; fused <= 1; ++fused) {
+    SchedulerSpec spec;
+    spec.kind = SchedulerKind::kQuts;
+    spec.topology.num_cpus = cpus;
+    spec.quts.scan_atom_factor = scan_atom_factor;
+    ExperimentOptions options;
+    options.qc = BalancedProfile(QcShape::kStep);
+    options.server.fusion.enabled = fused == 1;
+    const ExperimentResult result = RunExperiment(trace, spec, options);
+    const double busy_s = result.cpu_busy_ms / 1e3;
+    const double profit = result.qos_gained + result.qod_gained;
+    profit_per_cpu_s[fused] = busy_s > 0.0 ? profit / busy_s : 0.0;
+    std::fprintf(stderr,
+                 "fusion %-3s  profit %10.1f  cpu-busy %8.2fs  "
+                 "profit/cpu-s %8.2f  committed %lld  fused %lld in %lld "
+                 "groups\n",
+                 fused == 1 ? "on" : "off", profit, busy_s,
+                 profit_per_cpu_s[fused],
+                 static_cast<long long>(result.queries_committed),
+                 static_cast<long long>(result.queries_fused),
+                 static_cast<long long>(result.fusion_groups));
+  }
+  std::fprintf(stderr, "profit/cpu-s ratio (on/off): %.3fx  (%d cpu%s, "
+               "scan-atom-factor %g)\n",
+               profit_per_cpu_s[0] > 0.0
+                   ? profit_per_cpu_s[1] / profit_per_cpu_s[0]
+                   : 0.0,
+               cpus, cpus == 1 ? "" : "s", scan_atom_factor);
+  return 0;
+}
+
 }  // namespace
 }  // namespace webdb
 
@@ -237,6 +300,8 @@ int main(int argc, char** argv) {
   std::string admission = "admit-all";
   std::string tenants;
   int cpus = 1;
+  bool fusion = false;
+  double scan_atom_factor = 1.0;
   std::vector<char*> bench_argv;
   for (int i = 0; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -250,10 +315,15 @@ int main(int argc, char** argv) {
       admission = argv[++i];
     } else if (arg == "--tenants" && i + 1 < argc) {
       tenants = argv[++i];
+    } else if (arg == "--fusion") {
+      fusion = true;
+    } else if (arg == "--scan-atom-factor" && i + 1 < argc) {
+      scan_atom_factor = std::atof(argv[++i]);
     } else {
       bench_argv.push_back(argv[i]);
     }
   }
+  if (fusion) return webdb::RunFusionComparison(cpus, scan_atom_factor);
   int bench_argc = static_cast<int>(bench_argv.size());
   benchmark::Initialize(&bench_argc, bench_argv.data());
   if (benchmark::ReportUnrecognizedArguments(bench_argc, bench_argv.data())) {

@@ -1,9 +1,11 @@
 // Overload-survival bench: adversarial traces (exp/overload_scenarios.h)
-// swept over admission policies and CPU counts. The headline number the CI
-// gate checks: under a 10x market-open flash crowd at 4 CPUs, demand-bound
-// admission (dbf) must commit strictly more profit than admit-all and than a
-// static queue cap — shedding the right work must beat shedding none and
-// shedding blindly. Emits BENCH_overload.json for the perf-smoke job.
+// swept over admission policies and CPU counts. Two headline numbers the CI
+// gate checks: under a 10x market-open flash crowd at 4 CPUs, (1) demand-
+// bound admission (dbf) must commit strictly more profit than admit-all and
+// than a static queue cap — shedding the right work must beat shedding none
+// and shedding blindly — and (2) shared execution (DESIGN.md §13) must buy
+// at least 1.2x profit per CPU-busy-second over the unfused server on the
+// same trace. Emits BENCH_overload.json for the perf-smoke job.
 //
 // Usage: bench_overload [--jobs N] [--smoke] [--audit-hash] [--out <path>]
 //   --smoke   shorter traces, 10x scenarios only (the CI configuration)
@@ -317,6 +319,69 @@ int main(int argc, char** argv) {
     }
   }
 
+  // --- shared execution -----------------------------------------------------
+  // The fusion headline (DESIGN.md §13): the same flash crowd at 4 CPUs,
+  // admit-all so nothing but shared execution differs, fused vs unfused.
+  // The gated figure is profit per CPU-busy-second — fusion must buy more
+  // profit per cycle actually spent, not just shift work around. The CI
+  // floor is 1.2x (tools/check_hotpath_regression.py --min-fusion-gain).
+  struct FusionPoint {
+    double profit = 0.0;
+    double cpu_busy_s = 0.0;
+    double profit_per_cpu_s = 0.0;
+    int64_t fused = 0;
+    int64_t groups = 0;
+    int64_t committed = 0;
+    uint64_t end_state_hash = 0;
+  };
+  auto fusion_point = [&](bool enabled) {
+    RowKey key;
+    key.trace_index = 0;  // market-open 10x
+    key.cpus = 4;
+    key.admission = AdmissionKind::kAdmitAll;
+    ExperimentOptions options = BaseOptions();
+    options.server.fusion.enabled = enabled;
+    const ExperimentResult result =
+        RunExperiment(traces[0].trace, SpecFor(key), options);
+    FusionPoint point;
+    point.profit = Profit(result);
+    point.cpu_busy_s = result.cpu_busy_ms / 1e3;
+    point.profit_per_cpu_s =
+        point.cpu_busy_s > 0.0 ? point.profit / point.cpu_busy_s : 0.0;
+    point.fused = result.queries_fused;
+    point.groups = result.fusion_groups;
+    point.committed = result.queries_committed;
+    point.end_state_hash = result.end_state_hash;
+    return point;
+  };
+  const FusionPoint fusion_off = fusion_point(false);
+  const FusionPoint fusion_on = fusion_point(true);
+  const FusionPoint fusion_rerun = fusion_point(true);
+  const bool fusion_rerun_identical =
+      fusion_rerun.end_state_hash == fusion_on.end_state_hash;
+  const double fusion_gain = fusion_off.profit_per_cpu_s > 0.0
+                                 ? fusion_on.profit_per_cpu_s /
+                                       fusion_off.profit_per_cpu_s
+                                 : 0.0;
+  std::printf("\nshared execution (market-open 10x, 4 CPUs, admit-all):\n");
+  std::printf("  fusion off: profit %10.0f  cpu-busy %7.2fs  "
+              "profit/cpu-s %10.1f\n",
+              fusion_off.profit, fusion_off.cpu_busy_s,
+              fusion_off.profit_per_cpu_s);
+  std::printf("  fusion on : profit %10.0f  cpu-busy %7.2fs  "
+              "profit/cpu-s %10.1f  (%lld fused in %lld groups)\n",
+              fusion_on.profit, fusion_on.cpu_busy_s,
+              fusion_on.profit_per_cpu_s,
+              static_cast<long long>(fusion_on.fused),
+              static_cast<long long>(fusion_on.groups));
+  std::printf("  profit/cpu-s gain: %.3fx\n", fusion_gain);
+  if (!fusion_rerun_identical) {
+    std::fprintf(stderr, "fusion rerun diverged: %llx vs %llx\n",
+                 static_cast<unsigned long long>(fusion_on.end_state_hash),
+                 static_cast<unsigned long long>(fusion_rerun.end_state_hash));
+    return 1;
+  }
+
   bench::PrintSweepSummary();
 
   std::FILE* out = std::fopen(flags.out.c_str(), "w");
@@ -360,10 +425,29 @@ int main(int argc, char** argv) {
                "    \"dbf_beats_admit_all\": %s,\n"
                "    \"dbf_beats_queue_cap\": %s\n"
                "  },\n"
+               "  \"fusion\": {\n"
+               "    \"scenario\": \"market-open\", \"scale\": 10, \"cpus\": 4,\n"
+               "    \"admission\": \"admit-all\",\n"
+               "    \"profit_off\": %.3f, \"profit_on\": %.3f,\n"
+               "    \"cpu_busy_s_off\": %.6f, \"cpu_busy_s_on\": %.6f,\n"
+               "    \"profit_per_cpu_s_off\": %.3f,\n"
+               "    \"profit_per_cpu_s_on\": %.3f,\n"
+               "    \"queries_fused\": %lld, \"fusion_groups\": %lld,\n"
+               "    \"gain\": %.4f,\n"
+               "    \"end_state_hash\": \"%016llx\",\n"
+               "    \"rerun_identical\": %s\n"
+               "  },\n"
                "  \"tenants\": {\"spec\": \"%s\", \"rows\": [\n",
                admit_all->profit, queue_cap->profit, expected->profit,
                dbf->profit, dbf_beats_admit_all ? "true" : "false",
-               dbf_beats_queue_cap ? "true" : "false", tenant_spec.c_str());
+               dbf_beats_queue_cap ? "true" : "false", fusion_off.profit,
+               fusion_on.profit, fusion_off.cpu_busy_s, fusion_on.cpu_busy_s,
+               fusion_off.profit_per_cpu_s, fusion_on.profit_per_cpu_s,
+               static_cast<long long>(fusion_on.fused),
+               static_cast<long long>(fusion_on.groups), fusion_gain,
+               static_cast<unsigned long long>(fusion_on.end_state_hash),
+               fusion_rerun_identical ? "true" : "false",
+               tenant_spec.c_str());
   for (size_t i = 0; i < tenant_rows.size(); ++i) {
     const auto& tenant = tenant_rows[i];
     std::fprintf(out,

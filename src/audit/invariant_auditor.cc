@@ -40,6 +40,8 @@ const char* InvariantName(Invariant invariant) {
       return "txn-queue-consistent";
     case Invariant::kAdmissionConservation:
       return "admission-conservation";
+    case Invariant::kFusionGroup:
+      return "fusion-group";
     case Invariant::kCount:
       break;
   }

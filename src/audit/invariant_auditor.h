@@ -50,6 +50,10 @@ enum class Invariant {
   kTxnQueueConsistent,      // TxnQueue live_ matches the non-stale heap count
   kAdmissionConservation,   // arrived = admitted + rejected + shed, per
                             // tenant; DBF demand nodes match tracked entries
+  kFusionGroup,             // fused members <-> live groups: disjoint
+                            // membership, live lock-free members, leader
+                            // still in flight; no member settles before its
+                            // group's scan completes
   kCount,                   // sentinel
 };
 

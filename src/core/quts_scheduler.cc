@@ -1,5 +1,7 @@
 #include "core/quts_scheduler.h"
 
+#include <algorithm>
+
 #include "core/rho.h"
 #include "obs/metric_registry.h"
 #include "util/logging.h"
@@ -12,6 +14,7 @@ QutsScheduler::QutsScheduler(Options options)
   WEBDB_CHECK(options_.adaptation_period > 0);
   WEBDB_CHECK(options_.alpha > 0.0 && options_.alpha <= 1.0);
   WEBDB_CHECK(options_.initial_rho >= 0.0 && options_.initial_rho <= 1.0);
+  WEBDB_CHECK(options_.scan_atom_factor > 0.0);
   if (options_.update_policy == UpdatePolicy::kDemandWeighted) {
     WEBDB_CHECK(options_.item_weights != nullptr);
   }
@@ -65,9 +68,29 @@ TxnKind QutsScheduler::DrawSide(SimTime now) {
       drawn = TxnKind::kUpdate;
     }
   }
-  atom_expiry_ = now + options_.atom_time;
+  atom_expiry_ = now + AtomLength(drawn);
   ++redraws_;
   return drawn;
+}
+
+SimDuration QutsScheduler::AtomLength(TxnKind side) const {
+  if (options_.scan_atom_factor == 1.0 || side != TxnKind::kQuery) {
+    return options_.atom_time;
+  }
+  const Transaction* head = queries_.Peek();
+  if (head == nullptr) return options_.atom_time;
+  return AtomLengthFor(*head);
+}
+
+SimDuration QutsScheduler::AtomLengthFor(const Transaction& txn) const {
+  if (options_.scan_atom_factor == 1.0 || txn.kind != TxnKind::kQuery ||
+      ServiceClassOf(static_cast<const Query&>(txn).type) !=
+          ServiceClass::kScan) {
+    return options_.atom_time;
+  }
+  return std::max<SimDuration>(
+      1, static_cast<SimDuration>(options_.scan_atom_factor *
+                                  static_cast<double>(options_.atom_time)));
 }
 
 void QutsScheduler::Redraw(SimTime now) {
@@ -131,7 +154,7 @@ Transaction* QutsScheduler::PopNext(SimTime now) {
   txn = QueueFor(other).Pop();
   if (txn != nullptr) {
     side_ = other;
-    atom_expiry_ = now + options_.atom_time;
+    atom_expiry_ = now + AtomLengthFor(*txn);
   }
   return txn;
 }

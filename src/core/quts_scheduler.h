@@ -52,6 +52,13 @@ class QutsScheduler final : public Scheduler {
     // Used to validate the Eq. 3 profit model: sweep a forced ρ and compare
     // the measured profit curve against QOSmax·ρ + QODmax·ρ(1-ρ).
     bool freeze_rho = false;
+    // Class-aware atom sizing (DESIGN.md §13): when the query-side head is
+    // a scan-class query (moving-average / aggregation), the atom opening
+    // on the query side runs for scan_atom_factor * τ, so heavy scans — and
+    // the fusion groups riding on them — finish within one atom instead of
+    // paying extra preempt/resume switches. 1.0 (the default) disables the
+    // scaling bit-for-bit.
+    double scan_atom_factor = 1.0;
     QueryPolicy query_policy = QueryPolicy::kVrd;
     UpdatePolicy update_policy = UpdatePolicy::kFifo;
     const std::vector<double>* item_weights = nullptr;
@@ -106,6 +113,10 @@ class QutsScheduler final : public Scheduler {
   void Redraw(SimTime now);
   TxnQueue& QueueFor(TxnKind side);
   const TxnQueue& QueueFor(TxnKind side) const;
+  // Atom length for an atom opening on `side`: τ, scaled by
+  // scan_atom_factor when a scan-class query heads the query queue.
+  SimDuration AtomLength(TxnKind side) const;
+  SimDuration AtomLengthFor(const Transaction& txn) const;
 
   Options options_;
   Rng rng_;

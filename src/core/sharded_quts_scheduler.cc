@@ -127,9 +127,32 @@ TxnKind ShardedQutsScheduler::DrawSide(Shard& shard, SimTime now) {
       drawn = TxnKind::kUpdate;
     }
   }
-  shard.atom_expiry = now + options_.quts.atom_time;
+  shard.atom_expiry = now + AtomLength(shard, drawn);
   ++shard.redraws;
   return drawn;
+}
+
+SimDuration ShardedQutsScheduler::AtomLength(Shard& shard,
+                                             TxnKind side) const {
+  if (options_.quts.scan_atom_factor == 1.0 || side != TxnKind::kQuery) {
+    return options_.quts.atom_time;
+  }
+  const Transaction* head = shard.queries.Peek();
+  if (head == nullptr) return options_.quts.atom_time;
+  return AtomLengthFor(*head);
+}
+
+SimDuration ShardedQutsScheduler::AtomLengthFor(const Transaction& txn) const {
+  if (options_.quts.scan_atom_factor == 1.0 ||
+      txn.kind != TxnKind::kQuery ||
+      ServiceClassOf(static_cast<const Query&>(txn).type) !=
+          ServiceClass::kScan) {
+    return options_.quts.atom_time;
+  }
+  return std::max<SimDuration>(
+      1,
+      static_cast<SimDuration>(options_.quts.scan_atom_factor *
+                               static_cast<double>(options_.quts.atom_time)));
 }
 
 void ShardedQutsScheduler::Redraw(Shard& shard, SimTime now) {
@@ -150,7 +173,7 @@ Transaction* ShardedQutsScheduler::PopFromShard(Shard& shard, SimTime now) {
   txn = shard.QueueFor(other).Pop();
   if (txn != nullptr) {
     shard.side = other;
-    shard.atom_expiry = now + options_.quts.atom_time;
+    shard.atom_expiry = now + AtomLengthFor(*txn);
   }
   return txn;
 }
@@ -261,6 +284,15 @@ int64_t ShardedQutsScheduler::NumQueuedUpdates() const {
 void ShardedQutsScheduler::RemoveQueued(Transaction* txn, SimTime) {
   Shard& shard = shards_[ShardOf(*txn)];
   shard.QueueFor(txn->kind).Remove(txn);
+}
+
+int ShardedQutsScheduler::FusionDomain(const Query& query) const {
+  WEBDB_CHECK(!query.items.empty());
+  const int home = ShardOfItem(query.items[0]);
+  for (size_t i = 1; i < query.items.size(); ++i) {
+    if (ShardOfItem(query.items[i]) != home) return -1;
+  }
+  return home;
 }
 
 void ShardedQutsScheduler::ExportStats(MetricRegistry& registry) const {

@@ -76,6 +76,10 @@ class ShardedQutsScheduler final : public CpuSetScheduler {
   int64_t NumQueuedUpdates() const override;
   void RemoveQueued(Transaction* txn, SimTime now) override;
 
+  // Fusion is per-shard: the domain is the home shard when every item of
+  // the query lives there, -1 (never fuse) when the item set spans shards.
+  int FusionDomain(const Query& query) const override;
+
   // Generic queue gauges plus scheduler.quts.{rho, adaptations,
   // atom.redraws, steals} and per-shard scheduler.quts.shard<k>.rho.
   void ExportStats(MetricRegistry& registry) const override;
@@ -127,6 +131,10 @@ class ShardedQutsScheduler final : public CpuSetScheduler {
   void Redraw(Shard& shard, SimTime now);
   // Pops shard `s`'s next transaction exactly as single-CPU QUTS would.
   Transaction* PopFromShard(Shard& shard, SimTime now);
+  // Atom length for an atom opening on `side` of `shard`: τ, scaled by
+  // scan_atom_factor when a scan-class query is at that side's head.
+  SimDuration AtomLength(Shard& shard, TxnKind side) const;
+  SimDuration AtomLengthFor(const Transaction& txn) const;
 
   Options options_;
   int num_cpus_;

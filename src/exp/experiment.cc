@@ -89,6 +89,9 @@ ExperimentResult RunExperiment(const Trace& trace, CpuSetScheduler* scheduler,
   result.preemptions = metrics.preemptions;
   result.queries_rejected = metrics.queries_rejected;
   result.queries_shed = metrics.queries_shed;
+  result.queries_fused = metrics.queries_fused;
+  result.fusion_groups = metrics.fusion_groups;
+  result.cpu_busy_ms = ToMillis(server.TotalBusyTime());
   if (server.config().tenants != nullptr) {
     const TenantSet& tenants = *server.config().tenants;
     for (const auto& [tenant, counters] : metrics.tenants()) {

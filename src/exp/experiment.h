@@ -80,6 +80,13 @@ struct ExperimentResult {
   // Admission outcomes (0 when no controller was configured).
   int64_t queries_rejected = 0;
   int64_t queries_shed = 0;
+  // Shared execution (0 unless ServerConfig::fusion.enabled): members
+  // settled through fused scans, and the number of groups formed.
+  int64_t queries_fused = 0;
+  int64_t fusion_groups = 0;
+  // Total CPU busy time across the pool, in milliseconds — denominator of
+  // profit-per-CPU-second (the fusion headline).
+  double cpu_busy_ms = 0.0;
   // Peak sampled queue depths (0 unless queue_sample_period was set).
   int64_t peak_queued_queries = 0;
   int64_t peak_queued_updates = 0;

@@ -146,6 +146,11 @@ SpanSummary SummarizeSpans(std::vector<TraceEvent> events) {
         ++bucket.counts.shed;
         spans.erase(event.txn);
         break;
+      case TraceEventType::kFuse:
+        // The member leaves its queue to ride a fused scan; the wait until
+        // its (group) commit still counts as queue wait, so the anchor
+        // stays put.
+        break;
     }
   }
 

@@ -33,6 +33,7 @@ enum class TraceEventType : uint8_t {
   kInvalidate,  // update superseded by a newer arrival on the same item
   kReject,      // query refused by admission control
   kShed,        // queued query evicted by admission control under overload
+  kFuse,        // queued query attached to a dispatching fused scan
 };
 
 std::string ToString(TraceEventType type);

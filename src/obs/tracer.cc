@@ -31,6 +31,8 @@ std::string ToString(TraceEventType type) {
       return "reject";
     case TraceEventType::kShed:
       return "shed";
+    case TraceEventType::kFuse:
+      return "fuse";
   }
   return "?";
 }
@@ -41,7 +43,8 @@ bool TraceEventTypeFromName(const std::string& name, TraceEventType* out) {
         TraceEventType::kDispatch, TraceEventType::kPreempt,
         TraceEventType::kRestart, TraceEventType::kCommit,
         TraceEventType::kDrop, TraceEventType::kInvalidate,
-        TraceEventType::kReject, TraceEventType::kShed}) {
+        TraceEventType::kReject, TraceEventType::kShed,
+        TraceEventType::kFuse}) {
     if (ToString(type) == name) {
       *out = type;
       return true;

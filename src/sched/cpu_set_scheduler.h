@@ -83,6 +83,13 @@ class CpuSetScheduler {
   // A dispatched transaction left the system. Default: no-op.
   virtual void OnTxnFinished(const Transaction& /*txn*/, SimTime /*now*/) {}
 
+  // Shared-execution domain of `query`: two queries may only fuse when
+  // their domains are equal and non-negative. Negative means "never fuse".
+  // The default (one global domain) suits single-queue schedulers; the
+  // sharded scheduler returns the shard when the whole item set lives on
+  // one shard and -1 otherwise, so cross-shard queries never fuse.
+  virtual int FusionDomain(const Query& /*query*/) const { return 0; }
+
   // True when at least one transaction is queued on any shard/queue.
   virtual bool HasWork() const = 0;
 

@@ -1,0 +1,125 @@
+#include "server/fusion.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace webdb {
+
+namespace {
+
+constexpr uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr uint64_t kFnvPrime = 1099511628211ull;
+
+uint64_t MixU64(uint64_t hash, uint64_t value) {
+  for (int i = 0; i < 8; ++i) {
+    hash ^= (value >> (8 * i)) & 0xFF;
+    hash *= kFnvPrime;
+  }
+  return hash;
+}
+
+std::vector<ItemId> SortedItems(const Query& query) {
+  std::vector<ItemId> items = query.items;
+  std::sort(items.begin(), items.end());
+  return items;
+}
+
+// Exact-match compatibility behind the signature: same service class and
+// same item multiset. The signature is a fast filter; this is the truth.
+bool ExactCompatible(const Query& a, const Query& b) {
+  if (ServiceClassOf(a.type) != ServiceClassOf(b.type)) return false;
+  if (a.items.size() != b.items.size()) return false;
+  return SortedItems(a) == SortedItems(b);
+}
+
+bool IsSubsetJoiner(const Query& query) {
+  return query.items.size() == 1 &&
+         ServiceClassOf(query.type) == ServiceClass::kInteractive;
+}
+
+}  // namespace
+
+uint64_t FusionIndex::Signature(const Query& query) {
+  uint64_t hash = kFnvOffset;
+  hash = MixU64(hash, static_cast<uint64_t>(ServiceClassOf(query.type)));
+  for (ItemId item : SortedItems(query)) {
+    hash = MixU64(hash, static_cast<uint64_t>(item) + 1);
+  }
+  return hash;
+}
+
+void FusionIndex::Insert(Query* query) {
+  WEBDB_CHECK(query != nullptr && !query->items.empty());
+  exact_[Signature(*query)].entries.emplace_back(query->id, query);
+  if (IsSubsetJoiner(*query)) {
+    single_[query->items[0]].push_back(query->id);
+  }
+  ++size_;
+}
+
+void FusionIndex::Remove(const Query& query) {
+  const auto it = exact_.find(Signature(query));
+  if (it == exact_.end()) return;
+  auto& entries = it->second.entries;
+  const auto entry = std::find_if(
+      entries.begin(), entries.end(),
+      [&](const std::pair<TxnId, const Query*>& e) {
+        return e.first == query.id;
+      });
+  if (entry == entries.end()) return;
+  entries.erase(entry);
+  if (entries.empty()) exact_.erase(it);
+  if (IsSubsetJoiner(query)) {
+    const auto single_it = single_.find(query.items[0]);
+    WEBDB_CHECK(single_it != single_.end());
+    auto& ids = single_it->second;
+    const auto id_it = std::find(ids.begin(), ids.end(), query.id);
+    WEBDB_CHECK(id_it != ids.end());
+    ids.erase(id_it);
+    if (ids.empty()) single_.erase(single_it);
+  }
+  --size_;
+}
+
+bool FusionIndex::Contains(const Query& query) const {
+  const auto it = exact_.find(Signature(query));
+  if (it == exact_.end()) return false;
+  for (const auto& [id, entry] : it->second.entries) {
+    if (id == query.id) return true;
+  }
+  return false;
+}
+
+void FusionIndex::CollectCandidates(const Query& leader, bool subset,
+                                    int max_members,
+                                    std::vector<TxnId>* out) const {
+  if (max_members <= 0) return;
+  const auto taken = [out, &leader](TxnId id) {
+    if (id == leader.id) return true;
+    return std::find(out->begin(), out->end(), id) != out->end();
+  };
+
+  const auto exact_it = exact_.find(Signature(leader));
+  if (exact_it != exact_.end()) {
+    for (const auto& [id, candidate] : exact_it->second.entries) {
+      if (static_cast<int>(out->size()) >= max_members) return;
+      if (taken(id) || !ExactCompatible(leader, *candidate)) continue;
+      out->push_back(id);
+    }
+  }
+  if (!subset) return;
+  // Subset pass in the leader's own item order: a lookup on item X joins
+  // because the covering scan reads X anyway.
+  for (ItemId item : leader.items) {
+    const auto single_it = single_.find(item);
+    if (single_it == single_.end()) continue;
+    for (TxnId id : single_it->second) {
+      if (static_cast<int>(out->size()) >= max_members) return;
+      if (taken(id)) continue;
+      out->push_back(id);
+    }
+  }
+}
+
+}  // namespace webdb

@@ -1,0 +1,91 @@
+// Shared execution over hot symbols (DESIGN.md §13).
+//
+// Flash-crowd traces queue many queries over the same Zipf-popular items at
+// once. Instead of scanning the same symbols once per query, the server
+// fuses queued look-alikes onto the query being dispatched (the *leader*):
+// the leader's scan runs once and its cost is charged once, and when it
+// commits every attached *member* settles its own quality contract at that
+// same instant — own response time, own staleness over its own item set,
+// own tenant/admission accounting — so the profit ledger and every
+// conservation audit stay exact.
+//
+// Two fusion shapes, both decided at dispatch time (no late joiners):
+//   * exact match  — identical sorted item set and identical service class;
+//   * subset       — a single-item interactive lookup rides on any leader
+//                    whose item set covers its item (the covering scan
+//                    already reads that symbol).
+// Eligibility is conservative: only queued queries with no partial progress
+// and no locks ever enter the index, and under the sharded scheduler a
+// query is only indexed when its whole item set lives on one shard
+// (FusionDomain >= 0) — cross-shard queries never fuse.
+//
+// FusionIndex is the deterministic candidate store: buckets are keyed by an
+// FNV-1a signature over (service class, sorted items) plus a per-item table
+// of single-item lookups, each bucket in insertion order, so the member set
+// of every group is a pure function of the event sequence.
+
+#ifndef WEBDB_SERVER_FUSION_H_
+#define WEBDB_SERVER_FUSION_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "txn/transaction.h"
+
+namespace webdb {
+
+struct FusionConfig {
+  // Master switch; default off keeps every schedule bit-identical to the
+  // pre-fusion server.
+  bool enabled = false;
+  // Allow single-item interactive lookups to join a covering scan.
+  bool subset_fusion = true;
+  // Most members one leader may carry (leader excluded).
+  int max_group_size = 64;
+  // Queries with more items than this never lead nor join exact-match.
+  int max_leader_items = 16;
+};
+
+class FusionIndex {
+ public:
+  // FNV-1a over the service class and the sorted item set; equal signatures
+  // (plus the verifying compare in CollectCandidates) define exact-match
+  // fusion compatibility.
+  static uint64_t Signature(const Query& query);
+
+  // Indexes a queued, fusion-eligible query (caller checks eligibility; the
+  // query must not already be indexed).
+  void Insert(Query* query);
+
+  // Removes `query` from every bucket it occupies. Idempotent: unindexed
+  // queries are a no-op, so every dequeue path may call it untracked.
+  void Remove(const Query& query);
+
+  // Collects up to `max_members` fusion candidates for `leader`, in
+  // deterministic order: exact matches first (insertion order), then —
+  // when `subset` is set — single-item lookups covered by the leader's
+  // item set, scanned in the leader's item order. The leader itself must
+  // already be unindexed. Candidates are not removed.
+  void CollectCandidates(const Query& leader, bool subset, int max_members,
+                         std::vector<TxnId>* out) const;
+
+  bool Contains(const Query& query) const;
+  // Total number of indexed queries. O(1).
+  int64_t Size() const { return size_; }
+
+ private:
+  struct ExactBucket {
+    std::vector<std::pair<TxnId, const Query*>> entries;
+  };
+
+  // Signature -> exact-match bucket. std::map for deterministic audits.
+  std::map<uint64_t, ExactBucket> exact_;
+  // Item -> queued single-item interactive lookups on it (subset joiners).
+  std::map<ItemId, std::vector<TxnId>> single_;
+  int64_t size_ = 0;
+};
+
+}  // namespace webdb
+
+#endif  // WEBDB_SERVER_FUSION_H_

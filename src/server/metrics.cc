@@ -11,6 +11,8 @@ ServerMetrics::ServerMetrics()
       queries_dropped(registry_.GetCounter("server.queries.dropped")),
       queries_rejected(registry_.GetCounter("server.queries.rejected")),
       queries_shed(registry_.GetCounter("server.queries.shed")),
+      queries_fused(registry_.GetCounter("server.queries.fused")),
+      fusion_groups(registry_.GetCounter("server.fusion.groups")),
       query_restarts(registry_.GetCounter("txn.restarts.query")),
       updates_submitted(registry_.GetCounter("server.updates.submitted")),
       updates_applied(registry_.GetCounter("server.updates.applied")),

@@ -51,6 +51,11 @@ class ServerMetrics {
   // Admitted, then evicted from the queue by admission control (DbfAdmission
   // load shedding).
   Counter& queries_shed;    // server.queries.shed
+  // Committed as members of a fused scan (shared execution); a subset of
+  // queries_committed. The leader of a group counts as a normal commit.
+  Counter& queries_fused;  // server.queries.fused
+  // Fusion groups formed (leaders that attached at least one member).
+  Counter& fusion_groups;   // server.fusion.groups
   Counter& query_restarts;  // txn.restarts.query
 
   Counter& updates_submitted;    // server.updates.submitted

@@ -8,6 +8,7 @@
 #include "db/staleness.h"
 #include "obs/tracer.h"
 #include "sched/admission.h"
+#include "server/fusion.h"
 #include "util/time.h"
 
 namespace webdb {
@@ -42,6 +43,12 @@ struct ServerConfig {
   // predate QCs).
   double lifetime_factor = 10.0;
   SimDuration min_lifetime = Seconds(30);
+
+  // Shared execution (DESIGN.md §13): fuse queued look-alike queries onto
+  // the query being dispatched and settle them all when its scan commits.
+  // Off by default — fusion-off schedules are bit-identical to the
+  // pre-fusion server.
+  FusionConfig fusion;
 
   // 2PL-HP concurrency control. Disabling it (ablation) dispatches blindly:
   // data conflicts are ignored, queries may read mid-update values.

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <map>
 #include <memory>
+#include <set>
 #include <string>
 #include <utility>
 
@@ -164,6 +165,7 @@ Query* WebDatabaseServer::SubmitQuery(QueryType type,
 
   sched_->OnQueryArrival(&query, sim_->Now());
   Trace(query, TraceEventType::kEnqueue);
+  MaybeIndexForFusion(query);
   OnSchedulingEvent();
   return &query;
 }
@@ -328,7 +330,8 @@ void WebDatabaseServer::SnapshotMetrics() {
 bool WebDatabaseServer::IsQuiescent() const {
   return !cpus_.AnyBusy() && !sched_->HasWork() &&
          locks_.NumLockedItems() == 0 && register_.Size() == 0 &&
-         active_updates_.empty();
+         active_updates_.empty() && fusion_groups_.empty() &&
+         fusion_index_.Size() == 0;
 }
 
 void WebDatabaseServer::PreemptRunning(CpuId cpu) {
@@ -380,6 +383,16 @@ bool WebDatabaseServer::HasRunningConflict(Transaction* txn) {
 }
 
 void WebDatabaseServer::Restart(Transaction* txn) {
+  if (txn->kind == TxnKind::kQuery) {
+    auto& query = *static_cast<Query*>(txn);
+    // A restarted leader's scan never completes: its group dissolves and
+    // the members go back to their queues before the leader re-enters its
+    // own. (Members hold no locks, so they are never 2PL-HP losers
+    // themselves.) The unindex is defensive — lock holders are not
+    // candidates — and idempotent.
+    DissolveFusionGroup(query);
+    UnindexForFusion(query);
+  }
   locks_.ReleaseAll(txn->id);
   if (txn->state == TxnState::kRunning) {
     // Multi-core loser caught mid-flight on another CPU: abort the attempt
@@ -413,16 +426,24 @@ void WebDatabaseServer::Restart(Transaction* txn) {
   txn->state = TxnState::kQueued;
   sched_->Requeue(txn, sim_->Now());
   Trace(*txn, TraceEventType::kEnqueue);
+  if (txn->kind == TxnKind::kQuery) {
+    // Back at full service time with no locks: eligible to fuse again.
+    MaybeIndexForFusion(*static_cast<Query*>(txn));
+  }
 }
 
 void WebDatabaseServer::Dispatch(CpuId cpu, Transaction* txn) {
   WEBDB_CHECK(txn->state == TxnState::kQueued);
   if (txn->kind == TxnKind::kQuery) {
     auto& query = *static_cast<Query*>(txn);
+    UnindexForFusion(query);
     if (config_.enable_2plhp) {
       ResolveConflicts(txn, LockMode::kShared, query.items);
       locks_.Acquire(txn->id, LockMode::kShared, query.items);
     }
+    // Attach after conflict resolution so members join a scan that holds
+    // its read locks (a restarted holder may even re-join as a member).
+    AttachFusionMembers(query);
   } else {
     auto& update = *static_cast<Update*>(txn);
     const std::vector<ItemId> items = {update.item};
@@ -448,7 +469,9 @@ void WebDatabaseServer::OnTxnComplete(CpuId cpu, TxnId id) {
   txn->cpu = -1;
   txn->remaining = 0;
   if (txn->kind == TxnKind::kQuery) {
-    CommitQuery(*static_cast<Query*>(txn));
+    auto& query = *static_cast<Query*>(txn);
+    CommitQuery(query);
+    SettleFusionGroup(query);
   } else {
     ApplyUpdate(*static_cast<Update*>(txn));
   }
@@ -497,7 +520,13 @@ void WebDatabaseServer::ApplyUpdate(Update& update) {
 
 void WebDatabaseServer::OnLifetimeDeadline(TxnId id) {
   Query& query = QueryFor(id);
-  if (query.state != TxnState::kQueued) return;  // committed, running or shed
+  // Not queued: committed, running, shed — or fused, in which case it
+  // settles with the scan it rides on (zero profit when expired) or is
+  // dropped at dissolution.
+  if (query.state != TxnState::kQueued) return;
+  // A preempted leader dropped at its deadline takes its scan with it.
+  DissolveFusionGroup(query);
+  UnindexForFusion(query);
   sched_->RemoveQueued(&query, sim_->Now());
   locks_.ReleaseAll(id);  // it may have been preempted while holding locks
   query.state = TxnState::kDropped;
@@ -512,7 +541,11 @@ void WebDatabaseServer::OnLifetimeDeadline(TxnId id) {
 
 bool WebDatabaseServer::Shed(TxnId id) {
   Query& query = QueryFor(id);
+  // Fused members report unsheddable (like running queries): their cost is
+  // already sunk into the leader's scan, so evicting them frees no CPU.
   if (query.state != TxnState::kQueued) return false;
+  DissolveFusionGroup(query);
+  UnindexForFusion(query);
   sched_->RemoveQueued(&query, sim_->Now());
   locks_.ReleaseAll(id);  // it may have been preempted while holding locks
   query.state = TxnState::kShed;
@@ -527,6 +560,127 @@ bool WebDatabaseServer::Shed(TxnId id) {
   // admitted query — and removing queued (never running) work opens no
   // dispatch opportunity by itself.
   return true;
+}
+
+void WebDatabaseServer::MaybeIndexForFusion(Query& query) {
+  if (!config_.fusion.enabled) return;
+  if (query.state != TxnState::kQueued) return;
+  if (query.items.empty() ||
+      static_cast<int>(query.items.size()) >
+          config_.fusion.max_leader_items) {
+    return;
+  }
+  // Preempt-resumed queries carry progress and (under 2PL-HP) locks;
+  // fusing one would discard real work or attach a lock holder. Only fresh
+  // arrivals and clean restarts are candidates.
+  if (query.remaining != query.service_time || locks_.HoldsAny(query.id)) {
+    return;
+  }
+  if (sched_->FusionDomain(query) < 0) return;
+  fusion_index_.Insert(&query);
+}
+
+void WebDatabaseServer::UnindexForFusion(Query& query) {
+  if (!config_.fusion.enabled) return;
+  fusion_index_.Remove(query);
+}
+
+void WebDatabaseServer::AttachFusionMembers(Query& leader) {
+  if (!config_.fusion.enabled || fusion_index_.Size() == 0) return;
+  if (leader.items.empty() ||
+      static_cast<int>(leader.items.size()) >
+          config_.fusion.max_leader_items ||
+      sched_->FusionDomain(leader) < 0) {
+    return;
+  }
+  auto group_it = fusion_groups_.find(leader.id);
+  const int carried = group_it == fusion_groups_.end()
+                          ? 0
+                          : static_cast<int>(group_it->second.size());
+  std::vector<TxnId> joined;
+  fusion_index_.CollectCandidates(leader, config_.fusion.subset_fusion,
+                                  config_.fusion.max_group_size - carried,
+                                  &joined);
+  if (joined.empty()) return;
+  if (group_it == fusion_groups_.end()) {
+    group_it = fusion_groups_.emplace(leader.id, std::vector<TxnId>()).first;
+    ++metrics_.fusion_groups;
+  }
+  for (TxnId id : joined) {
+    Query& member = QueryFor(id);
+    WEBDB_CHECK(member.state == TxnState::kQueued && id != leader.id);
+    UnindexForFusion(member);
+    sched_->RemoveQueued(&member, sim_->Now());
+    member.state = TxnState::kFused;
+    member.fused_into = leader.id;
+    group_it->second.push_back(id);
+    Trace(member, TraceEventType::kFuse);
+  }
+}
+
+void WebDatabaseServer::SettleFusionGroup(Query& leader) {
+  const auto it = fusion_groups_.find(leader.id);
+  if (it == fusion_groups_.end()) return;
+  std::vector<TxnId> members = std::move(it->second);
+  fusion_groups_.erase(it);
+  // Snapshot the scan's answer once; every waiter shares the immutable
+  // buffer (fused-result-mutation lint rule keeps aliases const).
+  FusionResult answer;
+  answer.leader = leader.id;
+  answer.items = leader.items;
+  answer.values.reserve(leader.items.size());
+  for (ItemId item : leader.items) {
+    answer.values.push_back(db_->Item(item).value);
+  }
+  answer.scan_complete = sim_->Now();
+  const auto result = std::make_shared<const FusionResult>(std::move(answer));
+  leader.fused_result = result;
+  for (TxnId id : members) {
+    Query& member = QueryFor(id);
+    WEBDB_CHECK(member.state == TxnState::kFused &&
+                member.fused_into == leader.id);
+    // The member settles like any commit — own response time, own-item
+    // staleness, own QC / tenant / admission books — at the scan's finish
+    // time; only the fused marker and the shared answer differ. Its CPU
+    // demand was never charged: the whole point.
+    member.remaining = 0;
+    member.fused_result = result;
+    CommitQuery(member);
+    ++metrics_.queries_fused;
+  }
+}
+
+void WebDatabaseServer::DissolveFusionGroup(Query& leader) {
+  const auto it = fusion_groups_.find(leader.id);
+  if (it == fusion_groups_.end()) return;
+  std::vector<TxnId> members = std::move(it->second);
+  fusion_groups_.erase(it);
+  for (TxnId id : members) {
+    Query& member = QueryFor(id);
+    WEBDB_CHECK(member.state == TxnState::kFused &&
+                member.fused_into == leader.id);
+    member.fused_into = 0;
+    if (config_.lifetime_factor > 0.0 &&
+        sim_->Now() >= member.lifetime_deadline) {
+      // Its lifetime-deadline event fired while it was fused (and found
+      // nothing queued to drop): settle the drop at dissolution instead of
+      // requeueing a corpse that can never earn profit.
+      member.state = TxnState::kDropped;
+      ++metrics_.queries_dropped;
+      if (config_.tenants != nullptr) {
+        ++*metrics_.Tenant(member.tenant).dropped;
+      }
+      Trace(member, TraceEventType::kDrop);
+      if (config_.admission != nullptr) {
+        config_.admission->OnQueryFinished(member, sim_->Now());
+      }
+      continue;
+    }
+    member.state = TxnState::kQueued;
+    sched_->Requeue(&member, sim_->Now());
+    Trace(member, TraceEventType::kEnqueue);
+    MaybeIndexForFusion(member);
+  }
 }
 
 void WebDatabaseServer::ScheduleWake() {
@@ -567,6 +721,7 @@ void WebDatabaseServer::AuditInvariants() const {
   int64_t dropped = 0;
   int64_t rejected = 0;
   int64_t shed = 0;
+  int64_t fused = 0;
   // Per-tenant lifecycle tallies: submitted / still-live / committed /
   // dropped / rejected / shed, keyed by tenant id (only filled when the
   // run is tenant-aware).
@@ -610,6 +765,12 @@ void WebDatabaseServer::AuditInvariants() const {
         ++shed;
         if (tally != nullptr) ++tally->shed;
         break;
+      case TxnState::kFused:
+        // Riding a live fused scan: out of every queue, off every CPU, but
+        // still live for tenant/admission conservation purposes.
+        ++fused;
+        if (tally != nullptr) ++tally->live;
+        break;
       case TxnState::kPending:
       case TxnState::kPreempted:
       case TxnState::kInvalidated:
@@ -644,8 +805,8 @@ void WebDatabaseServer::AuditInvariants() const {
                    "queries_shed counter disagrees with per-query states");
   WEBDB_AUDIT_THAT(
       Invariant::kAdmissionConservation,
-      metrics_.queries_submitted == queued_queries + running + committed +
-                                        dropped + rejected + shed,
+      metrics_.queries_submitted == queued_queries + running + fused +
+                                        committed + dropped + rejected + shed,
       "admission conservation: submitted != live + finished + refused");
   if (config_.tenants != nullptr) {
     for (const auto& [tenant, tally] : tenant_tallies) {
@@ -700,6 +861,7 @@ void WebDatabaseServer::AuditInvariants() const {
       case TxnState::kDropped:
       case TxnState::kRejected:
       case TxnState::kShed:
+      case TxnState::kFused:
         audit::Fail(Invariant::kDualQueueConservation, __FILE__, __LINE__,
                     "update " + std::to_string(update.id) +
                         " in impossible state " + ToString(update.state));
@@ -799,6 +961,60 @@ void WebDatabaseServer::AuditInvariants() const {
                        "finished update " + std::to_string(update.id) +
                            " leaked locks");
     }
+  }
+
+  // --- fusion groups (shared execution, DESIGN.md §13) ---------------------
+  // The kFused population is exactly the union of the live groups' members,
+  // membership is disjoint, members are lock-free and unsettled (no member
+  // settles before its group's scan completes), and every leader is still
+  // in flight (running, or preempted back to queued).
+  {
+    int64_t group_members = 0;
+    std::set<TxnId> seen;
+    for (const auto& [leader_id, members] : fusion_groups_) {
+      const Query& leader = self->QueryFor(leader_id);
+      WEBDB_AUDIT_THAT(Invariant::kFusionGroup,
+                       leader.state == TxnState::kRunning ||
+                           leader.state == TxnState::kQueued,
+                       "fusion leader " + std::to_string(leader_id) +
+                           " is no longer in flight");
+      WEBDB_AUDIT_THAT(Invariant::kFusionGroup, leader.fused_into == 0,
+                       "fusion leader " + std::to_string(leader_id) +
+                           " is itself fused into another group");
+      WEBDB_AUDIT_THAT(Invariant::kFusionGroup, !members.empty(),
+                       "empty fusion group led by " +
+                           std::to_string(leader_id));
+      for (TxnId member_id : members) {
+        const Query& member = self->QueryFor(member_id);
+        WEBDB_AUDIT_THAT(Invariant::kFusionGroup,
+                         seen.insert(member_id).second,
+                         "fusion membership not disjoint: query " +
+                             std::to_string(member_id) + " in two groups");
+        WEBDB_AUDIT_THAT(Invariant::kFusionGroup,
+                         member.state == TxnState::kFused,
+                         "member " + std::to_string(member_id) +
+                             " settled before its group's scan completed");
+        WEBDB_AUDIT_THAT(Invariant::kFusionGroup,
+                         member.fused_into == leader_id,
+                         "member " + std::to_string(member_id) +
+                             " does not point back at its leader");
+        WEBDB_AUDIT_THAT(Invariant::kFusionGroup, !locks_.HoldsAny(member_id),
+                         "fused member " + std::to_string(member_id) +
+                             " holds locks");
+        WEBDB_AUDIT_THAT(Invariant::kFusionGroup,
+                         member.fused_result == nullptr,
+                         "member " + std::to_string(member_id) +
+                             " holds a result before the scan completed");
+        ++group_members;
+      }
+    }
+    WEBDB_AUDIT_THAT(Invariant::kFusionGroup, group_members == fused,
+                     std::to_string(fused) +
+                         " queries in state fused but live groups hold " +
+                         std::to_string(group_members) + " members");
+    WEBDB_AUDIT_THAT(Invariant::kFusionGroup,
+                     metrics_.queries_fused <= metrics_.queries_committed,
+                     "more fused settlements than commits");
   }
 
   // --- profit-ledger conservation against the metric registry -------------

@@ -22,6 +22,7 @@
 #ifndef WEBDB_SERVER_WEB_DATABASE_SERVER_H_
 #define WEBDB_SERVER_WEB_DATABASE_SERVER_H_
 
+#include <map>
 #include <memory>
 #include <unordered_map>
 #include <vector>
@@ -31,6 +32,7 @@
 #include "db/update_register.h"
 #include "qc/profit_ledger.h"
 #include "qc/quality_contract.h"
+#include "server/fusion.h"
 #include "sched/cpu_set_scheduler.h"
 #include "sched/scheduler.h"
 #include "server/metrics.h"
@@ -105,6 +107,14 @@ class WebDatabaseServer : private ShedSink {
   int NumCpus() const { return cpus_.num_cpus(); }
   // Mean utilization across the CPU set: total busy time / (now * CPUs).
   double CpuUtilization() const;
+  // Total CPU busy time accumulated across the pool — the denominator of
+  // profit-per-CPU-second (the fusion headline metric).
+  SimDuration TotalBusyTime() const { return cpus_.TotalBusyTime(); }
+  // Live fusion groups, keyed by leader id (empty once drained; the
+  // fusion tests and the auditor death-tests inspect it).
+  const std::map<TxnId, std::vector<TxnId>>& fusion_groups() const {
+    return fusion_groups_;
+  }
 
   // True when no transaction is in flight and no resource is held: every
   // CPU idle, scheduler queues empty, no locks, no pending register
@@ -165,6 +175,22 @@ class WebDatabaseServer : private ShedSink {
   void OnTxnComplete(CpuId cpu, TxnId id);
   void CommitQuery(Query& query);
   void ApplyUpdate(Update& update);
+  // --- shared execution (DESIGN.md §13); all no-ops when fusion is off ----
+  // Indexes `query` as a fusion candidate if eligible: queued, no partial
+  // progress, no locks, item set within bounds and on one fusion domain.
+  void MaybeIndexForFusion(Query& query);
+  void UnindexForFusion(Query& query);
+  // Attaches queued look-alikes to `leader` at dispatch: exact item-set
+  // matches first, then covered single-item lookups. Members leave their
+  // scheduler queues (state -> kFused) and settle when the leader commits.
+  void AttachFusionMembers(Query& leader);
+  // Leader committed: fan the scan result out and commit every member at
+  // the same instant, each settling its own QC / tenant / admission books.
+  void SettleFusionGroup(Query& leader);
+  // Leader left the running/queued path without committing (2PL-HP
+  // restart, lifetime drop, shed): members go back to their queues — or
+  // straight to kDropped when their own lifetime already expired.
+  void DissolveFusionGroup(Query& leader);
   // Drops a superseded update (pending or preempted/running-active).
   void InvalidateUpdate(Update& update);
   void OnLifetimeDeadline(TxnId id);
@@ -198,6 +224,11 @@ class WebDatabaseServer : private ShedSink {
   // or preempted); at most one per item. Needed for write-write drops of
   // already-dispatched updates.
   std::unordered_map<ItemId, Update*> active_updates_;
+
+  // Shared execution: candidate index over queued fusible queries, and the
+  // live groups keyed by leader id (std::map: the auditor walks it).
+  FusionIndex fusion_index_;
+  std::map<TxnId, std::vector<TxnId>> fusion_groups_;
 
   // One armed wake-up event per CPU (index == CpuId), rearmed after every
   // scheduling event from the scheduler's per-CPU NextDecisionTime.

@@ -26,6 +26,8 @@ std::string ToString(TxnState state) {
       return "rejected";
     case TxnState::kShed:
       return "shed";
+    case TxnState::kFused:
+      return "fused";
   }
   return "?";
 }
@@ -42,6 +44,10 @@ std::string ToString(QueryType type) {
       return "aggregation";
   }
   return "?";
+}
+
+std::string ToString(ServiceClass service_class) {
+  return service_class == ServiceClass::kScan ? "scan" : "interactive";
 }
 
 }  // namespace webdb

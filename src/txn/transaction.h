@@ -5,6 +5,7 @@
 #define WEBDB_TXN_TRANSACTION_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -36,6 +37,8 @@ enum class TxnState {
   kRejected,     // query: refused by admission control at submission
   kShed,         // query: admitted, then evicted from the queue by admission
                  // control to make room for higher-worth work
+  kFused,        // query: attached to a running fused scan; settles (commits)
+                 // when the scan completes, or re-queues if the scan aborts
 };
 
 std::string ToString(TxnKind kind);
@@ -50,6 +53,35 @@ enum class QueryType {
 };
 
 std::string ToString(QueryType type);
+
+// Coarse service classes over the query types (Qserv-style scan vs
+// interactive split): interactive point work vs computation-heavy scans.
+// Shared execution fuses within a class (and lets interactive lookups ride
+// on a covering scan); class-aware atom sizing keys off it too.
+enum class ServiceClass {
+  kInteractive,  // lookup, comparison: cheap point reads
+  kScan,         // moving-average, aggregation: computation over a range
+};
+
+inline ServiceClass ServiceClassOf(QueryType type) {
+  return (type == QueryType::kMovingAverage ||
+          type == QueryType::kAggregation)
+             ? ServiceClass::kScan
+             : ServiceClass::kInteractive;
+}
+
+std::string ToString(ServiceClass service_class);
+
+// The answer of a fused scan, produced once by the group leader at commit
+// and fanned out to every waiter. Immutable after construction: waiters
+// share the buffer and must never mutate it (enforced by the
+// fused-result-mutation lint rule).
+struct FusionResult {
+  TxnId leader = 0;
+  std::vector<ItemId> items;   // the leader's (covering) item set
+  std::vector<double> values;  // item values at scan completion
+  SimTime scan_complete = 0;
+};
 
 struct Transaction {
   TxnId id = 0;
@@ -88,6 +120,13 @@ struct Query : Transaction {
   SimTime commit_time = 0;
   double staleness = 0.0;
   QualityContract::Evaluation profit;
+
+  // Shared execution (DESIGN.md §13). While state == kFused this query is a
+  // member of the fusion group led by `fused_into`; after settlement both
+  // leader and members hold the shared immutable scan answer. 0 / nullptr
+  // for queries that never fused.
+  TxnId fused_into = 0;
+  std::shared_ptr<const FusionResult> fused_result;
 
   SimDuration ResponseTime() const { return commit_time - arrival; }
 };

@@ -85,6 +85,10 @@ TEST(InvariantCountersTest, NamesAreStableKebabCase) {
                "event-arena-consistent");
   EXPECT_STREQ(audit::InvariantName(audit::Invariant::kTxnQueueConsistent),
                "txn-queue-consistent");
+  EXPECT_STREQ(audit::InvariantName(audit::Invariant::kAdmissionConservation),
+               "admission-conservation");
+  EXPECT_STREQ(audit::InvariantName(audit::Invariant::kFusionGroup),
+               "fusion-group");
 }
 
 TEST(InvariantCountersTest, CountAccumulatesPerInvariant) {
@@ -111,6 +115,21 @@ TEST(InvariantAuditorDeathTest, FailAbortsWithInvariantName) {
   EXPECT_DEATH(audit::Fail(audit::Invariant::kRegisterNewestWins, "f.cc", 12,
                            "detail text"),
                "register-newest-wins");
+}
+
+TEST(InvariantAuditorDeathTest, FusionGroupFailureNamesTheInvariant) {
+  EXPECT_DEATH(audit::Fail(audit::Invariant::kFusionGroup, "f.cc", 34,
+                           "member settled before its group's scan completed"),
+               "fusion-group.*settled before");
+}
+
+TEST(InvariantAuditorDeathTest, FusionGroupAuditThatAbortsOnViolation) {
+  // The macro the server's fusion-group section is written in terms of:
+  // a false condition must abort with the kebab-case name.
+  EXPECT_DEATH(
+      WEBDB_AUDIT_THAT(audit::Invariant::kFusionGroup, 1 == 2,
+                       "membership not disjoint"),
+      "fusion-group.*membership not disjoint");
 }
 
 // --- whole-server audit and end-state hash -----------------------------------
@@ -154,6 +173,29 @@ TEST(ServerAuditTest, AuditInvariantsPassesMidRunAndAfterDrain) {
   EXPECT_GT(audit::ChecksPerformed(audit::Invariant::kDualQueueConservation),
             0u);
   EXPECT_GT(audit::ChecksPerformed(audit::Invariant::kLedgerConservation), 0u);
+}
+
+TEST(ServerAuditTest, FusedWorkloadAuditsCleanWithLiveGroups) {
+  // The same contended workload with shared execution on: single-item
+  // lookups over 6 items fuse heavily, so the mid-run audits walk live
+  // groups and the fusion-group invariant actually fires its checks.
+  Database db(6);
+  auto scheduler = MakeScheduler(SchedulerKind::kQuts);
+  ServerConfig config;
+  config.fusion.enabled = true;
+  WebDatabaseServer server(&db, scheduler.get(), config);
+  for (SimTime t : {Millis(50), Millis(200), Millis(400)}) {
+    server.sim().ScheduleAt(t, [&server] { server.AuditInvariants(); });
+  }
+  audit::ResetCounters();
+  RunWorkload(server, 77);
+  server.AuditInvariants();
+  EXPECT_TRUE(server.IsQuiescent());
+  EXPECT_TRUE(server.fusion_groups().empty());
+  EXPECT_GT(server.metrics().queries_fused, 0);
+  EXPECT_GT(audit::ChecksPerformed(audit::Invariant::kFusionGroup), 0u);
+  EXPECT_GT(audit::ChecksPerformed(audit::Invariant::kDualQueueConservation),
+            0u);
 }
 
 TEST(ServerAuditTest, EndStateHashIsDeterministic) {

@@ -1,0 +1,29 @@
+// Lint fixture — never compiled. Seeds fused-result-mutation violations
+// (waiters grabbing a mutable handle to the shared fan-out buffer) for
+// tools/lint_selftest.py; expected findings are pinned in
+// tests/lint_fixtures/expected.txt.
+
+#include <memory>
+
+namespace webdb {
+
+struct FusionResult {
+  double value = 0.0;
+};
+
+void Waiter(const std::shared_ptr<const FusionResult>& shared) {
+  // Not a violation: the sanctioned const handle.
+  std::shared_ptr<const FusionResult> mine = shared;
+  // VIOLATION fused-result-mutation: a non-const shared handle aliases the
+  // buffer every other group member reads.
+  std::shared_ptr<FusionResult> writable;
+  // VIOLATION fused-result-mutation: laundering the const away.
+  auto* hack = const_cast<FusionResult*>(shared.get());
+  (void)mine;
+  (void)hack;
+  // Not a violation: escaped with a reason, producer-side construction.
+  std::shared_ptr<FusionResult> scratch;  // lint:allow(fused-result-mutation) producer fills before publishing
+  (void)scratch;
+}
+
+}  // namespace webdb

@@ -22,25 +22,122 @@ Compares a fresh BENCH_hotpath.json against the committed baseline
 With --overload it also gates a BENCH_overload.json (bench_overload):
 the headline flash-crowd point must show dbf admission strictly
 out-earning both admit-all and queue-cap, and the rerun of the headline
-point must have been bit-identical. These are machine-independent
-booleans computed by the bench itself.
+point must have been bit-identical; the shared-execution section must
+show at least --min-fusion-gain profit per CPU-busy-second for
+fusion-on over fusion-off (default 1.2x), again with a bit-identical
+rerun. These are machine-independent numbers computed by the bench
+itself — the simulation is deterministic, so they do not drift with the
+host. A fresh overload JSON without the "fusion" section is itself a
+failure: it means the bench predates shared execution.
+
+With --committed-hotpath / --committed-overload it gates the checked-in
+BENCH_*.json trajectory files (the publication gap the ROADMAP calls
+out): the committed file must exist and agree with the fresh run on
+every machine-independent field — end-state hashes, counters, gate
+booleans, and (for the fully deterministic overload report) the entire
+document. A missing or stale committed file fails the build until the
+fresh report is committed.
 
 Usage:
   python3 tools/check_hotpath_regression.py \
       --current BENCH_hotpath.json \
       [--baseline bench/baseline/BENCH_hotpath.json] \
       [--overload BENCH_overload.json] \
-      [--tolerance 0.20] [--min-speedup 2.0]
+      [--committed-hotpath BENCH_hotpath.json] \
+      [--committed-overload BENCH_overload.json] \
+      [--tolerance 0.20] [--min-speedup 2.0] [--min-fusion-gain 1.2]
 """
 
 import argparse
 import json
+import os
 import sys
 
 
 def load(path):
     with open(path, "r", encoding="utf-8") as f:
         return json.load(f)
+
+
+# Fields of BENCH_hotpath.json that are pure simulation outputs: identical
+# on every host and compiler, so the committed trajectory must match the
+# fresh run exactly. Timing-derived fields (events/sec, speedups, wall
+# times) legitimately differ between machines and are not compared.
+HOTPATH_DETERMINISTIC_FIELDS = (
+    "bench",
+    "workload",
+    "allocs_per_event",
+    "legacy_allocs_per_event",
+    "txnqueue_allocs_per_op",
+    "multicore_rerun_identical",
+)
+
+
+def check_committed_hotpath(fresh, committed_path, failures):
+    if not os.path.exists(committed_path):
+        failures.append(
+            f"committed hotpath trajectory {committed_path} is missing; "
+            f"commit the fresh BENCH_hotpath.json")
+        return
+    committed = load(committed_path)
+    for field in HOTPATH_DETERMINISTIC_FIELDS:
+        if committed.get(field) != fresh.get(field):
+            failures.append(
+                f"committed hotpath trajectory {committed_path} is stale: "
+                f"field '{field}' is {committed.get(field)!r}, fresh run "
+                f"says {fresh.get(field)!r}")
+    fresh_hashes = [row.get("end_state_hash")
+                    for row in fresh.get("multicore", [])]
+    committed_hashes = [row.get("end_state_hash")
+                        for row in committed.get("multicore", [])]
+    if fresh_hashes != committed_hashes:
+        failures.append(
+            f"committed hotpath trajectory {committed_path} is stale: "
+            f"multicore end-state hashes changed "
+            f"({committed_hashes} -> {fresh_hashes})")
+    print(f"committed hotpath trajectory {committed_path}: "
+          f"deterministic fields match")
+
+
+def json_equivalent(a, b, rel_tol=1e-3):
+    """Structural equality, with relative slack on floats.
+
+    The overload bench is a deterministic simulation end to end, but its
+    profit figures are doubles formatted from libm-dependent arithmetic;
+    the golden CSV suite compares those with 1e-3 relative slack and this
+    check follows suit. Hashes, counters, names and booleans must match
+    exactly.
+    """
+    if isinstance(a, float) or isinstance(b, float):
+        if not isinstance(a, (int, float)) or not isinstance(b, (int, float)):
+            return False
+        return abs(a - b) <= max(1e-6, rel_tol * max(abs(a), abs(b)))
+    if isinstance(a, dict) and isinstance(b, dict):
+        return set(a) == set(b) and all(
+            json_equivalent(a[k], b[k], rel_tol) for k in a)
+    if isinstance(a, list) and isinstance(b, list):
+        return len(a) == len(b) and all(
+            json_equivalent(x, y, rel_tol) for x, y in zip(a, b))
+    return a == b
+
+
+def check_committed_overload(fresh, committed_path, failures):
+    if not os.path.exists(committed_path):
+        failures.append(
+            f"committed overload trajectory {committed_path} is missing; "
+            f"commit the fresh BENCH_overload.json")
+        return
+    committed = load(committed_path)
+    if not json_equivalent(committed, fresh):
+        diff_keys = [key for key in sorted(set(fresh) | set(committed))
+                     if not json_equivalent(fresh.get(key),
+                                            committed.get(key))]
+        failures.append(
+            f"committed overload trajectory {committed_path} is stale "
+            f"(differs in {', '.join(diff_keys)}); commit the fresh "
+            f"BENCH_overload.json")
+        return
+    print(f"committed overload trajectory {committed_path}: identical")
 
 
 def main():
@@ -57,9 +154,20 @@ def main():
     parser.add_argument("--min-multicore-speedup", type=float, default=2.0,
                         help="required 4-CPU profit/wall-s speedup over "
                              "1 CPU (sharded QUTS, flash-crowd trace)")
+    parser.add_argument("--min-fusion-gain", type=float, default=1.2,
+                        help="required profit/CPU-s gain for fusion-on vs "
+                             "fusion-off on the flash-crowd headline")
     parser.add_argument("--overload", default=None,
                         help="optional BENCH_overload.json to gate the "
-                             "admission-policy headline on")
+                             "admission-policy and fusion headlines on")
+    parser.add_argument("--committed-hotpath", default=None,
+                        help="checked-in BENCH_hotpath.json trajectory; "
+                             "fails when missing or stale on "
+                             "machine-independent fields")
+    parser.add_argument("--committed-overload", default=None,
+                        help="checked-in BENCH_overload.json trajectory; "
+                             "fails when missing or not identical to the "
+                             "fresh report")
     args = parser.parse_args()
 
     current = load(args.current)
@@ -122,6 +230,37 @@ def main():
         if not overload.get("rerun_identical", False):
             failures.append(
                 "overload headline rerun was not bit-identical")
+        fusion = overload.get("fusion")
+        if fusion is None:
+            failures.append(
+                "overload report has no 'fusion' section — bench_overload "
+                "predates shared execution; rebuild and rerun it")
+        else:
+            gain = float(fusion["gain"])
+            print(f"fusion headline ({fusion['scenario']} "
+                  f"x{fusion['scale']:g} @ {fusion['cpus']} CPUs): "
+                  f"profit/cpu-s {fusion['profit_per_cpu_s_off']:,.1f} -> "
+                  f"{fusion['profit_per_cpu_s_on']:,.1f}, gain {gain:.3f}x "
+                  f"(required >= {args.min_fusion_gain:.2f}x, "
+                  f"{fusion['queries_fused']} fused in "
+                  f"{fusion['fusion_groups']} groups)")
+            if gain < args.min_fusion_gain:
+                failures.append(
+                    f"fusion profit/CPU-s gain fell below "
+                    f"{args.min_fusion_gain:.2f}x: {gain:.3f}x")
+            if int(fusion.get("queries_fused", 0)) <= 0:
+                failures.append(
+                    "fusion headline fused no queries — the flash crowd "
+                    "no longer produces shareable scans")
+            if not fusion.get("rerun_identical", False):
+                failures.append(
+                    "fusion headline rerun was not bit-identical")
+        if args.committed_overload:
+            check_committed_overload(overload, args.committed_overload,
+                                     failures)
+
+    if args.committed_hotpath:
+        check_committed_hotpath(current, args.committed_hotpath, failures)
 
     if failures:
         for failure in failures:

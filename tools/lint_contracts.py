@@ -29,6 +29,16 @@ notes promise but the compiler cannot see:
                           a deadlock with the sweep worker pool. Cross-thread
                           state belongs in src/exp//src/obs/ behind
                           util::Mutex + WEBDB_GUARDED_BY.
+  fused-result-mutation   a mutable handle to a FusionResult: a non-const
+                          shared_ptr<FusionResult>, or a const_cast that
+                          names the type. A fused scan's result buffer is
+                          produced once (make_shared<const FusionResult> in
+                          SettleFusionGroup) and fanned out to every waiter
+                          in the group (DESIGN.md §13); a waiter that
+                          mutates through the shared pointer corrupts every
+                          other member's answer. The const in the element
+                          type is the contract — this rule catches code that
+                          launders it away.
 
 Escape hatch is shared with the determinism linter - same line or the
 immediately preceding line:
@@ -72,7 +82,20 @@ LOCK_RE = re.compile(
     r"|\.\s*(?:lock|try_lock|try_lock_for|Lock|TryLock)\s*\("
 )
 
-RULE_NAMES = ("std-function-hot-path", "options-by-value", "lock-on-sim-path")
+# A mutable handle to the shared fan-out buffer: shared_ptr<FusionResult>
+# without const in the element type, or a const_cast naming the type.
+# `shared_ptr<const FusionResult>` (the sanctioned handle) does not match.
+FUSED_RESULT_MUTATION_RE = re.compile(
+    r"\bshared_ptr\s*<\s*FusionResult\b"
+    r"|\bconst_cast\s*<[^<>]*\bFusionResult\b[^<>]*>"
+)
+
+RULE_NAMES = (
+    "std-function-hot-path",
+    "options-by-value",
+    "lock-on-sim-path",
+    "fused-result-mutation",
+)
 
 
 def _in_dirs(rel, dirs):
@@ -123,6 +146,12 @@ def lint_file(path, rel):
             and LOCK_RE.search(line)
         ):
             report("lock-on-sim-path")
+
+        if (
+            "fused-result-mutation" not in here
+            and FUSED_RESULT_MUTATION_RE.search(line)
+        ):
+            report("fused-result-mutation")
 
     return findings
 
