@@ -14,8 +14,11 @@
 //                    profit-per-CPU-second for both plus the on/off ratio
 //                    (DESIGN.md §13). Respects --cpus and
 //                    --scan-atom-factor.
+//   --fusion-cache   like --fusion, but with a third run that also enables
+//                    the fused-result cache (DESIGN.md §14) and prints its
+//                    hit/fill counts plus both profit/cpu-s ratios
 //   --scan-atom-factor <f>  atom-length multiplier for scan-class queries
-//                    in that comparison (default 1.0 = class-blind)
+//                    in those comparisons (default 1.0 = class-blind)
 
 #include <benchmark/benchmark.h>
 
@@ -27,6 +30,7 @@
 
 #include "core/quts_scheduler.h"
 #include "obs/tracer.h"
+#include "server/fusion.h"
 #include "exp/experiment.h"
 #include "exp/overload_scenarios.h"
 #include "exp/scheduler_factory.h"
@@ -150,6 +154,33 @@ BENCHMARK(BM_EndToEndServerRun)
     ->Arg(static_cast<int>(SchedulerKind::kQuts))
     ->Unit(benchmark::kMillisecond);
 
+// Candidate collection over a bucket of N exact look-alikes: the cost that
+// used to go quadratic in the taken() membership scan before the flat/hash
+// switchover at 16 collected members (src/server/fusion.cc).
+void BM_FusionCollectCandidates(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  std::vector<Query> queries(static_cast<size_t>(n));
+  FusionIndex index;
+  for (int i = 0; i < n; ++i) {
+    Query& query = queries[static_cast<size_t>(i)];
+    query.id = QueryTxnId(static_cast<uint64_t>(i));
+    query.kind = TxnKind::kQuery;
+    query.state = TxnState::kQueued;
+    query.type = QueryType::kAggregation;
+    query.items = {1, 2, 3};
+    index.Insert(&query);
+  }
+  std::vector<TxnId> members;
+  members.reserve(static_cast<size_t>(n));
+  for (auto _ : state) {
+    members.clear();
+    index.CollectCandidates(queries[0], /*subset=*/true, n, &members);
+    benchmark::DoNotOptimize(members.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_FusionCollectCandidates)->Arg(8)->Arg(64)->Arg(512);
+
 // Runs one end-to-end experiment with the tracer attached and writes the
 // JSONL lifecycle trace to `path`. Returns an exit status.
 int RunTracedExperiment(const std::string& path, const std::string& sched,
@@ -235,11 +266,12 @@ int RunTracedExperiment(const std::string& path, const std::string& sched,
   return 0;
 }
 
-// Runs the market-open flash crowd twice — fusion off, then on — and
-// prints profit-per-CPU-second for both. The README quickstart entry point
-// for shared execution (DESIGN.md §13); bench_overload publishes the gated
+// Runs the market-open flash crowd fusion-off, fusion-on and — under
+// --fusion-cache — a third time with the fused-result cache, printing
+// profit-per-CPU-second for each. The README quickstart entry point for
+// shared execution (DESIGN.md §13-14); bench_overload publishes the gated
 // version of the same comparison.
-int RunFusionComparison(int cpus, double scan_atom_factor) {
+int RunFusionComparison(int cpus, double scan_atom_factor, bool with_cache) {
   if (cpus < 1) {
     std::fprintf(stderr, "error: --cpus must be >= 1 (got %d)\n", cpus);
     return 1;
@@ -259,28 +291,36 @@ int RunFusionComparison(int cpus, double scan_atom_factor) {
   config.num_stocks = 128;
   const Trace trace =
       MakeOverloadTrace(OverloadScenario::kMarketOpen, config);
-  double profit_per_cpu_s[2] = {0.0, 0.0};
-  for (int fused = 0; fused <= 1; ++fused) {
+  const int modes = with_cache ? 3 : 2;
+  double profit_per_cpu_s[3] = {0.0, 0.0, 0.0};
+  for (int mode = 0; mode < modes; ++mode) {
     SchedulerSpec spec;
     spec.kind = SchedulerKind::kQuts;
     spec.topology.num_cpus = cpus;
     spec.quts.scan_atom_factor = scan_atom_factor;
     ExperimentOptions options;
     options.qc = BalancedProfile(QcShape::kStep);
-    options.server.fusion.enabled = fused == 1;
+    options.server.fusion.enabled = mode >= 1;
+    options.server.fusion.result_cache = mode == 2;
     const ExperimentResult result = RunExperiment(trace, spec, options);
     const double busy_s = result.cpu_busy_ms / 1e3;
     const double profit = result.qos_gained + result.qod_gained;
-    profit_per_cpu_s[fused] = busy_s > 0.0 ? profit / busy_s : 0.0;
+    profit_per_cpu_s[mode] = busy_s > 0.0 ? profit / busy_s : 0.0;
     std::fprintf(stderr,
-                 "fusion %-3s  profit %10.1f  cpu-busy %8.2fs  "
+                 "fusion %-8s  profit %10.1f  cpu-busy %8.2fs  "
                  "profit/cpu-s %8.2f  committed %lld  fused %lld in %lld "
-                 "groups\n",
-                 fused == 1 ? "on" : "off", profit, busy_s,
-                 profit_per_cpu_s[fused],
+                 "groups",
+                 mode == 0 ? "off" : mode == 1 ? "on" : "on+cache", profit,
+                 busy_s, profit_per_cpu_s[mode],
                  static_cast<long long>(result.queries_committed),
                  static_cast<long long>(result.queries_fused),
                  static_cast<long long>(result.fusion_groups));
+    if (mode == 2) {
+      std::fprintf(stderr, "  cache %lld hits / %lld fills",
+                   static_cast<long long>(result.queries_cache_hits),
+                   static_cast<long long>(result.cache_fills));
+    }
+    std::fprintf(stderr, "\n");
   }
   std::fprintf(stderr, "profit/cpu-s ratio (on/off): %.3fx  (%d cpu%s, "
                "scan-atom-factor %g)\n",
@@ -288,6 +328,12 @@ int RunFusionComparison(int cpus, double scan_atom_factor) {
                    ? profit_per_cpu_s[1] / profit_per_cpu_s[0]
                    : 0.0,
                cpus, cpus == 1 ? "" : "s", scan_atom_factor);
+  if (with_cache) {
+    std::fprintf(stderr, "profit/cpu-s ratio (on+cache/off): %.3fx\n",
+                 profit_per_cpu_s[0] > 0.0
+                     ? profit_per_cpu_s[2] / profit_per_cpu_s[0]
+                     : 0.0);
+  }
   return 0;
 }
 
@@ -301,6 +347,7 @@ int main(int argc, char** argv) {
   std::string tenants;
   int cpus = 1;
   bool fusion = false;
+  bool fusion_cache = false;
   double scan_atom_factor = 1.0;
   std::vector<char*> bench_argv;
   for (int i = 0; i < argc; ++i) {
@@ -317,13 +364,17 @@ int main(int argc, char** argv) {
       tenants = argv[++i];
     } else if (arg == "--fusion") {
       fusion = true;
+    } else if (arg == "--fusion-cache") {
+      fusion_cache = true;
     } else if (arg == "--scan-atom-factor" && i + 1 < argc) {
       scan_atom_factor = std::atof(argv[++i]);
     } else {
       bench_argv.push_back(argv[i]);
     }
   }
-  if (fusion) return webdb::RunFusionComparison(cpus, scan_atom_factor);
+  if (fusion || fusion_cache) {
+    return webdb::RunFusionComparison(cpus, scan_atom_factor, fusion_cache);
+  }
   int bench_argc = static_cast<int>(bench_argv.size());
   benchmark::Initialize(&bench_argc, bench_argv.data());
   if (benchmark::ReportUnrecognizedArguments(bench_argc, bench_argv.data())) {

@@ -332,15 +332,18 @@ int main(int argc, char** argv) {
     int64_t fused = 0;
     int64_t groups = 0;
     int64_t committed = 0;
+    int64_t cache_hits = 0;
+    int64_t cache_fills = 0;
     uint64_t end_state_hash = 0;
   };
-  auto fusion_point = [&](bool enabled) {
+  auto fusion_point = [&](bool enabled, bool cache) {
     RowKey key;
     key.trace_index = 0;  // market-open 10x
     key.cpus = 4;
     key.admission = AdmissionKind::kAdmitAll;
     ExperimentOptions options = BaseOptions();
     options.server.fusion.enabled = enabled;
+    options.server.fusion.result_cache = cache;
     const ExperimentResult result =
         RunExperiment(traces[0].trace, SpecFor(key), options);
     FusionPoint point;
@@ -351,18 +354,31 @@ int main(int argc, char** argv) {
     point.fused = result.queries_fused;
     point.groups = result.fusion_groups;
     point.committed = result.queries_committed;
+    point.cache_hits = result.queries_cache_hits;
+    point.cache_fills = result.cache_fills;
     point.end_state_hash = result.end_state_hash;
     return point;
   };
-  const FusionPoint fusion_off = fusion_point(false);
-  const FusionPoint fusion_on = fusion_point(true);
-  const FusionPoint fusion_rerun = fusion_point(true);
+  const FusionPoint fusion_off = fusion_point(false, false);
+  const FusionPoint fusion_on = fusion_point(true, false);
+  const FusionPoint fusion_rerun = fusion_point(true, false);
   const bool fusion_rerun_identical =
       fusion_rerun.end_state_hash == fusion_on.end_state_hash;
   const double fusion_gain = fusion_off.profit_per_cpu_s > 0.0
                                  ? fusion_on.profit_per_cpu_s /
                                        fusion_off.profit_per_cpu_s
                                  : 0.0;
+  // The round-2 headline (DESIGN.md §14): same point with the fused-result
+  // cache on top — hits answer repeat look-alikes for zero scan cost, so
+  // the gain must only climb from here.
+  const FusionPoint cache_on = fusion_point(true, true);
+  const FusionPoint cache_rerun = fusion_point(true, true);
+  const bool cache_rerun_identical =
+      cache_rerun.end_state_hash == cache_on.end_state_hash;
+  const double cache_gain = fusion_off.profit_per_cpu_s > 0.0
+                                ? cache_on.profit_per_cpu_s /
+                                      fusion_off.profit_per_cpu_s
+                                : 0.0;
   std::printf("\nshared execution (market-open 10x, 4 CPUs, admit-all):\n");
   std::printf("  fusion off: profit %10.0f  cpu-busy %7.2fs  "
               "profit/cpu-s %10.1f\n",
@@ -375,10 +391,23 @@ int main(int argc, char** argv) {
               static_cast<long long>(fusion_on.fused),
               static_cast<long long>(fusion_on.groups));
   std::printf("  profit/cpu-s gain: %.3fx\n", fusion_gain);
+  std::printf("  fusion on + result cache: profit %10.0f  cpu-busy %7.2fs  "
+              "profit/cpu-s %10.1f\n",
+              cache_on.profit, cache_on.cpu_busy_s,
+              cache_on.profit_per_cpu_s);
+  std::printf("    cache: %lld hits / %lld fills  gain vs off: %.3fx\n",
+              static_cast<long long>(cache_on.cache_hits),
+              static_cast<long long>(cache_on.cache_fills), cache_gain);
   if (!fusion_rerun_identical) {
     std::fprintf(stderr, "fusion rerun diverged: %llx vs %llx\n",
                  static_cast<unsigned long long>(fusion_on.end_state_hash),
                  static_cast<unsigned long long>(fusion_rerun.end_state_hash));
+    return 1;
+  }
+  if (!cache_rerun_identical) {
+    std::fprintf(stderr, "fusion-cache rerun diverged: %llx vs %llx\n",
+                 static_cast<unsigned long long>(cache_on.end_state_hash),
+                 static_cast<unsigned long long>(cache_rerun.end_state_hash));
     return 1;
   }
 
@@ -437,6 +466,17 @@ int main(int argc, char** argv) {
                "    \"end_state_hash\": \"%016llx\",\n"
                "    \"rerun_identical\": %s\n"
                "  },\n"
+               "  \"fusion_cache\": {\n"
+               "    \"scenario\": \"market-open\", \"scale\": 10, \"cpus\": 4,\n"
+               "    \"admission\": \"admit-all\",\n"
+               "    \"profit\": %.3f, \"cpu_busy_s\": %.6f,\n"
+               "    \"profit_per_cpu_s\": %.3f,\n"
+               "    \"cache_hits\": %lld, \"cache_fills\": %lld,\n"
+               "    \"queries_fused\": %lld, \"fusion_groups\": %lld,\n"
+               "    \"gain\": %.4f,\n"
+               "    \"end_state_hash\": \"%016llx\",\n"
+               "    \"rerun_identical\": %s\n"
+               "  },\n"
                "  \"tenants\": {\"spec\": \"%s\", \"rows\": [\n",
                admit_all->profit, queue_cap->profit, expected->profit,
                dbf->profit, dbf_beats_admit_all ? "true" : "false",
@@ -446,7 +486,14 @@ int main(int argc, char** argv) {
                static_cast<long long>(fusion_on.fused),
                static_cast<long long>(fusion_on.groups), fusion_gain,
                static_cast<unsigned long long>(fusion_on.end_state_hash),
-               fusion_rerun_identical ? "true" : "false",
+               fusion_rerun_identical ? "true" : "false", cache_on.profit,
+               cache_on.cpu_busy_s, cache_on.profit_per_cpu_s,
+               static_cast<long long>(cache_on.cache_hits),
+               static_cast<long long>(cache_on.cache_fills),
+               static_cast<long long>(cache_on.fused),
+               static_cast<long long>(cache_on.groups), cache_gain,
+               static_cast<unsigned long long>(cache_on.end_state_hash),
+               cache_rerun_identical ? "true" : "false",
                tenant_spec.c_str());
   for (size_t i = 0; i < tenant_rows.size(); ++i) {
     const auto& tenant = tenant_rows[i];

@@ -42,6 +42,10 @@ const char* InvariantName(Invariant invariant) {
       return "admission-conservation";
     case Invariant::kFusionGroup:
       return "fusion-group";
+    case Invariant::kFusionCache:
+      return "fusion-cache";
+    case Invariant::kRendezvousGroup:
+      return "rendezvous-group";
     case Invariant::kCount:
       break;
   }

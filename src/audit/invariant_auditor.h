@@ -54,6 +54,13 @@ enum class Invariant {
                             // membership, live lock-free members, leader
                             // still in flight; no member settles before its
                             // group's scan completes
+  kFusionCache,             // every cache hit maps to exactly one committed
+                            // scan, is settled against that scan's commit
+                            // time, and was served within TTL; live entries
+                            // never outlive an update to a cached symbol
+  kRendezvousGroup,         // cross-shard groups: members share the
+                            // leader's rendezvous domain and shape (or are
+                            // covered single-item lookups)
   kCount,                   // sentinel
 };
 

@@ -91,6 +91,8 @@ ExperimentResult RunExperiment(const Trace& trace, CpuSetScheduler* scheduler,
   result.queries_shed = metrics.queries_shed;
   result.queries_fused = metrics.queries_fused;
   result.fusion_groups = metrics.fusion_groups;
+  result.queries_cache_hits = metrics.queries_cache_hits;
+  result.cache_fills = metrics.cache_fills;
   result.cpu_busy_ms = ToMillis(server.TotalBusyTime());
   if (server.config().tenants != nullptr) {
     const TenantSet& tenants = *server.config().tenants;

@@ -84,6 +84,10 @@ struct ExperimentResult {
   // settled through fused scans, and the number of groups formed.
   int64_t queries_fused = 0;
   int64_t fusion_groups = 0;
+  // Fused-result cache (0 unless fusion.result_cache): queries answered
+  // from the cache at submit, and committed scans retained in it.
+  int64_t queries_cache_hits = 0;
+  int64_t cache_fills = 0;
   // Total CPU busy time across the pool, in milliseconds — denominator of
   // profit-per-CPU-second (the fusion headline).
   double cpu_busy_ms = 0.0;

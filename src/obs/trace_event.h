@@ -34,6 +34,7 @@ enum class TraceEventType : uint8_t {
   kReject,      // query refused by admission control
   kShed,        // queued query evicted by admission control under overload
   kFuse,        // queued query attached to a dispatching fused scan
+  kCacheHit,    // query answered from the fused-result cache at submit
 };
 
 std::string ToString(TraceEventType type);

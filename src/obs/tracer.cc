@@ -33,6 +33,8 @@ std::string ToString(TraceEventType type) {
       return "shed";
     case TraceEventType::kFuse:
       return "fuse";
+    case TraceEventType::kCacheHit:
+      return "cache-hit";
   }
   return "?";
 }
@@ -44,7 +46,7 @@ bool TraceEventTypeFromName(const std::string& name, TraceEventType* out) {
         TraceEventType::kRestart, TraceEventType::kCommit,
         TraceEventType::kDrop, TraceEventType::kInvalidate,
         TraceEventType::kReject, TraceEventType::kShed,
-        TraceEventType::kFuse}) {
+        TraceEventType::kFuse, TraceEventType::kCacheHit}) {
     if (ToString(type) == name) {
       *out = type;
       return true;

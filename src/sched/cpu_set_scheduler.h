@@ -90,6 +90,14 @@ class CpuSetScheduler {
   // one shard and -1 otherwise, so cross-shard queries never fuse.
   virtual int FusionDomain(const Query& /*query*/) const { return 0; }
 
+  // Rendezvous domain for queries FusionDomain rejects (returns -1 for):
+  // a stable, deterministic id shared by all queries with the same
+  // *shard-set* signature, so cross-shard look-alikes can still fuse when
+  // FusionConfig::cross_shard_rendezvous is on. Non-const: implementations
+  // intern shard sets on first sight. Default: no rendezvous (-1). Ids
+  // must never collide with FusionDomain's range.
+  virtual int RendezvousDomain(const Query& /*query*/) { return -1; }
+
   // True when at least one transaction is queued on any shard/queue.
   virtual bool HasWork() const = 0;
 

@@ -13,6 +13,8 @@ ServerMetrics::ServerMetrics()
       queries_shed(registry_.GetCounter("server.queries.shed")),
       queries_fused(registry_.GetCounter("server.queries.fused")),
       fusion_groups(registry_.GetCounter("server.fusion.groups")),
+      queries_cache_hits(registry_.GetCounter("server.queries.cache_hits")),
+      cache_fills(registry_.GetCounter("server.fusion.cache_fills")),
       query_restarts(registry_.GetCounter("txn.restarts.query")),
       updates_submitted(registry_.GetCounter("server.updates.submitted")),
       updates_applied(registry_.GetCounter("server.updates.applied")),

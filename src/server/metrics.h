@@ -56,6 +56,11 @@ class ServerMetrics {
   Counter& queries_fused;  // server.queries.fused
   // Fusion groups formed (leaders that attached at least one member).
   Counter& fusion_groups;   // server.fusion.groups
+  // Answered from the fused-result cache at submit (zero scan cost); a
+  // subset of queries_committed, disjoint from queries_fused.
+  Counter& queries_cache_hits;  // server.queries.cache_hits
+  // Committed scans retained in the fused-result cache.
+  Counter& cache_fills;     // server.fusion.cache_fills
   Counter& query_restarts;  // txn.restarts.query
 
   Counter& updates_submitted;    // server.updates.submitted

@@ -138,6 +138,10 @@ Query* WebDatabaseServer::SubmitQuery(QueryType type,
   // Rejected queries still count against the submitted maximum: turning a
   // user away is not free profit-wise.
   ledger_.OnQuerySubmitted(query.qc, sim_->Now());
+  // A cached answer costs no scan and holds no resources, so it is served
+  // before admission: a query the controller would have turned away (or
+  // shed queued work for) still gets its zero-cost answer.
+  if (TryServeFromCache(query)) return &query;
   if (config_.admission != nullptr) {
     AdmissionContext context{sim_->Now(), sched_->NumQueuedQueries(),
                              sched_->NumQueuedUpdates(), cpus_.AnyBusy(),
@@ -186,6 +190,10 @@ Update* WebDatabaseServer::SubmitUpdate(ItemId item, double value,
   update.value = value;
   update.item_arrival_seq = db_->RecordUpdateArrival(item, value, sim_->Now());
   update.fifo_rank = update.arrival;
+  // Cache honesty: the instant an update *arrives* on a cached symbol the
+  // cached answer's recorded staleness is stale itself — evict eagerly
+  // (and again at apply, which changes the committed value).
+  if (config_.fusion.result_cache) result_cache_.InvalidateItem(item);
   ++metrics_.updates_submitted;
   Trace(update, TraceEventType::kSubmit);
 
@@ -472,6 +480,7 @@ void WebDatabaseServer::OnTxnComplete(CpuId cpu, TxnId id) {
     auto& query = *static_cast<Query*>(txn);
     CommitQuery(query);
     SettleFusionGroup(query);
+    MaybeFillResultCache(query);
   } else {
     ApplyUpdate(*static_cast<Update*>(txn));
   }
@@ -483,9 +492,17 @@ void WebDatabaseServer::OnTxnComplete(CpuId cpu, TxnId id) {
 void WebDatabaseServer::CommitQuery(Query& query) {
   query.state = TxnState::kCommitted;
   query.commit_time = sim_->Now();
+  // Cache honesty rule (DESIGN.md §14): a cache hit settles its QoD
+  // contract against the cached data's age — staleness is anchored at the
+  // producing scan's commit time, never at "now". Eager invalidation (at
+  // update arrival and apply) guarantees the covered items are unchanged
+  // since that instant, so this is the exact staleness the producing scan
+  // itself was charged.
+  const SimTime staleness_anchor =
+      query.cache_source != 0 ? query.cached_commit_time : sim_->Now();
   query.staleness =
       QueryStaleness(*db_, query.items, config_.staleness_metric,
-                     config_.staleness_combiner, sim_->Now());
+                     config_.staleness_combiner, staleness_anchor);
   if (sim_->Now() > query.lifetime_deadline) {
     // Finished past the maximum lifetime: QoS-Independent QCs pay nothing.
     query.profit = QualityContract::Evaluation{};
@@ -512,6 +529,9 @@ void WebDatabaseServer::ApplyUpdate(Update& update) {
   update.commit_time = sim_->Now();
   db_->ApplyUpdate(update.item, update.item_arrival_seq, update.value,
                    sim_->Now());
+  // An entry filled after this update's arrival (on a then-fresh item)
+  // must not survive the value changing underneath it.
+  if (config_.fusion.result_cache) result_cache_.InvalidateItem(update.item);
   active_updates_.erase(update.item);
   ++metrics_.updates_applied;
   metrics_.update_latency_ms.Add(ToMillis(update.ApplyLatency()));
@@ -576,7 +596,7 @@ void WebDatabaseServer::MaybeIndexForFusion(Query& query) {
   if (query.remaining != query.service_time || locks_.HoldsAny(query.id)) {
     return;
   }
-  if (sched_->FusionDomain(query) < 0) return;
+  if (EffectiveFusionDomain(query) < 0) return;
   fusion_index_.Insert(&query);
 }
 
@@ -590,7 +610,7 @@ void WebDatabaseServer::AttachFusionMembers(Query& leader) {
   if (leader.items.empty() ||
       static_cast<int>(leader.items.size()) >
           config_.fusion.max_leader_items ||
-      sched_->FusionDomain(leader) < 0) {
+      EffectiveFusionDomain(leader) < 0) {
     return;
   }
   auto group_it = fusion_groups_.find(leader.id);
@@ -681,6 +701,68 @@ void WebDatabaseServer::DissolveFusionGroup(Query& leader) {
     Trace(member, TraceEventType::kEnqueue);
     MaybeIndexForFusion(member);
   }
+}
+
+int WebDatabaseServer::EffectiveFusionDomain(const Query& query) const {
+  const int domain = sched_->FusionDomain(query);
+  if (domain >= 0 || !config_.fusion.cross_shard_rendezvous) return domain;
+  return sched_->RendezvousDomain(query);
+}
+
+bool WebDatabaseServer::TryServeFromCache(Query& query) {
+  if (!config_.fusion.enabled || !config_.fusion.result_cache) return false;
+  if (query.items.empty() ||
+      static_cast<int>(query.items.size()) >
+          config_.fusion.max_leader_items) {
+    return false;
+  }
+  // Same domain gate as queue fusion: a shape that could never fuse (e.g.
+  // cross-shard without rendezvous) is never cache-served either.
+  if (EffectiveFusionDomain(query) < 0) return false;
+  const FusionResultCache::Entry* entry =
+      result_cache_.Lookup(query, config_.fusion.subset_fusion, sim_->Now());
+  if (entry == nullptr) return false;
+  // Zero scan cost: the producing scan's CPU demand was charged once, at
+  // its own commit. The answer's age is what this query pays — CommitQuery
+  // anchors its staleness at the cached commit time.
+  query.cache_source = entry->source;
+  query.cached_commit_time = entry->commit_time;
+  query.fused_result = entry->result;
+  query.remaining = 0;
+  ++metrics_.queries_cache_hits;
+  Trace(query, TraceEventType::kCacheHit,
+        ToMillis(sim_->Now() - entry->commit_time));
+  CommitQuery(query);
+  return true;
+}
+
+void WebDatabaseServer::MaybeFillResultCache(Query& query) {
+  if (!config_.fusion.enabled || !config_.fusion.result_cache) return;
+  if (config_.fusion.cache_ttl <= 0) return;
+  if (query.items.empty() ||
+      static_cast<int>(query.items.size()) >
+          config_.fusion.max_leader_items) {
+    return;
+  }
+  const int domain = EffectiveFusionDomain(query);
+  if (domain < 0) return;
+  std::shared_ptr<const FusionResult> result = query.fused_result;
+  if (result == nullptr) {
+    // Cacheable solo commit: snapshot the answer exactly as a group settle
+    // would, without marking the query itself as fused.
+    FusionResult answer;
+    answer.leader = query.id;
+    answer.items = query.items;
+    answer.values.reserve(query.items.size());
+    for (ItemId item : query.items) {
+      answer.values.push_back(db_->Item(item).value);
+    }
+    answer.scan_complete = sim_->Now();
+    result = std::make_shared<const FusionResult>(std::move(answer));
+  }
+  result_cache_.Fill(query, std::move(result), domain, sim_->Now(),
+                     config_.fusion.cache_ttl, *db_);
+  ++metrics_.cache_fills;
 }
 
 void WebDatabaseServer::ScheduleWake() {
@@ -1015,6 +1097,116 @@ void WebDatabaseServer::AuditInvariants() const {
     WEBDB_AUDIT_THAT(Invariant::kFusionGroup,
                      metrics_.queries_fused <= metrics_.queries_committed,
                      "more fused settlements than commits");
+  }
+
+  // --- fused-result cache conservation (DESIGN.md §14) ---------------------
+  // Every cache hit maps to exactly one committed scan (its source), is
+  // settled against that scan's commit time, and was served within TTL of
+  // it; live entries never outlive an update (arrival or apply) to any
+  // cached symbol — the per-item sequence snapshots must still match the
+  // database exactly.
+  {
+    int64_t hits = 0;
+    for (const Query& query : queries_) {
+      if (query.cache_source == 0) continue;
+      ++hits;
+      const std::string who = "cache hit " + std::to_string(query.id);
+      WEBDB_AUDIT_THAT(Invariant::kFusionCache,
+                       query.state == TxnState::kCommitted,
+                       who + " is not committed");
+      WEBDB_AUDIT_THAT(Invariant::kFusionCache, query.fused_result != nullptr,
+                       who + " carries no shared result");
+      const Query& source = self->QueryFor(query.cache_source);
+      WEBDB_AUDIT_THAT(Invariant::kFusionCache,
+                       source.state == TxnState::kCommitted,
+                       who + " maps to an uncommitted source");
+      WEBDB_AUDIT_THAT(Invariant::kFusionCache, source.cache_source == 0,
+                       who + " maps to another cache hit, not a scan");
+      WEBDB_AUDIT_THAT(Invariant::kFusionCache,
+                       query.cached_commit_time == source.commit_time,
+                       who + " settled against the wrong commit time");
+      WEBDB_AUDIT_THAT(
+          Invariant::kFusionCache,
+          query.commit_time >= query.cached_commit_time &&
+              query.commit_time - query.cached_commit_time <=
+                  config_.fusion.cache_ttl,
+          who + " was served outside the cache TTL");
+    }
+    WEBDB_AUDIT_THAT(Invariant::kFusionCache,
+                     metrics_.queries_cache_hits == hits,
+                     "cache-hit counter disagrees with per-query states");
+    WEBDB_AUDIT_THAT(Invariant::kFusionCache,
+                     metrics_.cache_fills >= result_cache_.Size(),
+                     "more live cache entries than fills");
+    for (const auto& [signature, entry] : result_cache_.EntriesForAudit()) {
+      const std::string which = "cache entry " + std::to_string(signature);
+      const Query& source = self->QueryFor(entry.source);
+      WEBDB_AUDIT_THAT(Invariant::kFusionCache,
+                       source.state == TxnState::kCommitted &&
+                           source.cache_source == 0,
+                       which + " was not produced by a committed scan");
+      WEBDB_AUDIT_THAT(Invariant::kFusionCache,
+                       entry.result != nullptr && entry.domain >= 0,
+                       which + " has no shareable result");
+      WEBDB_AUDIT_THAT(Invariant::kFusionCache,
+                       entry.expiry ==
+                           entry.commit_time + config_.fusion.cache_ttl,
+                       which + " has a TTL the config does not explain");
+      WEBDB_AUDIT_THAT(Invariant::kFusionCache,
+                       entry.arrival_seqs.size() ==
+                               entry.sorted_items.size() &&
+                           entry.applied_seqs.size() ==
+                               entry.sorted_items.size(),
+                       which + " sequence snapshot is malformed");
+      for (size_t i = 0; i < entry.sorted_items.size(); ++i) {
+        const DataItem& item = db_->Item(entry.sorted_items[i]);
+        WEBDB_AUDIT_THAT(
+            Invariant::kFusionCache,
+            item.arrival_seq == entry.arrival_seqs[i] &&
+                item.applied_seq == entry.applied_seqs[i],
+            which + " outlived an update to item " +
+                std::to_string(entry.sorted_items[i]));
+      }
+    }
+  }
+
+  // --- rendezvous groups (cross-shard fusion, DESIGN.md §14) ---------------
+  // A live group whose leader spans shards only exists under the rendezvous
+  // flag, and every member shares the leader's shareable domain: either an
+  // exact look-alike (same class, same sorted items — hence the same shard
+  // set) or a single-item lookup the leader's scan covers.
+  {
+    for (const auto& [leader_id, members] : fusion_groups_) {
+      const Query& leader = self->QueryFor(leader_id);
+      if (sched_->FusionDomain(leader) >= 0) continue;  // single-shard group
+      const std::string who =
+          "rendezvous group led by " + std::to_string(leader_id);
+      WEBDB_AUDIT_THAT(Invariant::kRendezvousGroup,
+                       config_.fusion.cross_shard_rendezvous,
+                       who + " exists with rendezvous disabled");
+      const int domain = EffectiveFusionDomain(leader);
+      WEBDB_AUDIT_THAT(Invariant::kRendezvousGroup, domain >= 0,
+                       who + " has no shareable domain");
+      std::vector<ItemId> leader_sorted = leader.items;
+      std::sort(leader_sorted.begin(), leader_sorted.end());
+      for (TxnId member_id : members) {
+        const Query& member = self->QueryFor(member_id);
+        const bool covered_lookup =
+            member.items.size() == 1 &&
+            std::binary_search(leader_sorted.begin(), leader_sorted.end(),
+                               member.items[0]);
+        if (covered_lookup) continue;
+        std::vector<ItemId> member_sorted = member.items;
+        std::sort(member_sorted.begin(), member_sorted.end());
+        WEBDB_AUDIT_THAT(
+            Invariant::kRendezvousGroup,
+            ServiceClassOf(member.type) == ServiceClassOf(leader.type) &&
+                member_sorted == leader_sorted &&
+                EffectiveFusionDomain(member) == domain,
+            who + ": member " + std::to_string(member_id) +
+                " is neither an exact look-alike nor covered");
+      }
+    }
   }
 
   // --- profit-ledger conservation against the metric registry -------------

@@ -115,6 +115,9 @@ class WebDatabaseServer : private ShedSink {
   const std::map<TxnId, std::vector<TxnId>>& fusion_groups() const {
     return fusion_groups_;
   }
+  // Fused-result cache (DESIGN.md §14); empty unless
+  // FusionConfig::result_cache is on. The cache tests inspect it.
+  const FusionResultCache& result_cache() const { return result_cache_; }
 
   // True when no transaction is in flight and no resource is held: every
   // CPU idle, scheduler queues empty, no locks, no pending register
@@ -191,6 +194,20 @@ class WebDatabaseServer : private ShedSink {
   // restart, lifetime drop, shed): members go back to their queues — or
   // straight to kDropped when their own lifetime already expired.
   void DissolveFusionGroup(Query& leader);
+  // Fusion (or, when cross_shard_rendezvous is on and the per-shard domain
+  // rejects the query, rendezvous) domain — the single gate every fusion
+  // and cache path uses. Negative means "never share". Const but able to
+  // intern rendezvous domains through sched_; the auditor only ever asks
+  // about queries whose domains were interned at index/attach time.
+  int EffectiveFusionDomain(const Query& query) const;
+  // Answers `query` from the fused-result cache when a live compatible
+  // entry exists: commits it immediately at zero scan cost, with staleness
+  // charged from the cached commit time. Returns true on a hit (the query
+  // never reaches admission or a scheduler queue).
+  bool TryServeFromCache(Query& query);
+  // Retains `query`'s committed scan result in the cache when cacheable
+  // (fusion + cache on, in-bounds item set, shareable domain).
+  void MaybeFillResultCache(Query& query);
   // Drops a superseded update (pending or preempted/running-active).
   void InvalidateUpdate(Update& update);
   void OnLifetimeDeadline(TxnId id);
@@ -229,6 +246,9 @@ class WebDatabaseServer : private ShedSink {
   // live groups keyed by leader id (std::map: the auditor walks it).
   FusionIndex fusion_index_;
   std::map<TxnId, std::vector<TxnId>> fusion_groups_;
+  // Short-TTL cache of committed scan results (DESIGN.md §14). Entries do
+  // not hold resources, so a non-empty cache never blocks quiescence.
+  FusionResultCache result_cache_;
 
   // One armed wake-up event per CPU (index == CpuId), rearmed after every
   // scheduling event from the scheduler's per-CPU NextDecisionTime.

@@ -128,6 +128,14 @@ struct Query : Transaction {
   TxnId fused_into = 0;
   std::shared_ptr<const FusionResult> fused_result;
 
+  // Fused-result cache (DESIGN.md §14). Non-zero iff this query was
+  // answered from the cache at submit time: `cache_source` is the committed
+  // scan that produced the cached result and `cached_commit_time` its
+  // commit instant — the anchor the QoD contract is settled against
+  // (staleness is charged from the cached data's age, never from "now").
+  TxnId cache_source = 0;
+  SimTime cached_commit_time = 0;
+
   SimDuration ResponseTime() const { return commit_time - arrival; }
 };
 

@@ -1,0 +1,361 @@
+// Fused-result cache (DESIGN.md §14) and FusionIndex contract tests.
+//
+// FusionIndex half: the Remove/Insert contract fixes — Remove is
+// symmetrically idempotent on both bucket tables, double-Insert dies, and
+// a degenerate leader with repeated items collects each covered lookup
+// exactly once — plus an exactness check for the hash-set membership path
+// CollectCandidates switches to past its linear-scan threshold.
+//
+// Cache half: the TTL edges the honesty rule lives or dies on — a hit
+// exactly at expiry (inclusive), a miss one tick past it, eviction by an
+// update arriving in the same event batch as the lookup, a cache hit
+// served while an overloaded admission controller is turning identical
+// load away — and SweepRunner --jobs bit-identity of cached runs.
+
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "db/database.h"
+#include "exp/experiment.h"
+#include "exp/overload_scenarios.h"
+#include "exp/scheduler_factory.h"
+#include "exp/sweep_runner.h"
+#include "exp/trace_feeder.h"
+#include "qc/qc_generator.h"
+#include "server/fusion.h"
+#include "server/web_database_server.h"
+#include "util/rng.h"
+
+namespace webdb {
+namespace {
+
+// --- FusionIndex contract --------------------------------------------------
+
+Query MakeIndexQuery(uint64_t index, QueryType type,
+                     std::vector<ItemId> items) {
+  Query query;
+  query.id = QueryTxnId(index);
+  query.kind = TxnKind::kQuery;
+  query.state = TxnState::kQueued;
+  query.type = type;
+  query.items = std::move(items);
+  return query;
+}
+
+TEST(FusionIndexTest, RemoveIsIdempotentOnBothBucketTables) {
+  FusionIndex index;
+  // A subset joiner occupies both exact_ and single_; a scan only exact_.
+  Query lookup = MakeIndexQuery(1, QueryType::kLookup, {3});
+  Query scan = MakeIndexQuery(2, QueryType::kAggregation, {1, 2, 3});
+  index.Insert(&lookup);
+  index.Insert(&scan);
+  ASSERT_EQ(index.Size(), 2);
+
+  index.Remove(lookup);
+  EXPECT_EQ(index.Size(), 1);
+  EXPECT_FALSE(index.Contains(lookup));
+  // Second Remove of the same query: a no-op on both tables, no abort.
+  index.Remove(lookup);
+  EXPECT_EQ(index.Size(), 1);
+
+  index.Remove(scan);
+  index.Remove(scan);
+  EXPECT_EQ(index.Size(), 0);
+  EXPECT_FALSE(index.Contains(scan));
+}
+
+TEST(FusionIndexTest, RemoveOfNeverIndexedQueryIsANoOp) {
+  FusionIndex index;
+  Query indexed = MakeIndexQuery(1, QueryType::kLookup, {5});
+  Query stranger = MakeIndexQuery(2, QueryType::kLookup, {5});
+  index.Insert(&indexed);
+  // Same signature and same single_ bucket as `indexed`, but never
+  // inserted: Remove must leave the indexed twin untouched.
+  index.Remove(stranger);
+  EXPECT_EQ(index.Size(), 1);
+  EXPECT_TRUE(index.Contains(indexed));
+}
+
+TEST(FusionIndexDeathTest, DoubleInsertDies) {
+  // Double-indexing used to double-count size_ and leave a dangling id;
+  // the guarded Insert refuses with a CHECK naming the Contains guard.
+  Query query = MakeIndexQuery(1, QueryType::kLookup, {0});
+  EXPECT_DEATH(
+      {
+        FusionIndex index;
+        index.Insert(&query);
+        index.Insert(&query);
+      },
+      "CHECK failed.*Contains");
+}
+
+TEST(FusionIndexTest, DuplicateLeaderItemsCollectEachLookupOnce) {
+  // Regression for the duplicate-leader-item rescan: a degenerate leader
+  // whose item list repeats one symbol must yield each covered lookup
+  // exactly once, in bucket order.
+  FusionIndex index;
+  std::vector<Query> lookups;
+  lookups.reserve(3);
+  for (uint64_t i = 0; i < 3; ++i) {
+    lookups.push_back(MakeIndexQuery(10 + i, QueryType::kLookup, {7}));
+    index.Insert(&lookups.back());
+  }
+  const Query leader =
+      MakeIndexQuery(1, QueryType::kAggregation, {7, 7, 7, 7});
+  std::vector<TxnId> members;
+  index.CollectCandidates(leader, /*subset=*/true, /*max_members=*/64,
+                          &members);
+  EXPECT_EQ(members, std::vector<TxnId>(
+                         {lookups[0].id, lookups[1].id, lookups[2].id}));
+}
+
+TEST(FusionIndexTest, CollectStaysExactPastTheLinearScanThreshold) {
+  // 40 exact look-alikes push `out` well past the small-group linear scan,
+  // onto the hash-set membership path: the result must still be every
+  // candidate exactly once, in insertion order, capped by max_members.
+  FusionIndex index;
+  std::vector<Query> twins;
+  twins.reserve(40);
+  for (uint64_t i = 0; i < 40; ++i) {
+    twins.push_back(MakeIndexQuery(100 + i, QueryType::kAggregation,
+                                   {1, 2, 3}));
+    index.Insert(&twins.back());
+  }
+  // A covered lookup after the exact pass exercises taken() on the set.
+  Query lookup = MakeIndexQuery(200, QueryType::kLookup, {2});
+  index.Insert(&lookup);
+
+  const Query leader = MakeIndexQuery(1, QueryType::kAggregation, {1, 2, 3});
+  std::vector<TxnId> members;
+  index.CollectCandidates(leader, /*subset=*/true, /*max_members=*/64,
+                          &members);
+  ASSERT_EQ(members.size(), 41u);
+  for (size_t i = 0; i < 40; ++i) EXPECT_EQ(members[i], twins[i].id);
+  EXPECT_EQ(members[40], lookup.id);
+
+  members.clear();
+  index.CollectCandidates(leader, /*subset=*/true, /*max_members=*/25,
+                          &members);
+  ASSERT_EQ(members.size(), 25u);
+  for (size_t i = 0; i < 25; ++i) EXPECT_EQ(members[i], twins[i].id);
+}
+
+// --- fused-result cache ----------------------------------------------------
+
+constexpr SimDuration kTtl = Millis(50);
+
+struct CacheHarness {
+  Database db;
+  // Legacy single-CPU FIFO; the server wraps it in its SingleCpuAdapter.
+  std::unique_ptr<Scheduler> scheduler;
+  std::unique_ptr<WebDatabaseServer> server;
+  QcGenerator qc_gen{BalancedProfile(QcShape::kStep)};
+  Rng qc_rng{42};
+
+  explicit CacheHarness(ServerConfig config = ServerConfig(),
+                        int num_items = 8)
+      : db(num_items), scheduler(MakeScheduler(SchedulerKind::kFifo)) {
+    config.lifetime_factor = 0.0;
+    config.fusion.enabled = true;
+    config.fusion.result_cache = true;
+    config.fusion.cache_ttl = kTtl;
+    server = std::make_unique<WebDatabaseServer>(&db, scheduler.get(),
+                                                 config);
+  }
+
+  Query* Submit(std::vector<ItemId> items,
+                SimDuration exec = Millis(10)) {
+    return server->SubmitQuery(QueryType::kLookup, std::move(items),
+                               qc_gen.Next(qc_rng), exec);
+  }
+};
+
+TEST(FusionCacheTest, HitExactlyAtTtlExpiryThenMissOneTickPast) {
+  CacheHarness h;
+  Query* scan = h.Submit({0});
+  h.server->RunUntil(Millis(30));
+  ASSERT_EQ(scan->state, TxnState::kCommitted);
+  const SimTime filled = scan->commit_time;
+  ASSERT_EQ(h.server->result_cache().Size(), 1);
+
+  // The TTL is inclusive: a lookup exactly at expiry is still served.
+  Query* at_expiry = nullptr;
+  h.server->sim().ScheduleAt(filled + kTtl,
+                             [&] { at_expiry = h.Submit({0}); });
+  // One microsecond later the entry is dead and the query runs for real.
+  Query* past_expiry = nullptr;
+  h.server->sim().ScheduleAt(filled + kTtl + Micros(1),
+                             [&] { past_expiry = h.Submit({0}); });
+  h.server->Run();
+
+  ASSERT_NE(at_expiry, nullptr);
+  EXPECT_EQ(at_expiry->state, TxnState::kCommitted);
+  EXPECT_EQ(at_expiry->cache_source, scan->id);
+  EXPECT_EQ(at_expiry->cached_commit_time, filled);
+  // Zero scan cost: served at its own arrival instant.
+  EXPECT_EQ(at_expiry->commit_time, at_expiry->arrival);
+  ASSERT_NE(at_expiry->fused_result, nullptr);
+  EXPECT_EQ(at_expiry->fused_result->leader, scan->id);
+
+  ASSERT_NE(past_expiry, nullptr);
+  EXPECT_EQ(past_expiry->state, TxnState::kCommitted);
+  EXPECT_EQ(past_expiry->cache_source, 0u);
+  EXPECT_GT(past_expiry->commit_time, past_expiry->arrival);
+
+  EXPECT_EQ(h.server->metrics().queries_cache_hits, 1);
+  // The expired-miss scan recommitted and refilled the cache.
+  EXPECT_EQ(h.server->metrics().cache_fills, 2);
+  h.server->AuditInvariants();
+}
+
+TEST(FusionCacheTest, UpdateArrivingInTheSameEventBatchEvictsFirst) {
+  CacheHarness h;
+  Query* scan = h.Submit({2});
+  h.server->RunUntil(Millis(30));
+  ASSERT_EQ(scan->state, TxnState::kCommitted);
+  ASSERT_EQ(h.server->result_cache().Size(), 1);
+
+  // Update arrival and lookup land at the same instant, update first (the
+  // order they were scheduled): the arrival evicts, so the lookup in the
+  // same batch must NOT be served a value the cache already knows is
+  // stale-stamped wrong. Anchored at the drained clock (RunUntil advanced
+  // it), still well inside the entry's TTL.
+  const SimTime batch = h.server->sim().Now() + Millis(5);
+  h.server->sim().ScheduleAt(
+      batch, [&] { h.server->SubmitUpdate(2, 9.5, Millis(2)); });
+  Query* lookup = nullptr;
+  h.server->sim().ScheduleAt(batch, [&] { lookup = h.Submit({2}); });
+  h.server->Run();
+
+  ASSERT_NE(lookup, nullptr);
+  EXPECT_EQ(lookup->state, TxnState::kCommitted);
+  EXPECT_EQ(lookup->cache_source, 0u);
+  EXPECT_EQ(h.server->metrics().queries_cache_hits, 0);
+  h.server->AuditInvariants();
+}
+
+TEST(FusionCacheTest, ApplyOfAPreArrivalUpdateEvictsTheEntry) {
+  // The update ARRIVES while the scan is still running (cache empty, so
+  // the arrival hook evicts nothing), the scan commits and fills with that
+  // update still unapplied, and only then does the update reach the CPU:
+  // the *apply* hook is the only thing standing between the stale entry
+  // and a dishonest hit.
+  CacheHarness h;
+  Query* scan = h.Submit({4});  // runs [0, 10ms) on the FIFO CPU
+  h.server->sim().ScheduleAt(
+      Millis(1), [&] { h.server->SubmitUpdate(4, 1.25, Millis(2)); });
+  Query* lookup = nullptr;
+  // Well within TTL of the ~10 ms fill, but after the ~12 ms apply.
+  h.server->sim().ScheduleAt(Millis(20), [&] { lookup = h.Submit({4}); });
+  h.server->Run();
+
+  EXPECT_EQ(scan->state, TxnState::kCommitted);
+  ASSERT_NE(lookup, nullptr);
+  EXPECT_EQ(lookup->state, TxnState::kCommitted);
+  EXPECT_EQ(lookup->cache_source, 0u);
+  EXPECT_EQ(h.server->metrics().queries_cache_hits, 0);
+  // Both real scans filled (the second fill replacing the evicted one).
+  EXPECT_EQ(h.server->metrics().cache_fills, 2);
+  h.server->AuditInvariants();
+}
+
+TEST(FusionCacheTest, CacheHitIsServedWhileAdmissionIsSheddingLoad) {
+  // A cached answer holds no resources, so it is served ahead of
+  // admission: with DBF starved of supply and actively turning identical
+  // load away, the covered lookup still commits from cache while its
+  // uncovered twin is refused.
+  const int kCpus = 1;
+  AdmissionSpec admission_spec;
+  admission_spec.kind = AdmissionKind::kDbf;
+  // rt_max draws in [50, 100] ms; at 20% supply the lone 4 ms seed scan
+  // always fits (supply >= 10 ms) while each 30 ms flood query never does
+  // (supply <= 20 ms), independent of the QC draw.
+  admission_spec.supply_factor = 0.2;
+  std::unique_ptr<AdmissionController> admission =
+      MakeAdmission(admission_spec, kCpus);
+  ServerConfig config;
+  config.admission = admission.get();
+  CacheHarness h(config);
+
+  Query* scan = h.Submit({1}, Millis(4));
+  h.server->RunUntil(Millis(30));
+  ASSERT_EQ(scan->state, TxnState::kCommitted);
+
+  // Flood: long uncached queries on other items outstrip the throttled
+  // supply, so the controller is rejecting when the covered lookup
+  // arrives. Anchored at the drained clock, inside the entry's TTL.
+  const SimTime burst = h.server->sim().Now() + Millis(2);
+  std::vector<Query*> flood;
+  h.server->sim().ScheduleAt(burst, [&] {
+    for (int i = 0; i < 8; ++i) flood.push_back(h.Submit({5}, Millis(30)));
+  });
+  Query* covered = nullptr;
+  h.server->sim().ScheduleAt(burst + Millis(1),
+                             [&] { covered = h.Submit({1}, Millis(4)); });
+  h.server->Run();
+
+  ASSERT_NE(covered, nullptr);
+  EXPECT_EQ(covered->state, TxnState::kCommitted);
+  EXPECT_EQ(covered->cache_source, scan->id);
+  EXPECT_GE(h.server->metrics().queries_rejected +
+                h.server->metrics().queries_shed,
+            1) << "flood did not overload admission";
+  h.server->AuditInvariants();
+}
+
+TEST(FusionCacheTest, SweepJobsAreBitIdenticalWithCacheOn) {
+  std::vector<Trace> traces;
+  for (uint64_t seed : {21u, 22u, 23u}) {
+    OverloadScenarioConfig config;
+    config.seed = seed;
+    config.scale = 10.0;
+    config.duration = Seconds(2);
+    config.num_stocks = 64;
+    config.query_rate = 300.0;
+    config.update_rate = 60.0;
+    traces.push_back(MakeOverloadTrace(OverloadScenario::kMarketOpen,
+                                       config));
+  }
+
+  auto run_with_jobs = [&](int jobs) {
+    std::vector<SweepRunner::Point> points;
+    for (size_t i = 0; i < traces.size(); ++i) {
+      SweepRunner::Point point;
+      point.trace = &traces[i];
+      point.spec.kind = SchedulerKind::kQuts;
+      point.spec.topology.num_cpus = i == 2 ? 4 : 1;
+      point.options.qc_seed = 17 + i;
+      point.options.qc = BalancedProfile(QcShape::kStep);
+      point.options.server.fusion.enabled = true;
+      point.options.server.fusion.result_cache = true;
+      point.options.compute_end_state_hash = true;
+      points.push_back(point);
+    }
+    SweepConfig sweep;
+    sweep.jobs = jobs;
+    sweep.base_seed = 2007;
+    return SweepRunner(sweep).RunPoints(points);
+  };
+
+  const std::vector<ExperimentResult> serial = run_with_jobs(1);
+  const std::vector<ExperimentResult> parallel = run_with_jobs(4);
+  ASSERT_EQ(serial.size(), parallel.size());
+  int64_t total_hits = 0;
+  for (size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].end_state_hash, parallel[i].end_state_hash)
+        << "point " << i;
+    EXPECT_EQ(serial[i].queries_cache_hits, parallel[i].queries_cache_hits)
+        << "point " << i;
+    EXPECT_EQ(serial[i].cache_fills, parallel[i].cache_fills)
+        << "point " << i;
+    EXPECT_EQ(serial[i].queries_committed, parallel[i].queries_committed)
+        << "point " << i;
+    total_hits += serial[i].queries_cache_hits;
+  }
+  EXPECT_GT(total_hits, 0) << "sweep produced no cache hits";
+}
+
+}  // namespace
+}  // namespace webdb

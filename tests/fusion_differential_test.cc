@@ -18,9 +18,15 @@
 // successor arrives, so those sets legitimately differ between any two
 // schedules. The query commit set is the correctness claim.
 //
-// To regenerate the golden after an intended schedule change:
+// Round 2 runs the same grid twice more — with the fused-result cache on,
+// and with cross-shard rendezvous on — and holds each to the same
+// differential bar against the fusion-off baseline. Cache and rendezvous
+// hashes are pinned in tests/data/golden_fusion_cache.csv; the round-1
+// golden_fusion.csv stays byte-identical because features default off.
+//
+// To regenerate the goldens after an intended schedule change:
 //   WEBDB_REGEN_GOLDEN=1 ./fusion_differential_test
-//       --gtest_filter='*MatchesGoldenSnapshot'
+//       --gtest_filter='*GoldenSnapshot'
 
 #include <cstdio>
 #include <cstdlib>
@@ -67,7 +73,21 @@ struct RunOutcome {
   int64_t committed = 0;
   int64_t fused = 0;
   int64_t groups = 0;
+  int64_t cache_hits = 0;
+  int64_t cache_fills = 0;
 };
+
+// Which fusion features a run switches on; every mode past kOff keeps the
+// round-1 attach-at-dispatch machinery enabled.
+enum class Mode { kOff, kFused, kCache, kRendezvous };
+
+FusionConfig FusionFor(Mode mode) {
+  FusionConfig fusion;
+  fusion.enabled = mode != Mode::kOff;
+  fusion.result_cache = mode == Mode::kCache;
+  fusion.cross_shard_rendezvous = mode == Mode::kRendezvous;
+  return fusion;
+}
 
 // The flash crowd every grid point replays: bench_overload's regime at test
 // scale — enough standing load that even the 4-CPU rows queue deeply during
@@ -87,7 +107,7 @@ const Trace& FlashCrowd() {
   return *trace;
 }
 
-RunOutcome RunOnce(const GridPoint& point, bool fusion) {
+RunOutcome RunOnce(const GridPoint& point, Mode mode) {
   const Trace& trace = FlashCrowd();
   SchedulerSpec spec;
   spec.kind = point.kind;
@@ -100,7 +120,7 @@ RunOutcome RunOnce(const GridPoint& point, bool fusion) {
   // runs, which is what makes "identical commit set" a meaningful claim
   // rather than a lucky seed.
   config.lifetime_factor = 0.0;
-  config.fusion.enabled = fusion;
+  config.fusion = FusionFor(mode);
   WebDatabaseServer server(&db, scheduler.get(), config);
   server.ReserveCapacity(trace.queries.size(), trace.updates.size());
 
@@ -125,6 +145,8 @@ RunOutcome RunOnce(const GridPoint& point, bool fusion) {
   outcome.committed = server.metrics().queries_committed;
   outcome.fused = server.metrics().queries_fused;
   outcome.groups = server.metrics().fusion_groups;
+  outcome.cache_hits = server.metrics().queries_cache_hits;
+  outcome.cache_fills = server.metrics().cache_fills;
   return outcome;
 }
 
@@ -134,29 +156,58 @@ std::string Label(const GridPoint& point) {
 
 class FusionDifferentialTest : public ::testing::Test {
  protected:
-  // The whole grid runs once; every TEST_F reads the shared outcomes.
+  // The whole grid runs once per mode; every TEST_F reads the shared
+  // outcomes.
   static void SetUpTestSuite() {
     unfused_ = new std::vector<RunOutcome>();
     fused_ = new std::vector<RunOutcome>();
+    cached_ = new std::vector<RunOutcome>();
+    rendezvous_ = new std::vector<RunOutcome>();
     for (const GridPoint& point : Grid()) {
-      unfused_->push_back(RunOnce(point, /*fusion=*/false));
-      fused_->push_back(RunOnce(point, /*fusion=*/true));
+      unfused_->push_back(RunOnce(point, Mode::kOff));
+      fused_->push_back(RunOnce(point, Mode::kFused));
+      cached_->push_back(RunOnce(point, Mode::kCache));
+      rendezvous_->push_back(RunOnce(point, Mode::kRendezvous));
     }
   }
 
   static void TearDownTestSuite() {
     delete unfused_;
     delete fused_;
+    delete cached_;
+    delete rendezvous_;
     unfused_ = nullptr;
     fused_ = nullptr;
+    cached_ = nullptr;
+    rendezvous_ = nullptr;
+  }
+
+  // Identical-commit-set + profit + CPU-busy differential of one feature
+  // mode against the fusion-off baseline; shared by every mode's test.
+  static void CheckDifferential(const std::vector<RunOutcome>& on) {
+    for (size_t i = 0; i < Grid().size(); ++i) {
+      const RunOutcome& off = (*unfused_)[i];
+      ASSERT_EQ(on[i].query_states.size(), off.query_states.size());
+      for (size_t q = 0; q < on[i].query_states.size(); ++q) {
+        ASSERT_EQ(on[i].query_states[q], TxnState::kCommitted)
+            << Label(Grid()[i]) << " query " << q;
+      }
+      EXPECT_EQ(on[i].committed, off.committed) << Label(Grid()[i]);
+      EXPECT_GE(on[i].profit, off.profit) << Label(Grid()[i]);
+      EXPECT_LE(on[i].cpu_busy, off.cpu_busy) << Label(Grid()[i]);
+    }
   }
 
   static std::vector<RunOutcome>* unfused_;
   static std::vector<RunOutcome>* fused_;
+  static std::vector<RunOutcome>* cached_;
+  static std::vector<RunOutcome>* rendezvous_;
 };
 
 std::vector<RunOutcome>* FusionDifferentialTest::unfused_ = nullptr;
 std::vector<RunOutcome>* FusionDifferentialTest::fused_ = nullptr;
+std::vector<RunOutcome>* FusionDifferentialTest::cached_ = nullptr;
+std::vector<RunOutcome>* FusionDifferentialTest::rendezvous_ = nullptr;
 
 TEST_F(FusionDifferentialTest, FusionActuallyHappens) {
   // The differential claims below are vacuous on a trace where no group
@@ -207,11 +258,125 @@ TEST_F(FusionDifferentialTest, RerunIsBitIdentical) {
   // Fusion must not perturb determinism: replaying a grid point reproduces
   // the exact schedule, profit and hash.
   for (size_t i = 0; i < Grid().size(); ++i) {
-    const RunOutcome rerun = RunOnce(Grid()[i], /*fusion=*/true);
+    const RunOutcome rerun = RunOnce(Grid()[i], Mode::kFused);
     EXPECT_EQ(rerun.end_state_hash, (*fused_)[i].end_state_hash)
         << Label(Grid()[i]);
     EXPECT_EQ(rerun.profit, (*fused_)[i].profit) << Label(Grid()[i]);
     EXPECT_EQ(rerun.fused, (*fused_)[i].fused) << Label(Grid()[i]);
+  }
+}
+
+TEST_F(FusionDifferentialTest, CacheGridHoldsTheDifferentialBar) {
+  // Cache on must still commit every query, never lose profit and never
+  // burn more CPU than the fusion-off baseline: a hit is a zero-cost
+  // commit, and the honesty rule settles its QoD against the cached age.
+  CheckDifferential(*cached_);
+}
+
+TEST_F(FusionDifferentialTest, CacheActuallyHits) {
+  // The flash crowd repeats hot symbols well inside the 50 ms TTL, so a
+  // vacuously-passing differential (zero hits) is itself a bug.
+  for (size_t i = 0; i < Grid().size(); ++i) {
+    EXPECT_GT((*cached_)[i].cache_hits, 0) << Label(Grid()[i]);
+    EXPECT_GT((*cached_)[i].cache_fills, 0) << Label(Grid()[i]);
+    EXPECT_EQ((*fused_)[i].cache_hits, 0) << Label(Grid()[i]);
+  }
+}
+
+TEST_F(FusionDifferentialTest, CacheHitsShrinkTheBusyTotal) {
+  // Every hit skips a scan outright, so cache-on busy time must come in
+  // strictly under plain fusion on every grid point.
+  for (size_t i = 0; i < Grid().size(); ++i) {
+    EXPECT_LT((*cached_)[i].cpu_busy, (*fused_)[i].cpu_busy)
+        << Label(Grid()[i]);
+  }
+}
+
+TEST_F(FusionDifferentialTest, RendezvousGridHoldsTheDifferentialBar) {
+  CheckDifferential(*rendezvous_);
+}
+
+TEST_F(FusionDifferentialTest, RendezvousFusesCrossShardLookAlikes) {
+  for (size_t i = 0; i < Grid().size(); ++i) {
+    const GridPoint& point = Grid()[i];
+    if (point.kind == SchedulerKind::kQuts && point.cpus > 1) {
+      // Sharded points gain fusion: multi-shard look-alikes that round 1
+      // left unfusable (domain -1) now meet in a rendezvous domain.
+      EXPECT_GT((*rendezvous_)[i].fused, (*fused_)[i].fused) << Label(point);
+    } else {
+      // Single-CPU points have no cross-shard sets; rendezvous must be a
+      // pure no-op there, down to the schedule hash.
+      EXPECT_EQ((*rendezvous_)[i].fused, (*fused_)[i].fused) << Label(point);
+      EXPECT_EQ((*rendezvous_)[i].end_state_hash, (*fused_)[i].end_state_hash)
+          << Label(point);
+    }
+  }
+}
+
+TEST_F(FusionDifferentialTest, CacheAndRendezvousRerunsAreBitIdentical) {
+  for (size_t i = 0; i < Grid().size(); ++i) {
+    const RunOutcome cache_rerun = RunOnce(Grid()[i], Mode::kCache);
+    EXPECT_EQ(cache_rerun.end_state_hash, (*cached_)[i].end_state_hash)
+        << Label(Grid()[i]);
+    EXPECT_EQ(cache_rerun.cache_hits, (*cached_)[i].cache_hits)
+        << Label(Grid()[i]);
+    const RunOutcome rdv_rerun = RunOnce(Grid()[i], Mode::kRendezvous);
+    EXPECT_EQ(rdv_rerun.end_state_hash, (*rendezvous_)[i].end_state_hash)
+        << Label(Grid()[i]);
+    EXPECT_EQ(rdv_rerun.fused, (*rendezvous_)[i].fused) << Label(Grid()[i]);
+  }
+}
+
+TEST_F(FusionDifferentialTest, MatchesCacheGoldenSnapshot) {
+  const std::string golden_path =
+      std::string(WEBDB_TEST_DATA_DIR) + "/golden_fusion_cache.csv";
+
+  auto write = [&](const std::string& path) {
+    CsvWriter writer(path);
+    writer.WriteRow({"policy", "cpus", "cache_hits", "cache_fills",
+                     "rendezvous_fused", "hash_cache", "hash_rendezvous"});
+    char buffer[32];
+    for (size_t i = 0; i < Grid().size(); ++i) {
+      std::vector<std::string> row;
+      row.push_back(ToString(Grid()[i].kind));
+      row.push_back(std::to_string(Grid()[i].cpus));
+      row.push_back(std::to_string((*cached_)[i].cache_hits));
+      row.push_back(std::to_string((*cached_)[i].cache_fills));
+      row.push_back(std::to_string((*rendezvous_)[i].fused));
+      std::snprintf(buffer, sizeof(buffer), "%016llx",
+                    static_cast<unsigned long long>(
+                        (*cached_)[i].end_state_hash));
+      row.push_back(buffer);
+      std::snprintf(buffer, sizeof(buffer), "%016llx",
+                    static_cast<unsigned long long>(
+                        (*rendezvous_)[i].end_state_hash));
+      row.push_back(buffer);
+      writer.WriteRow(row);
+    }
+    return writer.Close();
+  };
+
+  if (std::getenv("WEBDB_REGEN_GOLDEN") != nullptr) {
+    ASSERT_TRUE(write(golden_path));
+    GTEST_SKIP() << "regenerated " << golden_path;
+  }
+
+  const std::string actual_path = ::testing::TempDir() + "fusion_cache.csv";
+  ASSERT_TRUE(write(actual_path));
+
+  auto read = [](const std::string& path) {
+    CsvReader reader(path);
+    EXPECT_TRUE(reader.ok()) << "cannot open " << path;
+    std::vector<std::vector<std::string>> rows;
+    std::vector<std::string> fields;
+    while (reader.ReadRow(fields)) rows.push_back(fields);
+    return rows;
+  };
+  const auto expected = read(golden_path);
+  const auto actual = read(actual_path);
+  ASSERT_EQ(actual.size(), expected.size());
+  for (size_t r = 0; r < expected.size(); ++r) {
+    EXPECT_EQ(actual[r], expected[r]) << "row " << r;
   }
 }
 

@@ -89,6 +89,10 @@ TEST(InvariantCountersTest, NamesAreStableKebabCase) {
                "admission-conservation");
   EXPECT_STREQ(audit::InvariantName(audit::Invariant::kFusionGroup),
                "fusion-group");
+  EXPECT_STREQ(audit::InvariantName(audit::Invariant::kFusionCache),
+               "fusion-cache");
+  EXPECT_STREQ(audit::InvariantName(audit::Invariant::kRendezvousGroup),
+               "rendezvous-group");
 }
 
 TEST(InvariantCountersTest, CountAccumulatesPerInvariant) {
@@ -130,6 +134,32 @@ TEST(InvariantAuditorDeathTest, FusionGroupAuditThatAbortsOnViolation) {
       WEBDB_AUDIT_THAT(audit::Invariant::kFusionGroup, 1 == 2,
                        "membership not disjoint"),
       "fusion-group.*membership not disjoint");
+}
+
+TEST(InvariantAuditorDeathTest, FusionCacheFailureNamesTheInvariant) {
+  EXPECT_DEATH(audit::Fail(audit::Invariant::kFusionCache, "f.cc", 56,
+                           "entry outlived an update to item 3"),
+               "fusion-cache.*outlived an update");
+}
+
+TEST(InvariantAuditorDeathTest, FusionCacheAuditThatAbortsOnViolation) {
+  EXPECT_DEATH(
+      WEBDB_AUDIT_THAT(audit::Invariant::kFusionCache, 1 == 2,
+                       "hit settled against a later commit time"),
+      "fusion-cache.*later commit time");
+}
+
+TEST(InvariantAuditorDeathTest, RendezvousGroupFailureNamesTheInvariant) {
+  EXPECT_DEATH(audit::Fail(audit::Invariant::kRendezvousGroup, "f.cc", 78,
+                           "member shard set differs from its leader's"),
+               "rendezvous-group.*shard set differs");
+}
+
+TEST(InvariantAuditorDeathTest, RendezvousGroupAuditThatAbortsOnViolation) {
+  EXPECT_DEATH(
+      WEBDB_AUDIT_THAT(audit::Invariant::kRendezvousGroup, 1 == 2,
+                       "group formed with rendezvous disabled"),
+      "rendezvous-group.*rendezvous disabled");
 }
 
 // --- whole-server audit and end-state hash -----------------------------------
@@ -196,6 +226,79 @@ TEST(ServerAuditTest, FusedWorkloadAuditsCleanWithLiveGroups) {
   EXPECT_GT(audit::ChecksPerformed(audit::Invariant::kFusionGroup), 0u);
   EXPECT_GT(audit::ChecksPerformed(audit::Invariant::kDualQueueConservation),
             0u);
+}
+
+TEST(ServerAuditTest, CachedWorkloadAuditsCleanWithLiveEntries) {
+  // Same contended workload with the fused-result cache on: lookups over 6
+  // items refill and re-hit the cache between updates, so the strided
+  // audits walk live entries (seq snapshots intact) and committed hits
+  // (settled against their source's commit time).
+  Database db(6);
+  auto scheduler = MakeScheduler(SchedulerKind::kQuts);
+  ServerConfig config;
+  config.fusion.enabled = true;
+  config.fusion.result_cache = true;
+  WebDatabaseServer server(&db, scheduler.get(), config);
+  for (SimTime t : {Millis(50), Millis(200), Millis(400)}) {
+    server.sim().ScheduleAt(t, [&server] { server.AuditInvariants(); });
+  }
+  audit::ResetCounters();
+  RunWorkload(server, 77);
+  server.AuditInvariants();
+  EXPECT_TRUE(server.IsQuiescent());
+  EXPECT_GT(server.metrics().queries_cache_hits, 0);
+  EXPECT_GT(server.metrics().cache_fills, 0);
+  EXPECT_GT(audit::ChecksPerformed(audit::Invariant::kFusionCache), 0u);
+  EXPECT_GT(audit::ChecksPerformed(audit::Invariant::kLedgerConservation), 0u);
+}
+
+TEST(ServerAuditTest, RendezvousWorkloadAuditsCleanWithLiveGroups) {
+  // Cross-shard rendezvous on a 4-shard QUTS: two-item comparisons over 6
+  // items straddle shards, so look-alike pairs fuse in rendezvous domains
+  // and the strided audits walk those groups while they are live.
+  Database db(6);
+  SchedulerSpec spec;
+  spec.kind = SchedulerKind::kQuts;
+  spec.topology.num_cpus = 4;
+  auto scheduler = MakeScheduler(spec);
+  ServerConfig config;
+  config.fusion.enabled = true;
+  config.fusion.cross_shard_rendezvous = true;
+  WebDatabaseServer server(&db, scheduler.get(), config);
+
+  Rng rng(77);
+  QcGenerator qc_gen(BalancedProfile(QcShape::kStep));
+  SimTime t = 0;
+  for (int round = 0; round < 400; ++round) {
+    t += rng.UniformInt(0, Millis(1));
+    const bool is_query = rng.Bernoulli(0.8);
+    server.sim().ScheduleAt(t, [&server, &rng, &qc_gen, is_query] {
+      if (is_query) {
+        // Two fixed flavors so exact look-alikes pile up in the queue.
+        const bool flavor = rng.Bernoulli(0.5);
+        const std::vector<ItemId> items =
+            flavor ? std::vector<ItemId>{0, 3} : std::vector<ItemId>{1, 4};
+        server.SubmitQuery(QueryType::kComparison, items, qc_gen.Next(rng),
+                           rng.UniformInt(Millis(3), Millis(9)));
+      } else {
+        server.SubmitUpdate(static_cast<ItemId>(rng.UniformInt(0, 5)),
+                            rng.Uniform(1.0, 9.0),
+                            rng.UniformInt(Millis(1), Millis(4)));
+      }
+    });
+  }
+  // Dense mid-run audits: rendezvous groups live only while their leader
+  // is in flight, so sample well inside the stride.
+  for (SimTime at = Millis(5); at < Millis(300); at += Millis(5)) {
+    server.sim().ScheduleAt(at, [&server] { server.AuditInvariants(); });
+  }
+  audit::ResetCounters();
+  server.Run();
+  server.AuditInvariants();
+  EXPECT_TRUE(server.IsQuiescent());
+  EXPECT_TRUE(server.fusion_groups().empty());
+  EXPECT_GT(server.metrics().queries_fused, 0);
+  EXPECT_GT(audit::ChecksPerformed(audit::Invariant::kRendezvousGroup), 0u);
 }
 
 TEST(ServerAuditTest, EndStateHashIsDeterministic) {

@@ -25,10 +25,14 @@ out-earning both admit-all and queue-cap, and the rerun of the headline
 point must have been bit-identical; the shared-execution section must
 show at least --min-fusion-gain profit per CPU-busy-second for
 fusion-on over fusion-off (default 1.2x), again with a bit-identical
-rerun. These are machine-independent numbers computed by the bench
-itself — the simulation is deterministic, so they do not drift with the
-host. A fresh overload JSON without the "fusion" section is itself a
-failure: it means the bench predates shared execution.
+rerun; and the fused-result-cache section must show at least
+--min-fusion-cache-gain over fusion-off (default: the fusion floor)
+with cache hits actually served and a bit-identical rerun. These are
+machine-independent numbers computed by the bench itself — the
+simulation is deterministic, so they do not drift with the host. A
+fresh overload JSON without the "fusion" or "fusion_cache" section is
+itself a failure: it means the bench predates shared execution or the
+result cache.
 
 With --committed-hotpath / --committed-overload it gates the checked-in
 BENCH_*.json trajectory files (the publication gap the ROADMAP calls
@@ -157,6 +161,10 @@ def main():
     parser.add_argument("--min-fusion-gain", type=float, default=1.2,
                         help="required profit/CPU-s gain for fusion-on vs "
                              "fusion-off on the flash-crowd headline")
+    parser.add_argument("--min-fusion-cache-gain", type=float, default=None,
+                        help="required profit/CPU-s gain for fusion + result "
+                             "cache vs fusion-off (default: --min-fusion-gain "
+                             "— the cache must never cost the headline)")
     parser.add_argument("--overload", default=None,
                         help="optional BENCH_overload.json to gate the "
                              "admission-policy and fusion headlines on")
@@ -255,6 +263,35 @@ def main():
             if not fusion.get("rerun_identical", False):
                 failures.append(
                     "fusion headline rerun was not bit-identical")
+        cache = overload.get("fusion_cache")
+        min_cache_gain = (args.min_fusion_cache_gain
+                          if args.min_fusion_cache_gain is not None
+                          else args.min_fusion_gain)
+        if cache is None:
+            failures.append(
+                "overload report has no 'fusion_cache' section — "
+                "bench_overload predates the fused-result cache; rebuild "
+                "and rerun it")
+        else:
+            cache_gain = float(cache["gain"])
+            print(f"fusion-cache headline ({cache['scenario']} "
+                  f"x{cache['scale']:g} @ {cache['cpus']} CPUs): "
+                  f"profit/cpu-s {cache['profit_per_cpu_s']:,.1f}, "
+                  f"gain {cache_gain:.3f}x "
+                  f"(required >= {min_cache_gain:.2f}x, "
+                  f"{cache['cache_hits']} hits / "
+                  f"{cache['cache_fills']} fills)")
+            if cache_gain < min_cache_gain:
+                failures.append(
+                    f"fusion-cache profit/CPU-s gain fell below "
+                    f"{min_cache_gain:.2f}x: {cache_gain:.3f}x")
+            if int(cache.get("cache_hits", 0)) <= 0:
+                failures.append(
+                    "fusion-cache headline served no hits — the flash "
+                    "crowd no longer repeats cached look-alikes")
+            if not cache.get("rerun_identical", False):
+                failures.append(
+                    "fusion-cache headline rerun was not bit-identical")
         if args.committed_overload:
             check_committed_overload(overload, args.committed_overload,
                                      failures)
